@@ -1,0 +1,14 @@
+"""A1 — ablation: predicate evaluation domain (responders-only vs literal)."""
+
+from repro.bench.experiments import experiment_ablation_predicates
+
+
+def test_a1_ablation_table(benchmark):
+    table = benchmark.pedantic(experiment_ablation_predicates, rounds=1, iterations=1)
+    assert all(row["atomic"] for row in table.rows)
+    by_mode = {}
+    for row in table.rows:
+        by_mode.setdefault(row["mode"], []).append(row["read_fast_fraction"])
+    # On lucky workloads the two readings coincide; the library default
+    # (responders-only) is chosen for its alignment with the proofs.
+    assert by_mode["responders-only"] == by_mode["literal"]

@@ -1,0 +1,67 @@
+"""E11 — wall-clock latency of fast vs slow paths on the asyncio runtime.
+
+These are the only benchmarks that measure real elapsed time over real
+(in-memory asyncio) channels with injected per-message delay.  The absolute
+numbers depend on the host; the asserted shape is that the slow paths cost
+roughly the extra round-trips the protocol requires.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.baselines.slow_robust import SlowRobustProtocol
+from repro.runtime.cluster import AsyncCluster
+from repro.runtime.transport import InMemoryTransport, constant_delay
+
+#: Injected one-way message delay (seconds): emulates a fast LAN.
+MESSAGE_DELAY_S = 0.002
+
+
+def _run_cycle(suite):
+    async def scenario(cluster):
+        write = await cluster.write("payload")
+        read = await cluster.read("r1")
+        return write, read
+
+    return AsyncCluster.run_scenario(
+        suite,
+        scenario,
+        message_delay_s=MESSAGE_DELAY_S,
+        time_scale=MESSAGE_DELAY_S,
+    )
+
+
+def test_asyncio_lucky_write_read_cycle(benchmark):
+    config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=1)
+    write, read = benchmark(lambda: _run_cycle(LuckyAtomicProtocol(config)))
+    assert write.fast and read.fast
+
+
+def test_asyncio_always_slow_cycle(benchmark):
+    config = SystemConfig(t=2, b=1, num_readers=1, enforce_tradeoff=False)
+    write, read = benchmark(lambda: _run_cycle(SlowRobustProtocol(config)))
+    assert write.rounds == 3 and read.rounds == 4
+
+
+def test_asyncio_fast_path_beats_slow_path_in_wall_clock(benchmark):
+    lucky_config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=1)
+    slow_config = SystemConfig(t=2, b=1, num_readers=1, enforce_tradeoff=False)
+
+    def compare():
+        lucky_write, lucky_read = _run_cycle(LuckyAtomicProtocol(lucky_config))
+        slow_write, slow_read = _run_cycle(SlowRobustProtocol(slow_config))
+        return (
+            lucky_write.metadata["latency_s"],
+            lucky_read.metadata["latency_s"],
+            slow_write.metadata["latency_s"],
+            slow_read.metadata["latency_s"],
+        )
+
+    lucky_write_s, lucky_read_s, slow_write_s, slow_read_s = benchmark(compare)
+    # One-round operations must be faster than their 3/4-round counterparts;
+    # exact ratios depend on scheduling noise, so only the ordering is asserted.
+    assert lucky_write_s < slow_write_s
+    assert lucky_read_s < slow_read_s

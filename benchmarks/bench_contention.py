@@ -1,0 +1,46 @@
+"""E5 — contention behaviour: slow paths, write-backs, atomicity under overlap."""
+
+from repro.bench.experiments import experiment_contention
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.sim.cluster import SimCluster
+from repro.sim.latency import FixedDelay, SlowProcessDelay
+from repro.verify.atomicity import check_atomicity
+
+
+CONFIG = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+
+def _concurrent_read(delay_model):
+    cluster = SimCluster(LuckyAtomicProtocol(CONFIG), delay_model=delay_model)
+    cluster.write("v0")
+    cluster.run_for(5.0)
+    write = cluster.start_write("v1")
+    read = cluster.start_read("r1")
+    cluster.run(until=lambda: write.done and read.done)
+    assert check_atomicity(cluster.history()).ok
+    return read
+
+
+def test_read_concurrent_with_write_on_fast_network(benchmark):
+    read = benchmark(lambda: _concurrent_read(FixedDelay(1.0)))
+    assert read.value in ("v0", "v1")
+
+
+def test_read_concurrent_with_write_on_degraded_network(benchmark):
+    delay = SlowProcessDelay(
+        base=FixedDelay(1.0), slow_processes={"s5", "s6"}, extra_delay=40.0
+    )
+    read = benchmark(lambda: _concurrent_read(delay))
+    assert read.value in ("v0", "v1")
+    assert not read.fast  # the degraded links force the slow path + write-back
+
+
+def test_e5_table(benchmark):
+    table = benchmark.pedantic(
+        experiment_contention, kwargs={"num_writes": 4}, rounds=1, iterations=1
+    )
+    rows = {row["scenario"]: row for row in table.rows}
+    assert rows["lucky (no overlap)"]["fast_fraction"] == 1.0
+    assert rows["contended + degraded links (unlucky)"]["fast_fraction"] < 1.0
+    assert all(row["atomic"] for row in table.rows)

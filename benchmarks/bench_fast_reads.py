@@ -1,0 +1,60 @@
+"""E2 — fast lucky READs (Theorem 4 / Proposition 1, part 2).
+
+Regenerates the claim that every lucky READ completes in one round-trip despite
+up to ``fr`` actual server failures, and contrasts it with the slow path
+(write-back) beyond the threshold.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_fast_reads
+from repro.bench.harness import build_cluster
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+
+
+CONFIG = SystemConfig(t=2, b=1, fw=0, fr=1, num_readers=1)
+
+
+def _prepared_cluster(crash_after_write: int):
+    cluster = build_cluster(LuckyAtomicProtocol(CONFIG))
+    cluster.write("payload")
+    cluster.run_for(5.0)
+    for server_id in list(reversed(CONFIG.server_ids()))[:crash_after_write]:
+        cluster.crash(server_id)
+    return cluster
+
+
+def test_lucky_read_no_failures(benchmark):
+    def run():
+        cluster = _prepared_cluster(0)
+        return cluster.read("r1")
+
+    handle = benchmark(run)
+    assert handle.fast and handle.rounds == 1 and handle.value == "payload"
+
+
+def test_lucky_read_with_fr_failures(benchmark):
+    def run():
+        cluster = _prepared_cluster(CONFIG.fr)
+        return cluster.read("r1")
+
+    handle = benchmark(run)
+    assert handle.fast and handle.value == "payload"
+
+
+def test_read_beyond_fr_failures_pays_writeback(benchmark):
+    def run():
+        cluster = _prepared_cluster(CONFIG.t)
+        return cluster.read("r1")
+
+    handle = benchmark(run)
+    assert not handle.fast and handle.rounds > 1 and handle.value == "payload"
+
+
+def test_e2_table_reproduces_theorem_4(benchmark):
+    table = benchmark.pedantic(experiment_fast_reads, rounds=1, iterations=1)
+    for row in table.rows:
+        if row["failures"] <= 1:
+            assert row["fast_fraction"] == 1.0
+        assert row["atomic"]

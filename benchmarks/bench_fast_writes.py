@@ -1,0 +1,45 @@
+"""E1 — fast lucky WRITEs (Theorem 3 / Proposition 1, part 1).
+
+Regenerates the claim that every lucky WRITE completes in one communication
+round-trip despite up to ``fw`` actual server failures, and measures the cost
+of the fast path against the three-round slow path.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_fast_writes
+from repro.bench.harness import build_cluster
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+
+
+CONFIG = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=1)
+
+
+def _write_cycle(crash_servers: int):
+    cluster = build_cluster(LuckyAtomicProtocol(CONFIG), crash_servers=crash_servers)
+    handle = cluster.write("payload")
+    return handle
+
+
+def test_lucky_write_no_failures(benchmark):
+    handle = benchmark(lambda: _write_cycle(0))
+    assert handle.fast and handle.rounds == 1
+
+
+def test_lucky_write_with_fw_failures(benchmark):
+    handle = benchmark(lambda: _write_cycle(CONFIG.fw))
+    assert handle.fast and handle.rounds == 1
+
+
+def test_write_beyond_fw_failures_is_slow(benchmark):
+    handle = benchmark(lambda: _write_cycle(CONFIG.t))
+    assert not handle.fast and handle.rounds == 3
+
+
+def test_e1_table_reproduces_theorem_3(benchmark):
+    table = benchmark.pedantic(experiment_fast_writes, rounds=1, iterations=1)
+    for row in table.rows:
+        if row["failure_kind"].startswith("crash"):
+            assert (row["fast_fraction"] == 1.0) == (row["failures"] <= CONFIG.fw)
+        assert row["atomic"]

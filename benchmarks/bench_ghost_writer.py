@@ -1,0 +1,20 @@
+"""E9 — contending with the ghost writer (Appendix E, Theorem 13)."""
+
+from repro.bench.experiments import experiment_ghost_writer
+
+
+def test_e9_ghost_writer_disruption_is_bounded(benchmark):
+    table = benchmark.pedantic(
+        experiment_ghost_writer, kwargs={"reads_after_crash": 6}, rounds=1, iterations=1
+    )
+    assert all(row["slow_reads"] <= 3 for row in table.rows)
+    assert all(row["atomic"] for row in table.rows)
+
+
+def test_e9_recovery_is_immediate_after_one_slow_read(benchmark):
+    table = benchmark.pedantic(
+        experiment_ghost_writer, kwargs={"t": 2, "b": 1, "reads_after_crash": 8}, rounds=1, iterations=1
+    )
+    # Once some read has written the ghost (or committed) value back, every
+    # later read is fast again: the first fast read appears early.
+    assert all(row["first_fast_read_index"] <= 3 for row in table.rows)

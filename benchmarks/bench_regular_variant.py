@@ -1,0 +1,39 @@
+"""E8 — the regular variant vs malicious readers (Appendix D, Proposition 7)."""
+
+from repro.bench.experiments import experiment_regular_variant
+from repro.bench.harness import build_cluster
+from repro.variants.regular import MaliciousWritebackReader, RegularStorageProtocol
+from repro.verify.regularity import check_regularity
+
+
+def _poisoned_cycle(t, b, failures):
+    suite = RegularStorageProtocol.for_parameters(t, b, num_readers=2)
+    cluster = build_cluster(suite, crash_servers=failures)
+    cluster.write("genuine")
+    cluster.run_for(5.0)
+    attacker = MaliciousWritebackReader("r-mal", suite.config)
+    cluster._apply_effects("r-mal", attacker.read())
+    cluster.run_for(5.0)
+    read = cluster.read("r1")
+    assert check_regularity(cluster.history()).ok
+    return read
+
+
+def test_regular_read_under_malicious_reader(benchmark):
+    read = benchmark(lambda: _poisoned_cycle(2, 1, failures=0))
+    assert read.value == "genuine"
+    assert read.fast
+
+
+def test_regular_read_with_t_failures_and_malicious_reader(benchmark):
+    read = benchmark(lambda: _poisoned_cycle(2, 1, failures=2))
+    assert read.value == "genuine"
+    assert read.fast  # fr = t in the regular variant
+
+
+def test_e8_table(benchmark):
+    table = benchmark.pedantic(experiment_regular_variant, rounds=1, iterations=1)
+    regular_rows = [row for row in table.rows if row["protocol"] == "lucky-regular"]
+    atomic_rows = [row for row in table.rows if row["protocol"] == "lucky-atomic"]
+    assert all(row["regular"] for row in regular_rows)
+    assert any(not row["atomic"] for row in atomic_rows)

@@ -1,0 +1,33 @@
+"""A2 — scalability: message complexity and latency vs the resilience target t."""
+
+import pytest
+
+from repro.bench.experiments import experiment_scalability
+from repro.bench.harness import build_cluster
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+
+
+@pytest.mark.parametrize("t,b", [(1, 0), (2, 1), (3, 1), (4, 2)])
+def test_write_cost_grows_with_cluster_size(benchmark, t, b):
+    config = SystemConfig.balanced(t, b, num_readers=1)
+
+    def cycle():
+        cluster = build_cluster(LuckyAtomicProtocol(config))
+        handle = cluster.write("payload")
+        return cluster, handle
+
+    cluster, handle = benchmark(cycle)
+    assert handle.fast
+    # One round-trip with every server: 2S protocol messages for the write.
+    assert cluster.trace.total_messages() == 2 * config.num_servers
+
+
+def test_a2_table(benchmark):
+    table = benchmark.pedantic(experiment_scalability, kwargs={"max_t": 4}, rounds=1, iterations=1)
+    messages = table.column("messages_per_write")
+    servers = table.column("servers")
+    assert all(m == pytest.approx(2 * s) for m, s in zip(messages, servers))
+    latencies = table.column("write_latency")
+    # Latency is round-bound, not size-bound: it stays flat as t grows.
+    assert max(latencies) - min(latencies) < 1e-6

@@ -1,0 +1,28 @@
+"""E3 — the tight trade-off ``fw + fr <= t - b`` (Propositions 1 and 2).
+
+Sweeps the threshold frontier and the number of actual failures and checks the
+sharp shape: writes are fast exactly up to ``fw`` failures and reads exactly up
+to ``fr``.
+"""
+
+from repro.bench.experiments import experiment_threshold_tradeoff
+
+
+def test_e3_frontier_sweep(benchmark):
+    table = benchmark.pedantic(
+        experiment_threshold_tradeoff, kwargs={"t": 2, "b": 0}, rounds=1, iterations=1
+    )
+    for row in table.rows:
+        assert row["write_fast"] == (row["failures"] <= row["fw"])
+        assert row["read_fast"] == (row["failures"] <= row["fr"])
+        assert row["atomic"]
+
+
+def test_e3_frontier_sweep_with_byzantine_budget(benchmark):
+    table = benchmark.pedantic(
+        experiment_threshold_tradeoff, kwargs={"t": 3, "b": 1}, rounds=1, iterations=1
+    )
+    for row in table.rows:
+        assert row["write_fast"] == (row["failures"] <= row["fw"])
+        assert row["read_fast"] == (row["failures"] <= row["fr"])
+        assert row["atomic"]

@@ -1,0 +1,26 @@
+"""E6 — trading a few reads (Appendix A / Proposition 3).
+
+With ``fw = t - b`` and ``fr = t``, any sequence of consecutive lucky READs
+contains at most one slow READ — the one that "finishes" a fast WRITE whose
+value survived on fewer than a fast-read quorum of servers.
+"""
+
+from repro.bench.experiments import experiment_trading_reads
+
+
+def test_e6_sequence_contains_at_most_one_slow_read(benchmark):
+    table = benchmark.pedantic(
+        experiment_trading_reads, kwargs={"t": 2, "b": 0, "sequence_length": 6}, rounds=1, iterations=1
+    )
+    assert all(row["max_slow_per_sequence"] <= 1 for row in table.rows)
+    assert all(row["atomic"] for row in table.rows)
+    worst_case = [row for row in table.rows if row["failures_after_write"] == 2]
+    assert worst_case and worst_case[0]["slow_reads_in_sequence"] == 1
+
+
+def test_e6_with_byzantine_budget(benchmark):
+    table = benchmark.pedantic(
+        experiment_trading_reads, kwargs={"t": 2, "b": 1, "sequence_length": 5}, rounds=1, iterations=1
+    )
+    assert all(row["max_slow_per_sequence"] <= 1 for row in table.rows)
+    assert all(row["atomic"] for row in table.rows)

@@ -1,0 +1,49 @@
+"""E7 — two-round WRITEs with fast lucky READs (Appendix C, Propositions 5-6)."""
+
+import pytest
+
+from repro.bench.experiments import experiment_two_round_write
+from repro.bench.harness import build_cluster
+from repro.core.config import ConfigurationError, SystemConfig
+from repro.variants.two_round import TwoRoundWriteProtocol
+
+
+def _write_read_cycle(t, b, fr, failures):
+    cluster = build_cluster(
+        TwoRoundWriteProtocol.for_parameters(t, b, fr), crash_servers=failures
+    )
+    write = cluster.write("payload")
+    cluster.run_for(5.0)
+    read = cluster.read("r1")
+    return write, read
+
+
+def test_two_round_write_latency(benchmark):
+    write, read = benchmark(lambda: _write_read_cycle(2, 1, 1, failures=0))
+    assert write.rounds == 2
+    assert read.fast
+
+
+def test_two_round_write_with_fr_failures(benchmark):
+    write, read = benchmark(lambda: _write_read_cycle(2, 1, 1, failures=1))
+    assert write.rounds == 2
+    assert read.fast and read.value == "payload"
+
+
+def test_e7_table(benchmark):
+    table = benchmark.pedantic(experiment_two_round_write, rounds=1, iterations=1)
+    assert all(row["max_write_rounds"] <= 2 for row in table.rows)
+    assert all(row["read_fast_fraction"] == 1.0 for row in table.rows)
+    assert all(row["atomic"] for row in table.rows)
+
+
+def test_server_bound_is_necessary(benchmark):
+    def attempt_under_provisioned():
+        config = SystemConfig(t=2, b=1, fw=0, fr=1, enforce_tradeoff=False)
+        try:
+            TwoRoundWriteProtocol(config)
+            return False
+        except ConfigurationError:
+            return True
+
+    assert benchmark(attempt_under_provisioned)

@@ -1,0 +1,46 @@
+"""E4 — the upper bound made observable (Proposition 2).
+
+Benchmarks the adversarial scenario in which a protocol granting fast
+operations beyond ``fw + fr <= t - b`` returns a never-written value, and
+verifies the paper's algorithm is immune under the identical adversary.
+"""
+
+from repro.bench.adversary import ForgeQueryReplyStrategy, NaiveFastProtocol
+from repro.bench.experiments import experiment_upper_bound_adversary
+from repro.bench.harness import build_cluster
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.sim.byzantine import ForgeHighTimestampStrategy
+from repro.verify.atomicity import check_atomicity
+
+
+CONFIG = SystemConfig(t=1, b=1, fw=0, fr=0, num_readers=1)
+
+
+def _attack(protocol, strategy):
+    cluster = build_cluster(protocol, byzantine={"s1": strategy})
+    cluster.write("legit")
+    cluster.run_for(5.0)
+    cluster.read("r1")
+    cluster.run_for(5.0)
+    return check_atomicity(cluster.history())
+
+
+def test_naive_fast_protocol_is_violated(benchmark):
+    result = benchmark(lambda: _attack(NaiveFastProtocol(CONFIG), ForgeQueryReplyStrategy()))
+    assert not result.ok
+    assert result.violations[0].property_name == "no-creation"
+
+
+def test_paper_algorithm_resists_same_adversary(benchmark):
+    result = benchmark(
+        lambda: _attack(LuckyAtomicProtocol(CONFIG), ForgeHighTimestampStrategy())
+    )
+    assert result.ok
+
+
+def test_e4_table(benchmark):
+    table = benchmark.pedantic(experiment_upper_bound_adversary, rounds=1, iterations=1)
+    rows = {row["protocol"]: row for row in table.rows}
+    assert rows["naive-fast (UNSAFE)"]["violations"] >= 1
+    assert rows["lucky-atomic"]["violations"] == 0

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark works on the deterministic simulator unless it explicitly
+targets the asyncio runtime (bench_asyncio_latency).  Latencies reported by
+simulator benchmarks measure the Python cost of executing the protocol's
+message handlers — the *shape* comparisons (who needs more rounds, where the
+crossovers sit) are asserted inside the benchmarks themselves and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.sim.cluster import SimCluster
+from repro.sim.latency import FixedDelay
+
+
+@pytest.fixture
+def canonical_config() -> SystemConfig:
+    """The t=2, b=1 configuration used throughout the paper's examples."""
+    return SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+
+@pytest.fixture
+def make_cluster():
+    def _make(config: SystemConfig, **kwargs) -> SimCluster:
+        kwargs.setdefault("delay_model", FixedDelay(1.0))
+        return SimCluster(LuckyAtomicProtocol(config), **kwargs)
+
+    return _make

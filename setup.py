@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` keeps working on environments whose setuptools lacks
+PEP 660 editable-wheel support (e.g. offline boxes without the ``wheel``
+package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Baseline protocols re-implemented over the same substrate for comparison."""
+
+from .abd import ABDProtocol, ABDReader, ABDServer, ABDWriter
+from .slow_robust import SlowRobustProtocol
+
+__all__ = [
+    "ABDProtocol",
+    "ABDReader",
+    "ABDServer",
+    "ABDWriter",
+    "SlowRobustProtocol",
+]

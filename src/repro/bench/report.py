@@ -1,0 +1,31 @@
+"""Report generation for the experiment tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .experiments import ALL_EXPERIMENTS, run_all_experiments
+from .harness import ExperimentTable
+
+
+def format_report(tables: Iterable[ExperimentTable]) -> str:
+    """Concatenate the text renderings of *tables*."""
+    return "\n\n".join(table.format() for table in tables)
+
+
+def format_markdown_report(tables: Iterable[ExperimentTable]) -> str:
+    """Concatenate the markdown renderings of *tables*."""
+    return "\n\n".join(table.to_markdown() for table in tables)
+
+
+def generate_report(
+    experiment_ids: Optional[List[str]] = None, markdown: bool = False
+) -> str:
+    """Run the requested experiments (default: all) and render the report."""
+    if experiment_ids is None:
+        tables = run_all_experiments()
+    else:
+        tables = [ALL_EXPERIMENTS[experiment_id]() for experiment_id in experiment_ids]
+    if markdown:
+        return format_markdown_report(tables)
+    return format_report(tables)

@@ -1,0 +1,85 @@
+"""Core implementation of the paper's algorithm (Section 3, Figures 1-3)."""
+
+from .automaton import (
+    Automaton,
+    ClientAutomaton,
+    Effects,
+    OperationComplete,
+    Send,
+    StartTimer,
+)
+from .config import (
+    ConfigurationError,
+    SystemConfig,
+    feasible_threshold_pairs,
+    frontier_threshold_pairs,
+)
+from .messages import (
+    BaselineQuery,
+    BaselineQueryReply,
+    BaselineStore,
+    BaselineStoreAck,
+    Message,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    Write,
+    WriteAck,
+)
+from .predicates import ServerView, ViewTable
+from .protocol import LuckyAtomicProtocol, ProtocolSuite
+from .reader import AtomicReader
+from .server import StorageServer
+from .types import (
+    BOTTOM,
+    INITIAL_PAIR,
+    INITIAL_READ_TIMESTAMP,
+    INITIAL_TIMESTAMP,
+    FreezeDirective,
+    FrozenEntry,
+    NewReadReport,
+    TimestampValue,
+    is_bottom,
+)
+from .writer import AtomicWriter
+
+__all__ = [
+    "Automaton",
+    "ClientAutomaton",
+    "Effects",
+    "OperationComplete",
+    "Send",
+    "StartTimer",
+    "ConfigurationError",
+    "SystemConfig",
+    "feasible_threshold_pairs",
+    "frontier_threshold_pairs",
+    "Message",
+    "PreWrite",
+    "PreWriteAck",
+    "Write",
+    "WriteAck",
+    "Read",
+    "ReadAck",
+    "BaselineQuery",
+    "BaselineQueryReply",
+    "BaselineStore",
+    "BaselineStoreAck",
+    "ServerView",
+    "ViewTable",
+    "LuckyAtomicProtocol",
+    "ProtocolSuite",
+    "AtomicReader",
+    "StorageServer",
+    "AtomicWriter",
+    "BOTTOM",
+    "INITIAL_PAIR",
+    "INITIAL_READ_TIMESTAMP",
+    "INITIAL_TIMESTAMP",
+    "FreezeDirective",
+    "FrozenEntry",
+    "NewReadReport",
+    "TimestampValue",
+    "is_bottom",
+]

@@ -1,0 +1,153 @@
+"""Sans-I/O building blocks shared by every protocol role.
+
+All clients and servers in this library are *automata*: they consume a message
+(or a timer expiration) and emit :class:`Effects` — messages to send, timers to
+start and, for clients, operation completions.  The discrete-event simulator
+(:mod:`repro.sim`) and the asyncio runtime (:mod:`repro.runtime`) both drive
+these automata, so the protocol logic is written once and exercised under both
+deterministic virtual time and real wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from .messages import Message
+
+
+@dataclass(frozen=True)
+class Send:
+    """An instruction to deliver *message* to the process *destination*."""
+
+    destination: str
+    message: Message
+
+
+@dataclass(frozen=True)
+class StartTimer:
+    """An instruction to fire :meth:`Automaton.on_timer` after *delay* time units."""
+
+    timer_id: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class OperationComplete:
+    """Emitted by a client automaton when an invoked operation returns.
+
+    Attributes
+    ----------
+    op_id:
+        Client-local operation sequence number.
+    kind:
+        ``"write"`` or ``"read"``.
+    value:
+        The written value (writes) or the returned value (reads).
+    rounds:
+        Number of communication round-trips the operation used.  ``rounds == 1``
+        means the operation was *fast* in the paper's sense.
+    fast:
+        Convenience flag, equivalent to ``rounds == 1``.
+    metadata:
+        Free-form per-protocol details (e.g. whether a write-back happened).
+    """
+
+    op_id: int
+    kind: str
+    value: Any
+    rounds: int
+    fast: bool
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class Effects:
+    """Everything an automaton wants the runtime to do after one input."""
+
+    sends: List[Send] = field(default_factory=list)
+    timers: List[StartTimer] = field(default_factory=list)
+    completions: List[OperationComplete] = field(default_factory=list)
+
+    def send(self, destination: str, message: Message) -> None:
+        self.sends.append(Send(destination, message))
+
+    def broadcast(self, destinations: Sequence[str], message: Message) -> None:
+        for destination in destinations:
+            self.sends.append(Send(destination, message))
+
+    def start_timer(self, timer_id: str, delay: float) -> None:
+        self.timers.append(StartTimer(timer_id, delay))
+
+    def complete(self, completion: OperationComplete) -> None:
+        self.completions.append(completion)
+
+    def merge(self, other: "Effects") -> "Effects":
+        """Append *other*'s effects to this one (returns ``self``)."""
+        self.sends.extend(other.sends)
+        self.timers.extend(other.timers)
+        self.completions.extend(other.completions)
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return not (self.sends or self.timers or self.completions)
+
+
+class Automaton:
+    """Base class for every protocol role (writer, reader, server)."""
+
+    def __init__(self, process_id: str) -> None:
+        self.process_id = process_id
+
+    # -- inputs -------------------------------------------------------------
+    def handle_message(self, message: Message) -> Effects:
+        """Process one incoming message; default implementation ignores it."""
+        return Effects()
+
+    def on_timer(self, timer_id: str) -> Effects:
+        """Process a timer expiration; default implementation ignores it."""
+        return Effects()
+
+    # -- diagnostics ---------------------------------------------------------
+    def describe(self) -> dict:
+        """Structured snapshot of the automaton's state (for traces/tests)."""
+        return {"process_id": self.process_id}
+
+
+class ClientAutomaton(Automaton):
+    """Base class for client roles; adds invocation bookkeeping.
+
+    Concrete clients implement :meth:`_begin_operation` and keep at most one
+    operation outstanding at a time (the paper's well-formedness assumption,
+    Section 2.2).
+    """
+
+    def __init__(self, process_id: str, timer_delay: float = 10.0) -> None:
+        super().__init__(process_id)
+        self.timer_delay = timer_delay
+        self._op_counter = 0
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether an operation is currently outstanding."""
+        return self._busy
+
+    def _next_op_id(self) -> int:
+        self._op_counter += 1
+        return self._op_counter
+
+    def _operation_started(self) -> None:
+        if self._busy:
+            raise RuntimeError(
+                f"client {self.process_id} invoked an operation while another "
+                "is still outstanding (violates well-formedness)"
+            )
+        self._busy = True
+
+    def _operation_finished(self) -> None:
+        self._busy = False
+
+    def _timer_id(self, op_id: int, label: str) -> str:
+        return f"{self.process_id}/op{op_id}/{label}"

@@ -1,0 +1,153 @@
+"""Protocol messages.
+
+One dataclass per message of Figures 1-3 (and reused by the Appendix C and D
+variants as well as the baselines).  Every message records its logical sender
+so that state machines never have to trust transport metadata; the simulator's
+Byzantine strategies may of course forge the field, exactly as a malicious
+server can in the paper's model (it cannot, however, inject messages into
+channels between two non-malicious processes — the transports enforce that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from .types import FrozenEntry, FreezeDirective, NewReadReport, TimestampValue
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for every protocol message."""
+
+    sender: str
+
+    @property
+    def kind(self) -> str:
+        """Short name used in traces and transport framing."""
+        return type(self).__name__
+
+
+# --------------------------------------------------------------------------- #
+# Writer <-> server messages (Fig. 1 / Fig. 3)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PreWrite(Message):
+    """``PW <ts, pw, w, frozen>`` — first round of a WRITE (Fig. 1, line 4)."""
+
+    ts: int = 0
+    pw: TimestampValue = TimestampValue(0)
+    w: TimestampValue = TimestampValue(0)
+    frozen: Tuple[FreezeDirective, ...] = ()
+
+
+@dataclass(frozen=True)
+class PreWriteAck(Message):
+    """``PW_ACK <ts, newread>`` — server reply to a PreWrite (Fig. 3, line 8)."""
+
+    ts: int = 0
+    newread: Tuple[NewReadReport, ...] = ()
+
+
+@dataclass(frozen=True)
+class Write(Message):
+    """``W <round, ts, pw>`` — W-phase round or reader write-back round.
+
+    ``frozen`` is only populated by the Appendix C variant, whose writer sends
+    freeze directives in the W message instead of the PW message (Fig. 6).
+    """
+
+    round: int = 2
+    ts: int = 0
+    pair: TimestampValue = TimestampValue(0)
+    frozen: Tuple[FreezeDirective, ...] = ()
+    from_writer: bool = True
+
+
+@dataclass(frozen=True)
+class WriteAck(Message):
+    """``WRITE_ACK <round, ts>`` — server reply to a W / write-back message."""
+
+    round: int = 2
+    ts: int = 0
+
+
+# --------------------------------------------------------------------------- #
+# Reader <-> server messages (Fig. 2 / Fig. 3)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Read(Message):
+    """``READ <tsr, rnd>`` — one round of a READ (Fig. 2, line 16)."""
+
+    read_ts: int = 0
+    round: int = 1
+
+
+@dataclass(frozen=True)
+class ReadAck(Message):
+    """``READ_ACK <tsr, rnd, pw, w, vw, frozen_rj>`` (Fig. 3, line 11)."""
+
+    read_ts: int = 0
+    round: int = 1
+    pw: TimestampValue = TimestampValue(0)
+    w: TimestampValue = TimestampValue(0)
+    vw: TimestampValue = TimestampValue(0)
+    frozen: FrozenEntry = FrozenEntry()
+
+
+# --------------------------------------------------------------------------- #
+# Messages used by the baselines (ABD and the always-slow robust store)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BaselineQuery(Message):
+    """Query phase of a baseline protocol (read the highest stored pair)."""
+
+    op_id: int = 0
+
+
+@dataclass(frozen=True)
+class BaselineQueryReply(Message):
+    """Reply to a :class:`BaselineQuery` carrying the server's current pair."""
+
+    op_id: int = 0
+    pair: TimestampValue = TimestampValue(0)
+    echo_pair: TimestampValue = TimestampValue(0)
+
+
+@dataclass(frozen=True)
+class BaselineStore(Message):
+    """Store phase of a baseline protocol (write-back / write a pair)."""
+
+    op_id: int = 0
+    pair: TimestampValue = TimestampValue(0)
+    phase: int = 1
+
+
+@dataclass(frozen=True)
+class BaselineStoreAck(Message):
+    """Acknowledgement of a :class:`BaselineStore`."""
+
+    op_id: int = 0
+    phase: int = 1
+
+
+ALL_MESSAGE_TYPES = (
+    PreWrite,
+    PreWriteAck,
+    Write,
+    WriteAck,
+    Read,
+    ReadAck,
+    BaselineQuery,
+    BaselineQueryReply,
+    BaselineStore,
+    BaselineStoreAck,
+)
+
+MESSAGE_TYPE_BY_NAME = {cls.__name__: cls for cls in ALL_MESSAGE_TYPES}

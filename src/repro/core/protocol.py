@@ -1,0 +1,100 @@
+"""Protocol suites: factories bundling the writer, reader and server automata.
+
+A :class:`ProtocolSuite` is the unit the simulation cluster and the asyncio
+runtime consume: given a :class:`~repro.core.config.SystemConfig` it creates
+one automaton per role.  The core algorithm's suite is
+:class:`LuckyAtomicProtocol`; the Appendix C/D variants and the baselines
+provide their own suites with the same interface, which is what lets the
+benchmark harness compare protocols apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .automaton import Automaton, ClientAutomaton
+from .config import SystemConfig
+from .reader import AtomicReader
+from .server import StorageServer
+from .writer import AtomicWriter
+
+
+class ProtocolSuite:
+    """Factory for the three roles of a storage protocol."""
+
+    #: Human-readable protocol name used in benchmark reports.
+    name = "abstract"
+
+    #: Consistency level the protocol claims ("atomic", "regular", "safe").
+    consistency = "atomic"
+
+    def __init__(self, config: SystemConfig, timer_delay: float = 10.0) -> None:
+        self.config = config
+        self.timer_delay = timer_delay
+
+    # -- factories -----------------------------------------------------------
+    def create_server(self, server_id: str) -> Automaton:
+        raise NotImplementedError
+
+    def create_writer(self) -> ClientAutomaton:
+        raise NotImplementedError
+
+    def create_reader(self, reader_id: str) -> ClientAutomaton:
+        raise NotImplementedError
+
+    # -- convenience ----------------------------------------------------------
+    def create_all(self) -> Dict[str, Automaton]:
+        """Instantiate every process of the deployment keyed by process id."""
+        processes: Dict[str, Automaton] = {}
+        for server_id in self.config.server_ids():
+            processes[server_id] = self.create_server(server_id)
+        processes[self.config.writer_id] = self.create_writer()
+        for reader_id in self.config.reader_ids():
+            processes[reader_id] = self.create_reader(reader_id)
+        return processes
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "consistency": self.consistency,
+            "servers": self.config.num_servers,
+            "t": self.config.t,
+            "b": self.config.b,
+            "fw": self.config.fw,
+            "fr": self.config.fr,
+        }
+
+
+class LuckyAtomicProtocol(ProtocolSuite):
+    """The paper's core algorithm (Section 3, Figures 1-3).
+
+    Optimally resilient (``S = 2t + b + 1``) SWMR atomic storage in which every
+    lucky WRITE is fast despite ``fw`` failures and every lucky READ is fast
+    despite ``fr`` failures, provided ``fw + fr <= t - b``.
+    """
+
+    name = "lucky-atomic"
+    consistency = "atomic"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        timer_delay: float = 10.0,
+        count_unresponsive: bool = False,
+    ) -> None:
+        super().__init__(config, timer_delay=timer_delay)
+        self.count_unresponsive = count_unresponsive
+
+    def create_server(self, server_id: str) -> StorageServer:
+        return StorageServer(server_id, self.config)
+
+    def create_writer(self) -> AtomicWriter:
+        return AtomicWriter(self.config, timer_delay=self.timer_delay)
+
+    def create_reader(self, reader_id: str) -> AtomicReader:
+        return AtomicReader(
+            reader_id,
+            self.config,
+            timer_delay=self.timer_delay,
+            count_unresponsive=self.count_unresponsive,
+        )

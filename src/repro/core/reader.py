@@ -1,0 +1,254 @@
+"""Reader automaton of the core algorithm (Figure 2).
+
+A READ proceeds in rounds.  In every round the reader sends ``READ<tsr, rnd>``
+to all servers and waits for ``S - t`` valid acknowledgements; in the first
+round it additionally waits for a timer set to the synchronous round-trip
+bound, so that in a synchronous execution it hears from *every* correct server.
+At the end of a round the reader computes the candidate set
+
+``C = { c : (safe(c) and highCand(c)) or safeFrozen(c) }``
+
+and, once ``C`` is non-empty, selects the highest-timestamp candidate.  If that
+happened at the end of round 1 and the ``fast`` predicate holds, the READ
+returns immediately (it was *fast*); otherwise the reader writes the selected
+pair back using the three-round W pattern before returning.
+
+Rounds after the first announce the reader's fresh read timestamp to the
+servers (Fig. 3, line 10) which, via the ``newread`` piggyback, lets the writer
+freeze a value for this READ and thereby guarantees termination even under an
+unbounded number of concurrent WRITEs (Theorem 2, case b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from .automaton import ClientAutomaton, Effects, OperationComplete
+from .config import SystemConfig
+from .messages import Message, Read, ReadAck, Write, WriteAck
+from .predicates import ViewTable
+from .types import INITIAL_READ_TIMESTAMP, TimestampValue, is_bottom
+
+
+@dataclass
+class _ReadAttempt:
+    """Bookkeeping for the currently outstanding READ operation."""
+
+    op_id: int
+    read_ts: int
+    round: int = 0
+    phase: str = "read"  # "read", "writeback", "done"
+    round_responders: Set[str] = field(default_factory=set)
+    timer_expired: bool = False
+    selected: Optional[TimestampValue] = None
+    writeback_round: int = 0
+    writeback_acks: Set[str] = field(default_factory=set)
+    read_rounds_used: int = 0
+    writeback_rounds_used: int = 0
+    did_writeback: bool = False
+
+
+class AtomicReader(ClientAutomaton):
+    """A reader ``r_j`` of the SWMR atomic storage (Fig. 2)."""
+
+    #: Number of write-back rounds (the core algorithm mirrors the 3-round
+    #: WRITE pattern; the Appendix C variant overrides this with 2).
+    WRITEBACK_ROUNDS = 3
+
+    #: Whether slow READs write the selected value back before returning.  The
+    #: Appendix D regular variant sets this to ``False`` — dropping write-backs
+    #: is exactly what trades atomicity for regularity and what makes malicious
+    #: readers harmless.
+    DO_WRITEBACK = True
+
+    def __init__(
+        self,
+        reader_id: str,
+        config: SystemConfig,
+        timer_delay: float = 10.0,
+        count_unresponsive: bool = False,
+        enable_fast_path: bool = True,
+        wait_for_timer: bool = True,
+    ) -> None:
+        """Create the reader.
+
+        ``enable_fast_path=False`` makes every READ write back before returning
+        (the conservative, "plan for the worst only" behaviour used by the
+        always-slow baseline).  ``wait_for_timer=False`` removes the round-1
+        timer wait, so the reader acts as soon as ``S - t`` replies arrive.
+        """
+        super().__init__(reader_id, timer_delay=timer_delay)
+        self.config = config
+        self.enable_fast_path = enable_fast_path
+        self.wait_for_timer = wait_for_timer
+        self.read_ts: int = INITIAL_READ_TIMESTAMP
+        self.views = ViewTable(config, count_unresponsive=count_unresponsive)
+        self._attempt: Optional[_ReadAttempt] = None
+
+    # ------------------------------------------------------------ invocation
+    def read(self) -> Effects:
+        """Invoke ``READ()``; returns the effects of its first round."""
+        self._operation_started()
+        op_id = self._next_op_id()
+        self.read_ts += 1
+        self.views.reset()
+        self._attempt = _ReadAttempt(op_id=op_id, read_ts=self.read_ts)
+        return self._start_read_round()
+
+    # ----------------------------------------------------------------- input
+    def handle_message(self, message: Message) -> Effects:
+        if isinstance(message, ReadAck):
+            return self._on_read_ack(message)
+        if isinstance(message, WriteAck):
+            return self._on_writeback_ack(message)
+        return Effects()
+
+    def on_timer(self, timer_id: str) -> Effects:
+        attempt = self._attempt
+        if attempt is None or attempt.phase != "read":
+            return Effects()
+        if timer_id != self._timer_id(attempt.op_id, "read-round-1"):
+            return Effects()
+        attempt.timer_expired = True
+        return self._maybe_finish_round()
+
+    # ------------------------------------------------------------ read rounds
+    def _start_read_round(self) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.round += 1
+        attempt.read_rounds_used += 1
+        attempt.round_responders = set()
+        effects = Effects()
+        if attempt.round == 1:
+            if self.wait_for_timer:
+                effects.start_timer(
+                    self._timer_id(attempt.op_id, "read-round-1"), self.timer_delay
+                )
+            else:
+                attempt.timer_expired = True
+        message = Read(
+            sender=self.process_id, read_ts=attempt.read_ts, round=attempt.round
+        )
+        effects.broadcast(self.config.server_ids(), message)
+        return effects
+
+    def _on_read_ack(self, ack: ReadAck) -> Effects:
+        attempt = self._attempt
+        if attempt is None or attempt.phase != "read":
+            return Effects()
+        if ack.read_ts != attempt.read_ts:
+            return Effects()  # stale or forged acknowledgement
+        # Any acknowledgement of the current READ refreshes the view table
+        # (Fig. 2, lines 23-25 replace the view when the round number grows).
+        self.views.record_ack(ack)
+        if ack.round == attempt.round:
+            attempt.round_responders.add(ack.sender)
+        return self._maybe_finish_round()
+
+    def _round_wait_satisfied(self, attempt: _ReadAttempt) -> bool:
+        """Fig. 2, line 17: ``S - t`` replies and (timer expired or rnd > 1)."""
+        if len(attempt.round_responders) < self.config.round_quorum:
+            return False
+        if attempt.round == 1 and not attempt.timer_expired:
+            return False
+        return True
+
+    def _maybe_finish_round(self) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        if not self._round_wait_satisfied(attempt):
+            return Effects()
+
+        selected = self.views.select(attempt.read_ts)
+        if selected is None:
+            # C is empty: run another round (Fig. 2, line 19 "until C != ∅").
+            return self._start_read_round()
+
+        attempt.selected = selected
+        is_fast = (
+            self.enable_fast_path
+            and attempt.round == 1
+            and self._fast_predicate(selected)
+        )
+        if is_fast or not self.DO_WRITEBACK:
+            return self._complete()
+        attempt.did_writeback = True
+        attempt.phase = "writeback"
+        return self._start_writeback_round(1)
+
+    def _fast_predicate(self, selected: TimestampValue) -> bool:
+        """The ``fast(c)`` predicate deciding whether the write-back is skipped.
+
+        The core algorithm uses ``fastpw or fastvw`` (Fig. 2, line 7); the
+        Appendix C variant overrides this with its own quorum.
+        """
+        return self.views.fast(selected)
+
+    # -------------------------------------------------------------- writeback
+    def _start_writeback_round(self, round_number: int) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.writeback_round = round_number
+        attempt.writeback_acks = set()
+        attempt.writeback_rounds_used += 1
+        effects = Effects()
+        message = Write(
+            sender=self.process_id,
+            round=round_number,
+            ts=attempt.read_ts,
+            pair=attempt.selected,
+            from_writer=False,
+        )
+        effects.broadcast(self.config.server_ids(), message)
+        return effects
+
+    def _on_writeback_ack(self, ack: WriteAck) -> Effects:
+        attempt = self._attempt
+        if attempt is None or attempt.phase != "writeback":
+            return Effects()
+        if ack.round != attempt.writeback_round or ack.ts != attempt.read_ts:
+            return Effects()
+        attempt.writeback_acks.add(ack.sender)
+        if len(attempt.writeback_acks) < self.config.round_quorum:
+            return Effects()
+        if attempt.writeback_round < self.WRITEBACK_ROUNDS:
+            return self._start_writeback_round(attempt.writeback_round + 1)
+        return self._complete()
+
+    # ------------------------------------------------------------ completion
+    def _complete(self) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.phase = "done"
+        self._attempt = None
+        self._operation_finished()
+        rounds = attempt.read_rounds_used + attempt.writeback_rounds_used
+        selected = attempt.selected
+        assert selected is not None
+        effects = Effects()
+        effects.complete(
+            OperationComplete(
+                op_id=attempt.op_id,
+                kind="read",
+                value=selected.val,
+                rounds=rounds,
+                fast=rounds == 1,
+                metadata={
+                    "ts": selected.ts,
+                    "read_rounds": attempt.read_rounds_used,
+                    "writeback": attempt.did_writeback,
+                    "is_bottom": is_bottom(selected.val),
+                },
+            )
+        )
+        return effects
+
+    # ------------------------------------------------------------ inspection
+    def describe(self) -> dict:
+        return {
+            "process_id": self.process_id,
+            "read_ts": self.read_ts,
+            "busy": self.busy,
+        }

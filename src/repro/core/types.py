@@ -1,0 +1,174 @@
+"""Core value types shared by every protocol in the library.
+
+The paper manipulates *timestamp-value pairs* everywhere: the writer assigns a
+monotonically increasing timestamp to each written value (Fig. 1, line 3), the
+servers store such pairs in their ``pw``, ``w`` and ``vw`` fields (Fig. 3) and
+the reader predicates compare pairs by timestamp (Fig. 2, lines 1-10).  This
+module defines those pairs along with the ``frozen`` entries used by the
+freezing mechanism and a few small helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+# The paper uses ``ts0`` as the initial timestamp and ``bottom`` as the initial
+# value of the storage (Section 2.2).  ``bottom`` is not a valid WRITE input.
+INITIAL_TIMESTAMP = 0
+
+# Sentinel object for the initial value of the register.  The sentinel is a
+# dedicated singleton (rather than ``None``) so that examples and tests can
+# legitimately write ``None`` if they wish.
+class _Bottom:
+    """Singleton sentinel for the register's initial value (the paper's ⊥)."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "⊥"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+BOTTOM = _Bottom()
+
+
+def is_bottom(value: Any) -> bool:
+    """Return ``True`` if *value* is the initial register value ⊥."""
+    return isinstance(value, _Bottom)
+
+
+@dataclass(frozen=True, order=False)
+class TimestampValue:
+    """A timestamp-value pair ``c = <ts, val>`` as used throughout the paper.
+
+    Ordering is by timestamp only, which mirrors how the algorithms compare
+    pairs; equality considers both fields, which is what the reader predicates
+    (e.g. ``invalidw``) need to detect two different values carrying the same
+    timestamp (only possible if some server is malicious, Lemma 2).
+    """
+
+    ts: int
+    val: Any = BOTTOM
+
+    def newer_than(self, other: "TimestampValue") -> bool:
+        """``True`` iff this pair carries a strictly higher timestamp."""
+        return self.ts > other.ts
+
+    def at_least(self, other: "TimestampValue") -> bool:
+        """``True`` iff this pair carries a timestamp >= the other's."""
+        return self.ts >= other.ts
+
+    def conflicts_with(self, other: "TimestampValue") -> bool:
+        """Same timestamp but different value (impossible for honest data)."""
+        return self.ts == other.ts and self.val != other.val
+
+    def replace_if_newer(self, candidate: "TimestampValue") -> "TimestampValue":
+        """The server ``update()`` helper of Fig. 3 (line 17)."""
+        if candidate.ts > self.ts:
+            return candidate
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.ts},{self.val!r}>"
+
+
+#: The initial pair ``<ts0, ⊥>`` stored by every process.
+INITIAL_PAIR = TimestampValue(INITIAL_TIMESTAMP, BOTTOM)
+
+#: The initial reader timestamp ``tsr0``.
+INITIAL_READ_TIMESTAMP = 0
+
+
+@dataclass(frozen=True)
+class FrozenEntry:
+    """A frozen value for one reader: ``<pw, tsr>`` stored in ``frozen_rj``.
+
+    The writer freezes the current pre-written pair for a reader whose slow
+    READ it detected via the ``newread`` piggyback (Fig. 1, ``freezevalues``);
+    servers store the frozen pair together with the read timestamp it was
+    frozen for (Fig. 3, line 6) and return it in READ_ACKs.
+    """
+
+    pair: TimestampValue = INITIAL_PAIR
+    read_ts: int = INITIAL_READ_TIMESTAMP
+
+    def matches_read(self, read_ts: int) -> bool:
+        """``True`` iff this entry was frozen for the READ with *read_ts*."""
+        return self.read_ts == read_ts
+
+
+#: Initial per-reader frozen entry ``<<ts0, ⊥>, tsr0>``.
+INITIAL_FROZEN = FrozenEntry(INITIAL_PAIR, INITIAL_READ_TIMESTAMP)
+
+
+@dataclass(frozen=True)
+class FreezeDirective:
+    """One element of the writer's ``frozen`` set: ``<rj, pw, read_ts[rj]>``.
+
+    Sent by the writer inside a PW (core algorithm, Fig. 1) or W message
+    (Appendix C variant, Fig. 6) to instruct servers to freeze ``pair`` for the
+    reader ``reader_id`` and read timestamp ``read_ts``.
+    """
+
+    reader_id: str
+    pair: TimestampValue
+    read_ts: int
+
+
+@dataclass(frozen=True)
+class NewReadReport:
+    """One element of a server's ``newread`` set: ``<rj, tsrj>``.
+
+    Servers piggyback these on PW_ACKs to tell the writer which readers have
+    announced a slow READ that has not been frozen for yet (Fig. 3, line 7).
+    """
+
+    reader_id: str
+    read_ts: int
+
+
+def freshest(*pairs: TimestampValue) -> TimestampValue:
+    """Return the pair with the highest timestamp among *pairs*.
+
+    Ties are broken in favour of the earliest argument, which matches the
+    server ``update`` rule (strictly greater timestamps replace).
+    """
+    if not pairs:
+        raise ValueError("freshest() requires at least one pair")
+    best = pairs[0]
+    for pair in pairs[1:]:
+        if pair.ts > best.ts:
+            best = pair
+    return best
+
+
+def as_dict(obj: Any) -> Any:
+    """Recursively convert protocol dataclasses into JSON-friendly structures.
+
+    Used by the TCP transport and by the benchmark report writer.  ``BOTTOM``
+    is encoded as the string ``"<bottom>"`` and decoded by :func:`from_dict_value`.
+    """
+    if is_bottom(obj):
+        return {"__bottom__": True}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                field.name: as_dict(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [as_dict(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: as_dict(value) for key, value in obj.items()}
+    return obj

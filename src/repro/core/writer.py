@@ -1,0 +1,260 @@
+"""Writer automaton of the core algorithm (Figure 1).
+
+The WRITE operation has two phases:
+
+* a **pre-write (PW) phase** — one round-trip in which the new timestamp-value
+  pair is sent to all servers together with any pending freeze directives; the
+  writer waits for ``S - t`` valid acknowledgements *and* for a timer set to the
+  synchronous round-trip bound.  If, by then, ``S - fw`` servers acknowledged,
+  the WRITE returns: it was *fast* (one round);
+* otherwise a **write (W) phase** of two additional rounds (rounds 2 and 3),
+  each waiting for ``S - t`` acknowledgements.
+
+Between the two phases the writer runs ``freezevalues()``: any reader that
+``b + 1`` servers report as having an outstanding slow READ gets the current
+pre-written pair frozen for it; the resulting directives ride on the *next*
+WRITE's PW message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .automaton import ClientAutomaton, Effects, OperationComplete
+from .config import SystemConfig
+from .messages import Message, PreWrite, PreWriteAck, Write, WriteAck
+from .types import (
+    INITIAL_PAIR,
+    INITIAL_READ_TIMESTAMP,
+    FreezeDirective,
+    NewReadReport,
+    TimestampValue,
+)
+
+
+@dataclass
+class _WriteAttempt:
+    """Bookkeeping for the currently outstanding WRITE operation."""
+
+    op_id: int
+    value: Any
+    ts: int
+    phase: str = "pw"  # "pw", then "w2", "w3", then "done"
+    pw_acks: Dict[str, PreWriteAck] = field(default_factory=dict)
+    timer_expired: bool = False
+    w_acks: Dict[int, Set[str]] = field(default_factory=dict)
+    rounds_used: int = 0
+
+
+class AtomicWriter(ClientAutomaton):
+    """The single writer ``w`` of the SWMR atomic storage (Fig. 1)."""
+
+    #: Last round of the W phase (the core algorithm runs rounds 2 and 3; the
+    #: Appendix C and D variants stop after round 2).
+    FINAL_W_ROUND = 3
+
+    #: Where freeze directives travel: ``"pw"`` means inside the *next* WRITE's
+    #: PW message (core algorithm, Fig. 1); ``"w"`` means inside the *current*
+    #: WRITE's round-2 W message (Appendix C variant, Fig. 6).
+    FREEZE_CHANNEL = "pw"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        timer_delay: float = 10.0,
+        writer_id: Optional[str] = None,
+        enable_fast_path: bool = True,
+        wait_for_timer: bool = True,
+    ) -> None:
+        """Create the writer.
+
+        ``enable_fast_path=False`` removes line 8 of Fig. 1 — the paper's
+        "trading writes" ablation (Section 5): every WRITE runs all three
+        rounds.  ``wait_for_timer=False`` removes the timer wait of line 5,
+        which sacrifices the fast path (the writer may act on only ``S - t``
+        acknowledgements) in exchange for lower worst-case latency; it is used
+        by the always-slow baseline.
+        """
+        super().__init__(writer_id or config.writer_id, timer_delay=timer_delay)
+        self.config = config
+        self.enable_fast_path = enable_fast_path
+        self.wait_for_timer = wait_for_timer
+        self.ts: int = 0
+        self.pw: TimestampValue = INITIAL_PAIR
+        self.w: TimestampValue = INITIAL_PAIR
+        self.read_ts: Dict[str, int] = {
+            reader_id: INITIAL_READ_TIMESTAMP for reader_id in config.reader_ids()
+        }
+        self.frozen: Tuple[FreezeDirective, ...] = ()
+        self._attempt: Optional[_WriteAttempt] = None
+
+    # ------------------------------------------------------------ invocation
+    def write(self, value: Any) -> Effects:
+        """Invoke ``WRITE(value)``; returns the effects of its first round."""
+        self._operation_started()
+        op_id = self._next_op_id()
+        self.ts += 1
+        self.pw = TimestampValue(self.ts, value)
+        self._attempt = _WriteAttempt(op_id=op_id, value=value, ts=self.ts)
+
+        if not self.wait_for_timer:
+            self._attempt.timer_expired = True
+
+        effects = Effects()
+        if self.wait_for_timer:
+            effects.start_timer(self._timer_id(op_id, "pw"), self.timer_delay)
+        message = PreWrite(
+            sender=self.process_id,
+            ts=self.ts,
+            pw=self.pw,
+            w=self.w,
+            frozen=self.frozen if self.FREEZE_CHANNEL == "pw" else (),
+        )
+        effects.broadcast(self.config.server_ids(), message)
+        self._attempt.rounds_used = 1
+        return effects
+
+    # ----------------------------------------------------------------- input
+    def handle_message(self, message: Message) -> Effects:
+        if isinstance(message, PreWriteAck):
+            return self._on_pw_ack(message)
+        if isinstance(message, WriteAck):
+            return self._on_write_ack(message)
+        return Effects()
+
+    def on_timer(self, timer_id: str) -> Effects:
+        attempt = self._attempt
+        if attempt is None or attempt.phase != "pw":
+            return Effects()
+        if timer_id != self._timer_id(attempt.op_id, "pw"):
+            return Effects()
+        attempt.timer_expired = True
+        return self._maybe_finish_pw_phase()
+
+    # -------------------------------------------------------------- PW phase
+    def _on_pw_ack(self, ack: PreWriteAck) -> Effects:
+        attempt = self._attempt
+        if attempt is None or attempt.phase != "pw":
+            return Effects()
+        if ack.ts != attempt.ts:
+            return Effects()  # stale or forged acknowledgement
+        attempt.pw_acks[ack.sender] = ack
+        return self._maybe_finish_pw_phase()
+
+    def _maybe_finish_pw_phase(self) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        if not attempt.timer_expired:
+            return Effects()
+        if len(attempt.pw_acks) < self.config.round_quorum:
+            return Effects()
+
+        # Fig. 1, lines 6-7: adopt the written pair, recompute the frozen set.
+        self.frozen = ()
+        self.w = TimestampValue(attempt.ts, attempt.value)
+        self._freeze_values(attempt)
+
+        # Fig. 1, line 8: the fast path.
+        if self.enable_fast_path and len(attempt.pw_acks) >= self.config.fast_write_quorum:
+            return self._complete(fast=True)
+
+        # Otherwise enter the W phase (rounds 2 and 3).
+        return self._start_w_round(2)
+
+    def _freeze_values(self, attempt: _WriteAttempt) -> None:
+        """``freezevalues()`` of Fig. 1 (lines 13-15)."""
+        new_directives: List[FreezeDirective] = list(self.frozen)
+        reports_by_reader: Dict[str, List[int]] = {}
+        for ack in attempt.pw_acks.values():
+            for report in ack.newread:
+                if report.read_ts > self.read_ts.get(report.reader_id, 0):
+                    reports_by_reader.setdefault(report.reader_id, []).append(
+                        report.read_ts
+                    )
+        for reader_id, timestamps in sorted(reports_by_reader.items()):
+            if len(timestamps) < self.config.freeze_quorum:
+                continue
+            timestamps.sort(reverse=True)
+            # Fig. 1, line 14: the (b+1)-st highest announced read timestamp.
+            chosen = timestamps[self.config.freeze_quorum - 1]
+            self.read_ts[reader_id] = chosen
+            new_directives.append(
+                FreezeDirective(reader_id=reader_id, pair=self.pw, read_ts=chosen)
+            )
+        self.frozen = tuple(new_directives)
+
+    # --------------------------------------------------------------- W phase
+    def _start_w_round(self, round_number: int) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.phase = f"w{round_number}"
+        attempt.w_acks[round_number] = set()
+        attempt.rounds_used += 1
+        frozen = ()
+        if self.FREEZE_CHANNEL == "w" and round_number == 2:
+            frozen = self.frozen
+        effects = Effects()
+        message = Write(
+            sender=self.process_id,
+            round=round_number,
+            ts=attempt.ts,
+            pair=self.pw,
+            frozen=frozen,
+            from_writer=True,
+        )
+        effects.broadcast(self.config.server_ids(), message)
+        if frozen:
+            # Fig. 6, line 10: the directives have been shipped; forget them.
+            self.frozen = ()
+        return effects
+
+    def _on_write_ack(self, ack: WriteAck) -> Effects:
+        attempt = self._attempt
+        if attempt is None or not attempt.phase.startswith("w"):
+            return Effects()
+        round_number = int(attempt.phase[1:])
+        if ack.round != round_number or ack.ts != attempt.ts:
+            return Effects()
+        attempt.w_acks[round_number].add(ack.sender)
+        if len(attempt.w_acks[round_number]) < self.config.round_quorum:
+            return Effects()
+        if round_number < self.FINAL_W_ROUND:
+            return self._start_w_round(round_number + 1)
+        return self._complete(fast=False)
+
+    # ------------------------------------------------------------ completion
+    def _complete(self, fast: bool) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.phase = "done"
+        self._attempt = None
+        self._operation_finished()
+        effects = Effects()
+        effects.complete(
+            OperationComplete(
+                op_id=attempt.op_id,
+                kind="write",
+                value=attempt.value,
+                rounds=attempt.rounds_used,
+                fast=fast,
+                metadata={
+                    "ts": attempt.ts,
+                    "pw_acks": len(attempt.pw_acks),
+                    "frozen_directives": len(self.frozen),
+                },
+            )
+        )
+        return effects
+
+    # ------------------------------------------------------------ inspection
+    def describe(self) -> dict:
+        return {
+            "process_id": self.process_id,
+            "ts": self.ts,
+            "pw": self.pw,
+            "w": self.w,
+            "read_ts": dict(self.read_ts),
+            "frozen": self.frozen,
+            "busy": self.busy,
+        }

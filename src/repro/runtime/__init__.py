@@ -1,0 +1,25 @@
+"""Asyncio runtime: the same automata over real timers, queues and TCP sockets."""
+
+from .cluster import AsyncCluster, tcp_cluster
+from .node import AutomatonNode, ClientNode
+from .transport import (
+    DelayFunction,
+    InMemoryTransport,
+    TcpTransport,
+    Transport,
+    constant_delay,
+    no_delay,
+)
+
+__all__ = [
+    "AsyncCluster",
+    "tcp_cluster",
+    "AutomatonNode",
+    "ClientNode",
+    "DelayFunction",
+    "InMemoryTransport",
+    "TcpTransport",
+    "Transport",
+    "constant_delay",
+    "no_delay",
+]

@@ -1,0 +1,168 @@
+"""Asyncio nodes hosting the sans-I/O automata.
+
+A node owns one automaton and a mailbox.  Incoming messages are processed
+strictly one at a time (preserving the atomic-step semantics of the model);
+outgoing effects are translated into transport sends, ``loop.call_later``
+timers and, for clients, resolution of the future associated with the pending
+operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, Optional
+
+from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
+from ..core.messages import Message
+from ..verify.history import OperationRecord
+from .transport import Transport
+
+
+class AutomatonNode:
+    """Hosts one automaton (server or client) on an asyncio event loop."""
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        transport: Transport,
+        time_scale: float = 0.001,
+        crashed: bool = False,
+    ) -> None:
+        self.automaton = automaton
+        self.transport = transport
+        #: Conversion factor from automaton time units to wall-clock seconds
+        #: (client timer delays are expressed in time units).
+        self.time_scale = time_scale
+        self.crashed = crashed
+        self._mailbox: asyncio.Queue = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._timer_handles: list = []
+        transport.register(self.process_id, self._on_transport_message)
+
+    @property
+    def process_id(self) -> str:
+        return self.automaton.process_id
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        self._task = asyncio.create_task(self._run(), name=f"node-{self.process_id}")
+
+    async def stop(self) -> None:
+        for handle in self._timer_handles:
+            handle.cancel()
+        self._timer_handles.clear()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    def crash(self) -> None:
+        """Stop reacting to anything (crash failure)."""
+        self.crashed = True
+
+    # ----------------------------------------------------------------- inputs
+    async def _on_transport_message(self, source: str, message: Message) -> None:
+        await self._mailbox.put(("message", message))
+
+    def _on_timer_fired(self, timer_id: str) -> None:
+        self._mailbox.put_nowait(("timer", timer_id))
+
+    async def _run(self) -> None:
+        while True:
+            kind, payload = await self._mailbox.get()
+            if self.crashed:
+                continue
+            if kind == "message":
+                effects = self.automaton.handle_message(payload)
+            else:
+                effects = self.automaton.on_timer(payload)
+            await self.apply_effects(effects)
+
+    # ---------------------------------------------------------------- effects
+    async def apply_effects(self, effects: Effects) -> None:
+        if self.crashed:
+            return
+        for send in effects.sends:
+            await self.transport.send(self.process_id, send.destination, send.message)
+        loop = asyncio.get_running_loop()
+        for timer in effects.timers:
+            handle = loop.call_later(
+                timer.delay * self.time_scale, self._on_timer_fired, timer.timer_id
+            )
+            self._timer_handles.append(handle)
+        for completion in effects.completions:
+            self._handle_completion(completion)
+
+    def _handle_completion(self, completion: OperationComplete) -> None:
+        """Server automata never complete operations; clients override this."""
+
+
+class ClientNode(AutomatonNode):
+    """A node hosting a client automaton; exposes awaitable operations."""
+
+    def __init__(
+        self,
+        automaton: ClientAutomaton,
+        transport: Transport,
+        time_scale: float = 0.001,
+    ) -> None:
+        super().__init__(automaton, transport, time_scale=time_scale)
+        self._pending_future: Optional[asyncio.Future] = None
+        self._pending_started: float = 0.0
+        self._pending_kind: str = ""
+        self._pending_value: Any = None
+        self.records: list[OperationRecord] = []
+        self.start_time = time.monotonic()
+
+    # ------------------------------------------------------------- operations
+    async def write(self, value: Any) -> OperationComplete:
+        """Invoke WRITE(value) and await its completion."""
+        return await self._invoke("write", value)
+
+    async def read(self) -> OperationComplete:
+        """Invoke READ() and await its completion."""
+        return await self._invoke("read", None)
+
+    async def _invoke(self, kind: str, value: Any) -> OperationComplete:
+        if self._pending_future is not None:
+            raise RuntimeError(
+                f"client {self.process_id} already has a pending {self._pending_kind}"
+            )
+        loop = asyncio.get_running_loop()
+        self._pending_future = loop.create_future()
+        self._pending_started = time.monotonic()
+        self._pending_kind = kind
+        self._pending_value = value
+        if kind == "write":
+            effects = self.automaton.write(value)  # type: ignore[attr-defined]
+        else:
+            effects = self.automaton.read()  # type: ignore[attr-defined]
+        await self.apply_effects(effects)
+        return await self._pending_future
+
+    def _handle_completion(self, completion: OperationComplete) -> None:
+        future = self._pending_future
+        if future is None or future.done():
+            return
+        now = time.monotonic()
+        # Expose the wall-clock latency both on the completion handed back to
+        # the caller and on the recorded history entry.
+        completion.metadata["latency_s"] = now - self._pending_started
+        self.records.append(
+            OperationRecord(
+                client_id=self.process_id,
+                kind=completion.kind,
+                value=completion.value if completion.kind == "read" else self._pending_value,
+                invoked_at=self._pending_started - self.start_time,
+                completed_at=now - self.start_time,
+                rounds=completion.rounds,
+                fast=completion.fast,
+                metadata=dict(completion.metadata, latency_s=now - self._pending_started),
+            )
+        )
+        self._pending_future = None
+        future.set_result(completion)

@@ -1,0 +1,207 @@
+"""Asyncio transports.
+
+Two transports are provided:
+
+* :class:`InMemoryTransport` — every process gets an asyncio queue; messages
+  are delivered after an injectable artificial delay.  This is the default for
+  the wall-clock latency benchmarks: it exercises the real asyncio scheduling
+  and timer machinery without depending on the loopback TCP stack.
+* :class:`TcpTransport` — every server/client is reachable over a localhost TCP
+  socket with length-prefixed pickle framing.  This is used by the
+  ``examples/asyncio_cluster.py`` example and by integration tests to show that
+  the very same automata run over real sockets.
+
+Both enforce the paper's channel model: a message is delivered to exactly the
+addressed process and carries the genuine sender identity (a malicious server
+can lie inside the payload but cannot write into other processes' channels).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from ..core.messages import Message
+
+#: Delay function: (source, destination) -> seconds of artificial latency.
+DelayFunction = Callable[[str, str], float]
+
+
+def constant_delay(seconds: float) -> DelayFunction:
+    """A delay function adding the same latency to every message."""
+
+    def _delay(source: str, destination: str) -> float:
+        return seconds
+
+    return _delay
+
+
+def no_delay(source: str, destination: str) -> float:
+    return 0.0
+
+
+class Transport:
+    """Abstract transport: registration plus fire-and-forget sends."""
+
+    def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
+        """Register *handler* as the inbound message callback of *process_id*."""
+        raise NotImplementedError
+
+    async def send(self, source: str, destination: str, message: Message) -> None:
+        raise NotImplementedError
+
+    async def start(self) -> None:
+        """Bring the transport up (bind sockets, start pumps)."""
+
+    async def close(self) -> None:
+        """Tear the transport down."""
+
+
+class InMemoryTransport(Transport):
+    """Queue-based transport with injectable per-message latency."""
+
+    def __init__(self, delay: Optional[DelayFunction] = None) -> None:
+        self._handlers: Dict[str, Callable[[str, Message], Awaitable[None]]] = {}
+        self._delay = delay or no_delay
+        self._pending: set = set()
+        self._closed = False
+
+    def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
+        self._handlers[process_id] = handler
+
+    async def send(self, source: str, destination: str, message: Message) -> None:
+        if self._closed:
+            return
+        handler = self._handlers.get(destination)
+        if handler is None:
+            return
+        delay = self._delay(source, destination)
+        task = asyncio.create_task(self._deliver(handler, source, message, delay))
+        self._pending.add(task)
+        task.add_done_callback(self._pending.discard)
+
+    async def _deliver(
+        self,
+        handler: Callable[[str, Message], Awaitable[None]],
+        source: str,
+        message: Message,
+        delay: float,
+    ) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if not self._closed:
+            await handler(source, message)
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in list(self._pending):
+            task.cancel()
+        self._pending.clear()
+
+
+# --------------------------------------------------------------------------- #
+# TCP transport
+# --------------------------------------------------------------------------- #
+
+
+def _encode_frame(source: str, destination: str, message: Message) -> bytes:
+    payload = pickle.dumps((source, destination, message), protocol=pickle.HIGHEST_PROTOCOL)
+    return struct.pack("!I", len(payload)) + payload
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Optional[Tuple[str, str, Message]]:
+    try:
+        header = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = struct.unpack("!I", header)
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return pickle.loads(payload)
+
+
+class TcpTransport(Transport):
+    """Localhost TCP transport with one listening socket per registered process.
+
+    Each registered process binds an ephemeral port on ``127.0.0.1``; sends
+    open (and cache) one outgoing connection per destination.  Message framing
+    is a 4-byte length prefix followed by a pickled ``(source, destination,
+    message)`` tuple — adequate for a trusted benchmarking environment (the
+    paper's model has no network-level adversary, only faulty *processes*).
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._handlers: Dict[str, Callable[[str, Message], Awaitable[None]]] = {}
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self._ports: Dict[str, int] = {}
+        self._connections: Dict[Tuple[str, str], asyncio.StreamWriter] = {}
+        self._closed = False
+
+    def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
+        self._handlers[process_id] = handler
+
+    async def start(self) -> None:
+        for process_id, handler in self._handlers.items():
+            server = await asyncio.start_server(
+                lambda reader, writer, h=handler: self._serve(reader, writer, h),
+                host=self.host,
+                port=0,
+            )
+            self._servers[process_id] = server
+            self._ports[process_id] = server.sockets[0].getsockname()[1]
+
+    async def _serve(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        handler: Callable[[str, Message], Awaitable[None]],
+    ) -> None:
+        try:
+            while not self._closed:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                source, _destination, message = frame
+                await handler(source, message)
+        except asyncio.CancelledError:
+            # Normal teardown path: the cluster is shutting down while this
+            # connection is idle; swallow the cancellation so the event loop
+            # does not log it as an unhandled exception.
+            pass
+        finally:
+            writer.close()
+
+    async def send(self, source: str, destination: str, message: Message) -> None:
+        if self._closed or destination not in self._ports:
+            return
+        key = (source, destination)
+        writer = self._connections.get(key)
+        if writer is None or writer.is_closing():
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    self.host, self._ports[destination]
+                )
+            except OSError:
+                return
+            self._connections[key] = writer
+        try:
+            writer.write(_encode_frame(source, destination, message))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self._connections.pop(key, None)
+
+    async def close(self) -> None:
+        self._closed = True
+        for writer in self._connections.values():
+            writer.close()
+        self._connections.clear()
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()

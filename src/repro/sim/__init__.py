@@ -1,0 +1,58 @@
+"""Discrete-event simulation substrate (virtual time, failures, Byzantine servers)."""
+
+from .byzantine import (
+    ByzantineStrategy,
+    DelayedHonestyStrategy,
+    EquivocationStrategy,
+    ForgeHighTimestampStrategy,
+    ForgedStateStrategy,
+    MaliciousServer,
+    MuteStrategy,
+    StaleReplayStrategy,
+    TwoFacedStrategy,
+    make_strategy,
+)
+from .cluster import DROP, OperationHandle, SimCluster, SimulationError
+from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
+from .failures import FailureSchedule
+from .latency import (
+    AsynchronousWindows,
+    DelayModel,
+    FixedDelay,
+    LogNormalDelay,
+    PerLinkDelay,
+    SlowProcessDelay,
+    UniformDelay,
+)
+from .trace import MessageTrace, TraceEntry
+
+__all__ = [
+    "ByzantineStrategy",
+    "DelayedHonestyStrategy",
+    "EquivocationStrategy",
+    "ForgeHighTimestampStrategy",
+    "ForgedStateStrategy",
+    "MaliciousServer",
+    "MuteStrategy",
+    "StaleReplayStrategy",
+    "TwoFacedStrategy",
+    "make_strategy",
+    "DROP",
+    "OperationHandle",
+    "SimCluster",
+    "SimulationError",
+    "DeliveryEvent",
+    "EventQueue",
+    "InvocationEvent",
+    "TimerEvent",
+    "FailureSchedule",
+    "AsynchronousWindows",
+    "DelayModel",
+    "FixedDelay",
+    "LogNormalDelay",
+    "PerLinkDelay",
+    "SlowProcessDelay",
+    "UniformDelay",
+    "MessageTrace",
+    "TraceEntry",
+]

@@ -1,0 +1,279 @@
+"""Malicious (Byzantine) server behaviours.
+
+A malicious server may deviate arbitrarily from the protocol: forge values,
+replay stale state, answer different clients differently, or stay silent.  It
+cannot, however, interfere with channels between non-malicious processes
+(Section 2.1) — that restriction is enforced structurally because a
+:class:`MaliciousServer` only ever emits messages carrying its own identity.
+
+Every strategy wraps an *honest* server automaton.  The wrapper keeps the
+honest automaton's state up to date (so strategies such as "answer honestly to
+the writer but lie to readers" are expressible) and lets the strategy decide,
+message by message, whether to reply honestly, reply with forged content, or
+not reply at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.automaton import Automaton, Effects
+from ..core.messages import (
+    Message,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    Write,
+    WriteAck,
+)
+from ..core.server import StorageServer
+from ..core.types import INITIAL_PAIR, FrozenEntry, TimestampValue
+
+
+class ByzantineStrategy:
+    """Decides how a malicious server responds to each incoming message."""
+
+    name = "abstract"
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        """Return forged effects, or ``None`` to let the honest reply through."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"strategy": self.name}
+
+
+class MaliciousServer(Automaton):
+    """A server controlled by a :class:`ByzantineStrategy`.
+
+    The inner honest automaton is always fed every message first so its state
+    reflects what an honest server would know; the strategy then chooses the
+    outgoing reply.
+    """
+
+    def __init__(self, inner: StorageServer, strategy: ByzantineStrategy) -> None:
+        super().__init__(inner.process_id)
+        self.inner = inner
+        self.strategy = strategy
+
+    def handle_message(self, message: Message) -> Effects:
+        honest_effects = self.inner.handle_message(message)
+        forged = self.strategy.respond(self.inner, message)
+        if forged is None:
+            return honest_effects
+        return forged
+
+    def describe(self) -> dict:
+        info = self.inner.describe()
+        info["byzantine"] = self.strategy.describe()
+        return info
+
+
+# --------------------------------------------------------------------------- #
+# Concrete strategies
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class MuteStrategy(ByzantineStrategy):
+    """Never replies to anything (indistinguishable from a crash)."""
+
+    name = "mute"
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        return Effects()
+
+
+@dataclass
+class ForgeHighTimestampStrategy(ByzantineStrategy):
+    """Tries to make readers return a value that was never written.
+
+    Replies to READ messages with a fabricated pair carrying an enormous
+    timestamp; acknowledges writer messages honestly so it does not slow the
+    writer down (staying covert).  The atomicity proofs show a single value
+    needs ``b + 1`` confirmations, so up to ``b`` such servers are harmless.
+    """
+
+    name = "forge-high-timestamp"
+    forged_value: object = "FORGED"
+    forged_ts: int = 10**9
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        if not isinstance(message, Read):
+            return None
+        forged_pair = TimestampValue(self.forged_ts, self.forged_value)
+        effects = Effects()
+        effects.send(
+            message.sender,
+            ReadAck(
+                sender=inner.process_id,
+                read_ts=message.read_ts,
+                round=message.round,
+                pw=forged_pair,
+                w=forged_pair,
+                vw=forged_pair,
+                frozen=FrozenEntry(forged_pair, message.read_ts),
+            ),
+        )
+        return effects
+
+
+@dataclass
+class StaleReplayStrategy(ByzantineStrategy):
+    """Always reports the state it had at the beginning of the run.
+
+    At the beginning of the run every server holds ``<ts0, ⊥>`` in all of its
+    registers, so the strategy simply replays that initial state forever: the
+    "try to make readers return an old value" attack.  The ``safe`` /
+    ``invalidw`` / ``invalidpw`` thresholds are exactly what defeats it.
+    """
+
+    name = "stale-replay"
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        if isinstance(message, Read):
+            effects = Effects()
+            effects.send(
+                message.sender,
+                ReadAck(
+                    sender=inner.process_id,
+                    read_ts=message.read_ts,
+                    round=message.round,
+                    pw=INITIAL_PAIR,
+                    w=INITIAL_PAIR,
+                    vw=INITIAL_PAIR,
+                    frozen=FrozenEntry(),
+                ),
+            )
+            return effects
+        return None
+
+
+@dataclass
+class TwoFacedStrategy(ByzantineStrategy):
+    """Plays the protocol honestly towards some clients and lies to the rest.
+
+    This is the behaviour of server ``B2`` in the run ``r4`` of the upper-bound
+    proof (Proposition 2): honest towards the writer and the first reader,
+    amnesiac towards everyone else.
+    """
+
+    name = "two-faced"
+    honest_towards: Set[str] = field(default_factory=set)
+    lie: ByzantineStrategy = field(default_factory=StaleReplayStrategy)
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        if message.sender in self.honest_towards:
+            return None
+        return self.lie.respond(inner, message)
+
+
+@dataclass
+class ForgedStateStrategy(ByzantineStrategy):
+    """Pretends a given pair was (pre-)written even though it never was.
+
+    This is server ``B1`` in run ``r5`` of the upper-bound proof: it forges its
+    state to ``σ1`` — the state it would have had, had it received the WRITE's
+    first-round message.
+    """
+
+    name = "forged-state"
+    forged_pair: TimestampValue = TimestampValue(1, "NEVER-WRITTEN")
+    include_w: bool = False
+    include_vw: bool = False
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        if isinstance(message, Read):
+            effects = Effects()
+            effects.send(
+                message.sender,
+                ReadAck(
+                    sender=inner.process_id,
+                    read_ts=message.read_ts,
+                    round=message.round,
+                    pw=self.forged_pair,
+                    w=self.forged_pair if self.include_w else inner.w,
+                    vw=self.forged_pair if self.include_vw else inner.vw,
+                    frozen=inner.frozen.get(message.sender, FrozenEntry()),
+                ),
+            )
+            return effects
+        return None
+
+
+@dataclass
+class EquivocationStrategy(ByzantineStrategy):
+    """Reports a different fabricated value to every distinct reader."""
+
+    name = "equivocate"
+    forged_ts: int = 10**6
+    _per_reader: Dict[str, TimestampValue] = field(default_factory=dict)
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        if not isinstance(message, Read):
+            return None
+        pair = self._per_reader.setdefault(
+            message.sender,
+            TimestampValue(self.forged_ts, f"FORGED-for-{message.sender}"),
+        )
+        effects = Effects()
+        effects.send(
+            message.sender,
+            ReadAck(
+                sender=inner.process_id,
+                read_ts=message.read_ts,
+                round=message.round,
+                pw=pair,
+                w=pair,
+                vw=pair,
+                frozen=FrozenEntry(pair, message.read_ts),
+            ),
+        )
+        return effects
+
+
+@dataclass
+class DelayedHonestyStrategy(ByzantineStrategy):
+    """Honest, except it drops the first *drop_count* messages it receives.
+
+    Useful to build executions where a malicious server is "slow" without being
+    detectably wrong — stressing the fast-path quorums.
+    """
+
+    name = "delayed-honesty"
+    drop_count: int = 1
+    _seen: int = 0
+
+    def respond(self, inner: StorageServer, message: Message) -> Optional[Effects]:
+        self._seen += 1
+        if self._seen <= self.drop_count:
+            return Effects()
+        return None
+
+
+STRATEGIES = {
+    cls.name: cls
+    for cls in (
+        MuteStrategy,
+        ForgeHighTimestampStrategy,
+        StaleReplayStrategy,
+        TwoFacedStrategy,
+        ForgedStateStrategy,
+        EquivocationStrategy,
+        DelayedHonestyStrategy,
+    )
+}
+
+
+def make_strategy(name: str, **kwargs) -> ByzantineStrategy:
+    """Instantiate a strategy by name (used by the CLI and workload configs)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown Byzantine strategy {name!r}; known: {sorted(STRATEGIES)}"
+        ) from exc
+    return cls(**kwargs)

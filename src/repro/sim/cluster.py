@@ -1,0 +1,422 @@
+"""The discrete-event simulation cluster.
+
+:class:`SimCluster` instantiates every process of a protocol suite, runs the
+virtual-time event loop, injects crash and Byzantine failures, applies a delay
+model per message, and records both a message trace and an operation history
+(for the atomicity/regularity checkers).
+
+Typical use::
+
+    config = SystemConfig(t=2, b=1, fw=1, fr=0)
+    cluster = SimCluster(LuckyAtomicProtocol(config))
+    write = cluster.write("hello")          # blocking convenience helper
+    read = cluster.read("r1")
+    assert write.fast and read.value == "hello"
+
+For concurrency experiments operations are *started* and the loop is advanced
+explicitly::
+
+    w = cluster.start_write("v2")
+    cluster.run_for(0.5)                     # deliver only the first messages
+    r = cluster.start_read("r1")             # READ concurrent with the WRITE
+    cluster.run()                            # drain until both complete
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
+from ..core.messages import Message
+from ..core.protocol import ProtocolSuite
+from ..verify.history import History, OperationRecord
+from .byzantine import ByzantineStrategy, MaliciousServer
+from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
+from .failures import FailureSchedule
+from .latency import DelayModel, FixedDelay
+from .trace import MessageTrace
+
+#: Sentinel a message filter can return to drop a message entirely.
+DROP = object()
+
+#: Signature of a message filter: ``(source, destination, message, now)`` ->
+#: ``None`` (use the delay model), a float (explicit delay) or :data:`DROP`.
+MessageFilter = Callable[[str, str, Message, float], Union[None, float, object]]
+
+
+class SimulationError(RuntimeError):
+    """Raised when a run exceeds its event budget (likely livelock)."""
+
+
+@dataclass
+class OperationHandle:
+    """A pending or completed client operation in the simulation."""
+
+    client_id: str
+    kind: str
+    requested_value: Any = None
+    invoked_at: float = 0.0
+    completed_at: Optional[float] = None
+    result: Optional[OperationComplete] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+    @property
+    def value(self) -> Any:
+        if self.result is None:
+            raise RuntimeError("operation has not completed")
+        return self.result.value
+
+    @property
+    def rounds(self) -> int:
+        if self.result is None:
+            raise RuntimeError("operation has not completed")
+        return self.result.rounds
+
+    @property
+    def fast(self) -> bool:
+        if self.result is None:
+            raise RuntimeError("operation has not completed")
+        return self.result.fast
+
+    @property
+    def latency(self) -> float:
+        if self.completed_at is None:
+            raise RuntimeError("operation has not completed")
+        return self.completed_at - self.invoked_at
+
+    def to_record(self) -> OperationRecord:
+        """Convert to the checker's operation record."""
+        if self.result is None:
+            return OperationRecord(
+                client_id=self.client_id,
+                kind=self.kind,
+                value=self.requested_value,
+                invoked_at=self.invoked_at,
+                completed_at=None,
+            )
+        return OperationRecord(
+            client_id=self.client_id,
+            kind=self.kind,
+            value=self.result.value if self.kind == "read" else self.requested_value,
+            invoked_at=self.invoked_at,
+            completed_at=self.completed_at,
+            rounds=self.result.rounds,
+            fast=self.result.fast,
+            metadata=dict(self.result.metadata),
+        )
+
+
+class SimCluster:
+    """Drives a full deployment of a protocol suite under virtual time."""
+
+    def __init__(
+        self,
+        suite: ProtocolSuite,
+        delay_model: Optional[DelayModel] = None,
+        failures: Optional[FailureSchedule] = None,
+        byzantine: Optional[Dict[str, ByzantineStrategy]] = None,
+        seed: int = 0,
+        message_filter: Optional[MessageFilter] = None,
+        auto_timer: bool = True,
+        timer_margin: float = 0.5,
+        max_events_per_run: int = 500_000,
+    ) -> None:
+        self.suite = suite
+        self.config = suite.config
+        self.delay_model = delay_model or FixedDelay(1.0)
+        self.failures = failures or FailureSchedule.none()
+        self.byzantine = dict(byzantine or {})
+        self.rng = random.Random(seed)
+        self.message_filter = message_filter
+        self.max_events_per_run = max_events_per_run
+
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.trace = MessageTrace()
+        self.operations: List[OperationHandle] = []
+        self._pending: Dict[str, OperationHandle] = {}
+
+        self.processes: Dict[str, Automaton] = {}
+        self._build_processes()
+
+        if auto_timer:
+            timer = self.delay_model.suggested_timer(timer_margin)
+            for process in self.processes.values():
+                if isinstance(process, ClientAutomaton):
+                    process.timer_delay = timer
+
+        unknown_byzantine = set(self.byzantine) - set(self.config.server_ids())
+        if unknown_byzantine:
+            raise ValueError(f"byzantine ids are not servers: {sorted(unknown_byzantine)}")
+        if len(self.byzantine) > self.config.b:
+            raise ValueError(
+                f"{len(self.byzantine)} Byzantine servers exceed the model bound b={self.config.b}"
+            )
+        total_faulty = len(
+            set(self.byzantine)
+            | {
+                pid
+                for pid in self.failures.crash_times
+                if pid in set(self.config.server_ids())
+            }
+        )
+        if total_faulty > self.config.t:
+            raise ValueError(
+                f"{total_faulty} faulty servers exceed the model bound t={self.config.t}"
+            )
+
+    # ----------------------------------------------------------------- build
+    def _build_processes(self) -> None:
+        for server_id in self.config.server_ids():
+            server = self.suite.create_server(server_id)
+            strategy = self.byzantine.get(server_id)
+            if strategy is not None:
+                server = MaliciousServer(server, strategy)  # type: ignore[arg-type]
+            self.processes[server_id] = server
+        self.processes[self.config.writer_id] = self.suite.create_writer()
+        for reader_id in self.config.reader_ids():
+            self.processes[reader_id] = self.suite.create_reader(reader_id)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def writer(self) -> ClientAutomaton:
+        return self.processes[self.config.writer_id]  # type: ignore[return-value]
+
+    def reader(self, reader_id: str) -> ClientAutomaton:
+        return self.processes[reader_id]  # type: ignore[return-value]
+
+    def server(self, server_id: str) -> Automaton:
+        return self.processes[server_id]
+
+    def correct_servers(self) -> List[str]:
+        """Servers that are neither Byzantine nor (eventually) crashed."""
+        crashed = set(self.failures.crash_times)
+        return [
+            sid
+            for sid in self.config.server_ids()
+            if sid not in self.byzantine and sid not in crashed
+        ]
+
+    # -------------------------------------------------------------- failures
+    def crash(self, process_id: str, at: Optional[float] = None) -> None:
+        """Crash *process_id* at time *at* (default: immediately)."""
+        self.failures.crash(process_id, self.now if at is None else at)
+
+    def is_crashed(self, process_id: str) -> bool:
+        return self.failures.is_crashed(process_id, self.now)
+
+    # ------------------------------------------------------------ invocation
+    def start_write(self, value: Any) -> OperationHandle:
+        """Invoke a WRITE now; returns a handle that completes as the loop runs."""
+        writer = self.writer
+        handle = OperationHandle(
+            client_id=writer.process_id,
+            kind="write",
+            requested_value=value,
+            invoked_at=self.now,
+        )
+        self.operations.append(handle)
+        self._pending[writer.process_id] = handle
+        effects = writer.write(value)  # type: ignore[attr-defined]
+        self._apply_effects(writer.process_id, effects)
+        return handle
+
+    def start_read(self, reader_id: Optional[str] = None) -> OperationHandle:
+        """Invoke a READ now on *reader_id* (default: the first reader)."""
+        reader_id = reader_id or self.config.reader_ids()[0]
+        reader = self.reader(reader_id)
+        handle = OperationHandle(
+            client_id=reader_id, kind="read", invoked_at=self.now
+        )
+        self.operations.append(handle)
+        self._pending[reader_id] = handle
+        effects = reader.read()  # type: ignore[attr-defined]
+        self._apply_effects(reader_id, effects)
+        return handle
+
+    def schedule_write(self, at: float, value: Any) -> "OperationHandle":
+        """Schedule a WRITE invocation at virtual time *at*; returns its handle.
+
+        The handle's ``invoked_at`` is fixed when the invocation actually runs.
+        """
+        handle = OperationHandle(
+            client_id=self.config.writer_id,
+            kind="write",
+            requested_value=value,
+            invoked_at=at,
+        )
+
+        def _invoke() -> None:
+            self.operations.append(handle)
+            handle.invoked_at = self.now
+            self._pending[self.config.writer_id] = handle
+            effects = self.writer.write(value)  # type: ignore[attr-defined]
+            self._apply_effects(self.config.writer_id, effects)
+
+        self.queue.push(at, InvocationEvent(label=f"write@{at}", action=_invoke))
+        return handle
+
+    def schedule_read(self, at: float, reader_id: Optional[str] = None) -> "OperationHandle":
+        """Schedule a READ invocation at virtual time *at*; returns its handle."""
+        reader_id = reader_id or self.config.reader_ids()[0]
+        handle = OperationHandle(client_id=reader_id, kind="read", invoked_at=at)
+
+        def _invoke() -> None:
+            self.operations.append(handle)
+            handle.invoked_at = self.now
+            self._pending[reader_id] = handle
+            effects = self.reader(reader_id).read()  # type: ignore[attr-defined]
+            self._apply_effects(reader_id, effects)
+
+        self.queue.push(at, InvocationEvent(label=f"read@{at}", action=_invoke))
+        return handle
+
+    # ------------------------------------------------------ blocking helpers
+    def write(self, value: Any) -> OperationHandle:
+        """Invoke a WRITE and run the loop until it completes."""
+        handle = self.start_write(value)
+        self.run(until=lambda: handle.done)
+        return handle
+
+    def read(self, reader_id: Optional[str] = None) -> OperationHandle:
+        """Invoke a READ and run the loop until it completes."""
+        handle = self.start_read(reader_id)
+        self.run(until=lambda: handle.done)
+        return handle
+
+    # -------------------------------------------------------------- run loop
+    def run(
+        self,
+        until: Optional[Callable[[], bool]] = None,
+        max_time: float = math.inf,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until *until* holds, the queue drains, or limits hit."""
+        budget = max_events if max_events is not None else self.max_events_per_run
+        processed = 0
+        while True:
+            if until is not None and until():
+                return
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                if until is not None and not until():
+                    raise SimulationError(
+                        "event queue drained before the run condition was met "
+                        "(operation cannot complete under this failure/delay setup)"
+                    )
+                return
+            if next_time > max_time:
+                return
+            entry = self.queue.pop()
+            assert entry is not None
+            self.now = max(self.now, entry.time)
+            self._dispatch(entry.event)
+            processed += 1
+            if processed > budget:
+                raise SimulationError(
+                    f"exceeded event budget of {budget}; possible livelock"
+                )
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by *duration*, processing every due event.
+
+        Events scheduled after the horizon stay queued; the clock is moved to
+        the horizon so that operations invoked afterwards genuinely start later.
+        """
+        horizon = self.now + duration
+        self.run(max_time=horizon)
+        self.now = max(self.now, horizon)
+
+    def run_until_quiescent(self) -> None:
+        """Drain every pending event (all operations completed, timers fired)."""
+        self.run()
+
+    # -------------------------------------------------------------- plumbing
+    def _dispatch(self, event: Any) -> None:
+        if isinstance(event, DeliveryEvent):
+            self._deliver(event)
+        elif isinstance(event, TimerEvent):
+            self._fire_timer(event)
+        elif isinstance(event, InvocationEvent):
+            event.action()
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event type: {event!r}")
+
+    def _deliver(self, event: DeliveryEvent) -> None:
+        if self.failures.is_crashed(event.destination, self.now):
+            self.trace.record_drop(
+                event.source, event.destination, event.message, event.send_time, "crashed"
+            )
+            return
+        process = self.processes.get(event.destination)
+        if process is None:
+            self.trace.record_drop(
+                event.source, event.destination, event.message, event.send_time, "unknown"
+            )
+            return
+        self.trace.record_delivery(
+            event.source, event.destination, event.message, event.send_time, self.now
+        )
+        effects = process.handle_message(event.message)
+        self._apply_effects(event.destination, effects)
+
+    def _fire_timer(self, event: TimerEvent) -> None:
+        if self.failures.is_crashed(event.process_id, self.now):
+            return
+        process = self.processes.get(event.process_id)
+        if process is None:
+            return
+        effects = process.on_timer(event.timer_id)
+        self._apply_effects(event.process_id, effects)
+
+    def _apply_effects(self, source: str, effects: Effects) -> None:
+        if self.failures.is_crashed(source, self.now):
+            return
+        for send in effects.sends:
+            self._send(source, send.destination, send.message)
+        for timer in effects.timers:
+            self.queue.push(
+                self.now + timer.delay, TimerEvent(process_id=source, timer_id=timer.timer_id)
+            )
+        for completion in effects.completions:
+            self._complete(source, completion)
+
+    def _send(self, source: str, destination: str, message: Message) -> None:
+        delay: Union[None, float, object] = None
+        if self.message_filter is not None:
+            delay = self.message_filter(source, destination, message, self.now)
+        if delay is DROP:
+            self.trace.record_drop(source, destination, message, self.now, "filtered")
+            return
+        if delay is None:
+            delay = self.delay_model.sample(source, destination, self.now, self.rng)
+        self.queue.push(
+            self.now + float(delay),
+            DeliveryEvent(
+                source=source,
+                destination=destination,
+                message=message,
+                send_time=self.now,
+            ),
+        )
+
+    def _complete(self, client_id: str, completion: OperationComplete) -> None:
+        handle = self._pending.pop(client_id, None)
+        if handle is None:
+            return
+        handle.result = completion
+        handle.completed_at = self.now
+
+    # --------------------------------------------------------------- history
+    def history(self) -> History:
+        """The operation history of everything invoked so far."""
+        return History([handle.to_record() for handle in self.operations])
+
+    def completed_operations(self) -> List[OperationHandle]:
+        return [handle for handle in self.operations if handle.done]

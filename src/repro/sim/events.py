@@ -1,0 +1,94 @@
+"""Event types and the event queue of the discrete-event simulator.
+
+The simulator advances a virtual clock from event to event.  Three kinds of
+events exist: message deliveries, timer expirations and scheduled invocations
+(a closure to run at a given virtual time, used by workloads to start
+operations).  Ties on the timestamp are broken by a monotonically increasing
+sequence number so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.messages import Message
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """Delivery of *message* (sent by *source*) to *destination*."""
+
+    source: str
+    destination: str
+    message: Message
+    send_time: float
+
+
+@dataclass(frozen=True)
+class TimerEvent:
+    """Expiration of the timer *timer_id* at process *process_id*."""
+
+    process_id: str
+    timer_id: str
+
+
+@dataclass(frozen=True)
+class InvocationEvent:
+    """Run *action* (a zero-argument callable) at the scheduled time."""
+
+    label: str
+    action: Callable[[], None]
+
+
+SimEvent = Any  # DeliveryEvent | TimerEvent | InvocationEvent
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: SimEvent = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A deterministic priority queue of simulator events."""
+
+    def __init__(self) -> None:
+        self._heap: list[_QueueEntry] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def push(self, time: float, event: SimEvent) -> _QueueEntry:
+        """Schedule *event* at virtual time *time*; returns a cancellable handle."""
+        if time < 0:
+            raise ValueError("events cannot be scheduled in negative time")
+        entry = _QueueEntry(time=time, sequence=next(self._counter), event=event)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def pop(self) -> Optional[_QueueEntry]:
+        """Remove and return the earliest non-cancelled entry, or ``None``."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                return entry
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """The virtual time of the next pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    @staticmethod
+    def cancel(entry: _QueueEntry) -> None:
+        """Mark a previously pushed entry as cancelled (lazy removal)."""
+        entry.cancelled = True

@@ -1,0 +1,70 @@
+"""Crash-failure injection for the simulator.
+
+The paper's model distinguishes crash-faulty processes (they stop taking steps
+at some point in the run) from malicious ones (see :mod:`repro.sim.byzantine`).
+A :class:`FailureSchedule` assigns crash times to processes; the cluster checks
+it before delivering any event and simply drops events addressed to a crashed
+process.  Messages the process sent *before* crashing are unaffected, matching
+the model in Section 2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class FailureSchedule:
+    """Crash times per process id (virtual time); absent means never crashes."""
+
+    crash_times: Dict[str, float] = field(default_factory=dict)
+
+    # ----------------------------------------------------------------- build
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """No process ever crashes."""
+        return cls()
+
+    @classmethod
+    def crash_at_start(cls, process_ids: Iterable[str]) -> "FailureSchedule":
+        """The given processes crash at the very beginning of the run."""
+        return cls({process_id: 0.0 for process_id in process_ids})
+
+    @classmethod
+    def crash_servers_at_start(cls, count: int, server_ids: List[str]) -> "FailureSchedule":
+        """Crash the first *count* servers of *server_ids* at time zero."""
+        if count > len(server_ids):
+            raise ValueError("cannot crash more servers than exist")
+        return cls.crash_at_start(server_ids[:count])
+
+    # ------------------------------------------------------------- mutation
+    def crash(self, process_id: str, at: float = 0.0) -> "FailureSchedule":
+        """Schedule *process_id* to crash at time *at* (returns ``self``)."""
+        existing = self.crash_times.get(process_id, math.inf)
+        self.crash_times[process_id] = min(existing, at)
+        return self
+
+    # -------------------------------------------------------------- queries
+    def is_crashed(self, process_id: str, now: float) -> bool:
+        """Whether *process_id* has crashed by virtual time *now*."""
+        crash_time = self.crash_times.get(process_id)
+        return crash_time is not None and now >= crash_time
+
+    def crashed_by(self, now: float) -> List[str]:
+        """All processes crashed by *now*."""
+        return [pid for pid, at in self.crash_times.items() if now >= at]
+
+    def crash_count(self, process_ids: Iterable[str], now: float = math.inf) -> int:
+        """How many of *process_ids* crash by *now*."""
+        return sum(1 for pid in process_ids if self.is_crashed(pid, now))
+
+    def validate(self, server_ids: List[str], t: int) -> None:
+        """Assert the schedule respects the model's bound of ``t`` faulty servers."""
+        crashed_servers = [pid for pid in self.crash_times if pid in set(server_ids)]
+        if len(crashed_servers) > t:
+            raise ValueError(
+                f"failure schedule crashes {len(crashed_servers)} servers "
+                f"but the model tolerates at most t = {t}"
+            )

@@ -1,0 +1,174 @@
+"""Message-delay models for the discrete-event simulator.
+
+The paper's notion of a *synchronous* operation (Section 2.3) is that every
+message exchanged during the operation between the client and any server is
+delivered within a bound known to the client.  Delay models therefore expose a
+``synchronous_bound``: when it is not ``None``, clients can set their round-1
+timers to a value that guarantees they hear from every correct server before
+the timer fires, which is exactly what makes lucky operations fast.
+
+Models with ``synchronous_bound = None`` (or with slow links / asynchronous
+windows) produce the paper's worst-case conditions: operations still terminate
+(wait-freedom only needs ``S - t`` replies) but are not guaranteed to be fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+
+class DelayModel:
+    """Base class: per-message delay sampling."""
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        """Return the network delay for a message sent now from source to destination."""
+        raise NotImplementedError
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        """An upper bound on any sampled delay, or ``None`` if unbounded."""
+        return None
+
+    def suggested_timer(self, margin: float = 0.5) -> float:
+        """A client timer covering one round-trip under this model.
+
+        Falls back to a generous constant when the model is unbounded; the
+        timer then only affects performance, never safety.
+        """
+        bound = self.synchronous_bound
+        if bound is None:
+            return 50.0
+        return 2.0 * bound + margin
+
+
+@dataclass
+class FixedDelay(DelayModel):
+    """Every message takes exactly *delay* time units."""
+
+    delay: float = 1.0
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        return self.delay
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        return self.delay
+
+
+@dataclass
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]`` (a bounded, jittery network)."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("UniformDelay requires 0 <= low <= high")
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        return self.high
+
+
+@dataclass
+class LogNormalDelay(DelayModel):
+    """Heavy-tailed delays typical of wide-area networks (unbounded)."""
+
+    median: float = 1.0
+    sigma: float = 0.5
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        import math
+
+        return self.median * math.exp(rng.gauss(0.0, self.sigma))
+
+
+@dataclass
+class PerLinkDelay(DelayModel):
+    """A base model with per-link overrides (e.g. one distant replica).
+
+    ``overrides`` maps ``(source, destination)`` pairs to a dedicated model.
+    The bound is the maximum of all involved bounds, or ``None`` if any
+    override is unbounded.
+    """
+
+    base: DelayModel = field(default_factory=FixedDelay)
+    overrides: Dict[Tuple[str, str], DelayModel] = field(default_factory=dict)
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        model = self.overrides.get((source, destination), self.base)
+        return model.sample(source, destination, now, rng)
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        bounds = [self.base.synchronous_bound]
+        bounds.extend(model.synchronous_bound for model in self.overrides.values())
+        if any(bound is None for bound in bounds):
+            return None
+        return max(bounds)  # type: ignore[arg-type]
+
+
+@dataclass
+class SlowProcessDelay(DelayModel):
+    """Messages to or from the given processes incur an extra delay.
+
+    Used to make executions *unlucky without failures*: the slow processes are
+    correct but their replies arrive after the client's timer, so fast-path
+    conditions may not be met.  The synchronous bound is reported as ``None``
+    because clients can no longer rely on hearing from everyone in time.
+    """
+
+    base: DelayModel = field(default_factory=FixedDelay)
+    slow_processes: Set[str] = field(default_factory=set)
+    extra_delay: float = 100.0
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        delay = self.base.sample(source, destination, now, rng)
+        if source in self.slow_processes or destination in self.slow_processes:
+            delay += self.extra_delay
+        return delay
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        return None
+
+    def suggested_timer(self, margin: float = 0.5) -> float:
+        # Clients keep the timer they would use on the base network: that is
+        # the whole point — the slow links make the run asynchronous from the
+        # clients' perspective.
+        return self.base.suggested_timer(margin)
+
+
+@dataclass
+class AsynchronousWindows(DelayModel):
+    """The network is synchronous except during configured time windows.
+
+    During a window ``(start, end, extra)`` every message sent in the window
+    suffers *extra* additional delay.  This reproduces the paper's "bad periods
+    are rare" motivation: operations invoked outside the windows are lucky.
+    """
+
+    base: DelayModel = field(default_factory=FixedDelay)
+    windows: Tuple[Tuple[float, float, float], ...] = ()
+
+    def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
+        delay = self.base.sample(source, destination, now, rng)
+        for start, end, extra in self.windows:
+            if start <= now < end:
+                delay += extra
+        return delay
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        # Bounded overall, but the bound only matters for timers: clients use
+        # the base bound and are simply unlucky inside a window.
+        return self.base.synchronous_bound
+
+    def suggested_timer(self, margin: float = 0.5) -> float:
+        return self.base.suggested_timer(margin)

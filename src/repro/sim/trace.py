@@ -1,0 +1,91 @@
+"""Message tracing and statistics for simulated runs.
+
+Every delivered (and every dropped) message is recorded so tests can assert
+communication patterns ("the fast READ exchanged exactly one round of
+messages") and so the scalability benchmark can report message complexity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.messages import Message
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One message transmission attempt."""
+
+    source: str
+    destination: str
+    kind: str
+    send_time: float
+    deliver_time: Optional[float]
+    dropped: bool = False
+    drop_reason: str = ""
+
+
+@dataclass
+class MessageTrace:
+    """Accumulates :class:`TraceEntry` records during a simulation."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def record_delivery(
+        self, source: str, destination: str, message: Message, send_time: float, deliver_time: float
+    ) -> None:
+        self.entries.append(
+            TraceEntry(
+                source=source,
+                destination=destination,
+                kind=message.kind,
+                send_time=send_time,
+                deliver_time=deliver_time,
+            )
+        )
+
+    def record_drop(
+        self, source: str, destination: str, message: Message, send_time: float, reason: str
+    ) -> None:
+        self.entries.append(
+            TraceEntry(
+                source=source,
+                destination=destination,
+                kind=message.kind,
+                send_time=send_time,
+                deliver_time=None,
+                dropped=True,
+                drop_reason=reason,
+            )
+        )
+
+    # ---------------------------------------------------------------- queries
+    def delivered(self) -> List[TraceEntry]:
+        return [entry for entry in self.entries if not entry.dropped]
+
+    def dropped(self) -> List[TraceEntry]:
+        return [entry for entry in self.entries if entry.dropped]
+
+    def count_by_kind(self) -> Dict[str, int]:
+        return dict(Counter(entry.kind for entry in self.delivered()))
+
+    def count_by_destination(self) -> Dict[str, int]:
+        return dict(Counter(entry.destination for entry in self.delivered()))
+
+    def messages_between(self, start: float, end: float) -> List[TraceEntry]:
+        """Delivered messages sent within the half-open interval ``[start, end)``."""
+        return [
+            entry
+            for entry in self.delivered()
+            if start <= entry.send_time < end
+        ]
+
+    def total_messages(self) -> int:
+        return len(self.delivered())
+
+    def summary(self) -> Dict[str, int]:
+        summary = {"delivered": len(self.delivered()), "dropped": len(self.dropped())}
+        summary.update(self.count_by_kind())
+        return summary

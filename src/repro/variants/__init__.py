@@ -1,0 +1,39 @@
+"""Protocol variants from the paper's appendices and discussion section."""
+
+from .regular import (
+    MaliciousWritebackReader,
+    RegularReader,
+    RegularServer,
+    RegularStorageProtocol,
+    RegularWriter,
+)
+from .trading import (
+    LuckyReadSequence,
+    TradingReadsProtocol,
+    TradingWritesProtocol,
+    consecutive_lucky_read_sequences,
+    max_slow_reads_per_sequence,
+)
+from .two_round import (
+    TwoRoundReader,
+    TwoRoundServer,
+    TwoRoundWriteProtocol,
+    TwoRoundWriter,
+)
+
+__all__ = [
+    "MaliciousWritebackReader",
+    "RegularReader",
+    "RegularServer",
+    "RegularStorageProtocol",
+    "RegularWriter",
+    "LuckyReadSequence",
+    "TradingReadsProtocol",
+    "TradingWritesProtocol",
+    "consecutive_lucky_read_sequences",
+    "max_slow_reads_per_sequence",
+    "TwoRoundReader",
+    "TwoRoundServer",
+    "TwoRoundWriteProtocol",
+    "TwoRoundWriter",
+]

@@ -1,0 +1,20 @@
+"""Operation histories and consistency checkers (atomicity, regularity, linearizability)."""
+
+from .atomicity import AtomicityChecker, CheckResult, Violation, check_atomicity
+from .history import History, OperationRecord
+from .linearizability import HistoryTooLarge, cross_validate, is_linearizable
+from .regularity import RegularityChecker, check_regularity
+
+__all__ = [
+    "AtomicityChecker",
+    "CheckResult",
+    "Violation",
+    "check_atomicity",
+    "History",
+    "OperationRecord",
+    "HistoryTooLarge",
+    "cross_validate",
+    "is_linearizable",
+    "RegularityChecker",
+    "check_regularity",
+]

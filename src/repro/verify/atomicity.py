@@ -1,0 +1,199 @@
+"""SWMR atomicity checker (Section 2.2 of the paper).
+
+A partial run satisfies atomicity iff:
+
+1. **No creation** — if a READ returns ``x`` then ``x`` was written by some
+   WRITE (or is the initial value ⊥).
+2. **Read/write ordering** — if a complete READ succeeds the complete WRITE
+   ``wr_k`` (``k >= 1``) then it returns ``val_l`` with ``l >= k``.
+3. **No reading from the future** — if a READ returns ``val_k`` (``k >= 1``)
+   then ``wr_k`` precedes it or is concurrent with it.
+4. **Read hierarchy** — if READ ``rd_1`` returns ``val_k`` and READ ``rd_2``
+   succeeds ``rd_1`` and returns ``val_l``, then ``l >= k``.
+
+The checker reports every violated property with the operations involved.
+When two WRITEs wrote the same value the mapping from a returned value to a
+write index is ambiguous; the checker then uses the most permissive consistent
+index (and flags the ambiguity), so benchmark workloads write unique values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.types import is_bottom
+from .history import History, OperationRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated atomicity (or regularity) property."""
+
+    property_name: str
+    description: str
+    operations: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        ops = "; ".join(repr(op) for op in self.operations)
+        return f"[{self.property_name}] {self.description} ({ops})"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a consistency check."""
+
+    consistency: str
+    violations: List[Violation] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    checked_reads: int = 0
+    checked_writes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violated(self) -> None:
+        if not self.ok:
+            details = "\n".join(str(violation) for violation in self.violations)
+            raise AssertionError(f"{self.consistency} violated:\n{details}")
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"{self.consistency}: {status} "
+            f"({self.checked_reads} reads, {self.checked_writes} writes checked)"
+        )
+
+
+class AtomicityChecker:
+    """Checks the four SWMR atomicity properties over a :class:`History`."""
+
+    consistency = "atomicity"
+
+    #: Which properties to verify; the regularity checker overrides this.
+    check_read_hierarchy = True
+
+    def check(self, history: History) -> CheckResult:
+        result = CheckResult(consistency=self.consistency)
+        writes = history.writes()
+        reads = history.reads(only_complete=True)
+        result.checked_reads = len(reads)
+        result.checked_writes = len(writes)
+
+        if history.has_duplicate_write_values():
+            result.warnings.append(
+                "history contains duplicate written values; index mapping is ambiguous"
+            )
+        if not history.writer_is_well_formed():
+            result.warnings.append("writer operations overlap; SWMR well-formedness broken")
+
+        for read in reads:
+            self._check_no_creation(history, read, result)
+            self._check_write_read_order(history, read, result)
+            self._check_not_from_future(history, read, result)
+        if self.check_read_hierarchy:
+            self._check_read_hierarchy(history, reads, result)
+        return result
+
+    # ----------------------------------------------------------- property 1
+    def _check_no_creation(
+        self, history: History, read: OperationRecord, result: CheckResult
+    ) -> None:
+        if history.write_indices_of(read.value):
+            return
+        result.violations.append(
+            Violation(
+                property_name="no-creation",
+                description=(
+                    f"READ returned {read.value!r} which was never written and is not ⊥"
+                ),
+                operations=(read,),
+            )
+        )
+
+    # ----------------------------------------------------------- property 2
+    def _check_write_read_order(
+        self, history: History, read: OperationRecord, result: CheckResult
+    ) -> None:
+        indices = history.write_indices_of(read.value)
+        if not indices:
+            return  # already reported as no-creation
+        returned_index = max(indices)
+        writes = history.writes()
+        for position, write in enumerate(writes, start=1):
+            if not write.complete:
+                continue
+            if write.precedes(read) and returned_index < position:
+                result.violations.append(
+                    Violation(
+                        property_name="read-after-write",
+                        description=(
+                            f"READ returned val_{returned_index} ({read.value!r}) although the "
+                            f"later WRITE wr_{position} ({write.value!r}) completed before it"
+                        ),
+                        operations=(write, read),
+                    )
+                )
+                return
+
+    # ----------------------------------------------------------- property 3
+    def _check_not_from_future(
+        self, history: History, read: OperationRecord, result: CheckResult
+    ) -> None:
+        if is_bottom(read.value):
+            return
+        indices = [index for index in history.write_indices_of(read.value) if index >= 1]
+        if not indices:
+            return
+        writes = history.writes()
+        # The read is justified if SOME write of that value was invoked before
+        # the read completed (precedes or concurrent).
+        for index in indices:
+            write = writes[index - 1]
+            if not read.precedes(write):
+                return
+        result.violations.append(
+            Violation(
+                property_name="no-future-read",
+                description=(
+                    f"READ returned {read.value!r} although every WRITE of that value "
+                    "was invoked only after the READ completed"
+                ),
+                operations=(read,),
+            )
+        )
+
+    # ----------------------------------------------------------- property 4
+    def _check_read_hierarchy(
+        self, history: History, reads: List[OperationRecord], result: CheckResult
+    ) -> None:
+        for i, earlier in enumerate(reads):
+            earlier_indices = history.write_indices_of(earlier.value)
+            if not earlier_indices:
+                continue
+            earlier_index = min(earlier_indices)
+            for later in reads[i + 1 :]:
+                if not earlier.precedes(later):
+                    continue
+                later_indices = history.write_indices_of(later.value)
+                if not later_indices:
+                    continue
+                later_index = max(later_indices)
+                if later_index < earlier_index:
+                    result.violations.append(
+                        Violation(
+                            property_name="read-hierarchy",
+                            description=(
+                                f"READ returned val_{later_index} ({later.value!r}) although a "
+                                f"preceding READ already returned val_{earlier_index} "
+                                f"({earlier.value!r})"
+                            ),
+                            operations=(earlier, later),
+                        )
+                    )
+
+
+def check_atomicity(history: History) -> CheckResult:
+    """Convenience wrapper: run the :class:`AtomicityChecker` on *history*."""
+    return AtomicityChecker().check(history)

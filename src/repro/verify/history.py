@@ -1,0 +1,135 @@
+"""Operation histories.
+
+A history is the externally observable behaviour of a storage: for every
+operation, who invoked it, what it was, when it was invoked and when (if ever)
+it completed, and what it returned.  The simulator and the asyncio runtime both
+produce histories; the checkers in :mod:`repro.verify.atomicity`,
+:mod:`repro.verify.regularity` and :mod:`repro.verify.linearizability` consume
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.types import BOTTOM, is_bottom
+
+
+@dataclass
+class OperationRecord:
+    """One invoked operation.
+
+    ``value`` is the written value for writes and the returned value for reads.
+    ``completed_at`` is ``None`` for operations that never returned (allowed by
+    the model when the invoking client crashes).
+    """
+
+    client_id: str
+    kind: str  # "write" | "read"
+    value: Any
+    invoked_at: float
+    completed_at: Optional[float]
+    rounds: int = 0
+    fast: bool = False
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def end_time(self) -> float:
+        """Completion time, or +inf for incomplete operations."""
+        return self.completed_at if self.completed_at is not None else math.inf
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Real-time precedence: this op completed before *other* was invoked."""
+        return self.complete and self.end_time < other.invoked_at
+
+    def concurrent_with(self, other: "OperationRecord") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        completion = f"{self.completed_at:.2f}" if self.complete else "pending"
+        return (
+            f"{self.kind.upper()}({self.value!r}) by {self.client_id} "
+            f"[{self.invoked_at:.2f}, {completion}]"
+        )
+
+
+class History:
+    """An ordered collection of :class:`OperationRecord` with SWMR helpers."""
+
+    def __init__(self, records: Iterable[OperationRecord] = ()) -> None:
+        self.records: List[OperationRecord] = list(records)
+
+    # ---------------------------------------------------------------- build
+    def add(self, record: OperationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # --------------------------------------------------------------- slices
+    def writes(self) -> List[OperationRecord]:
+        """All WRITE operations in invocation order (the paper's ``wr_1..wr_n``)."""
+        return sorted(
+            (record for record in self.records if record.kind == "write"),
+            key=lambda record: record.invoked_at,
+        )
+
+    def reads(self, only_complete: bool = True) -> List[OperationRecord]:
+        reads = [record for record in self.records if record.kind == "read"]
+        if only_complete:
+            reads = [record for record in reads if record.complete]
+        return sorted(reads, key=lambda record: record.invoked_at)
+
+    def complete_operations(self) -> List[OperationRecord]:
+        return [record for record in self.records if record.complete]
+
+    # ------------------------------------------------------- SWMR structure
+    def write_values(self) -> List[Any]:
+        """``val_0 = ⊥`` followed by the written values in write order."""
+        return [BOTTOM] + [record.value for record in self.writes()]
+
+    def write_indices_of(self, value: Any) -> List[int]:
+        """All indices ``k`` with ``val_k == value`` (0 means the initial ⊥)."""
+        values = self.write_values()
+        if is_bottom(value):
+            return [0]
+        return [index for index, val in enumerate(values) if not is_bottom(val) and val == value]
+
+    def has_duplicate_write_values(self) -> bool:
+        """Whether two WRITEs wrote the same value (makes checking ambiguous)."""
+        values = [record.value for record in self.writes()]
+        return len(values) != len(set(map(repr, values)))
+
+    def writer_is_well_formed(self) -> bool:
+        """Writes by the single writer never overlap each other."""
+        writes = self.writes()
+        for earlier, later in zip(writes, writes[1:]):
+            if not earlier.complete and later.invoked_at >= earlier.invoked_at:
+                # An incomplete write may only be the last one.
+                return later is writes[-1] and earlier is writes[-2]
+            if earlier.end_time > later.invoked_at:
+                return False
+        return True
+
+    # ------------------------------------------------------------ contention
+    def contention_free(self, read: OperationRecord) -> bool:
+        """Whether *read* overlaps no WRITE (the paper's contention-free)."""
+        return all(
+            write.precedes(read) or read.precedes(write) for write in self.writes()
+        )
+
+    def merge(self, other: "History") -> "History":
+        return History(self.records + other.records)
+
+    def describe(self) -> str:
+        lines = [repr(record) for record in sorted(self.records, key=lambda r: r.invoked_at)]
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""A generic linearizability checker for a read/write register.
+
+The SWMR atomicity checker in :mod:`repro.verify.atomicity` is fast and follows
+the paper's definition literally, but its per-property formulation can be
+subtle when written values are duplicated.  This module provides an independent
+checker based on exhaustive linearization search (in the spirit of Wing & Gong)
+that is used in the test suite to cross-validate the SWMR checker on small
+histories: a history accepted by one must be accepted by the other.
+
+Complexity is exponential in the number of concurrent operations, so the
+checker refuses histories above a configurable size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.types import BOTTOM, is_bottom
+from .history import History, OperationRecord
+
+
+class HistoryTooLarge(ValueError):
+    """Raised when the exhaustive search would be intractable."""
+
+
+@dataclass(frozen=True)
+class _Op:
+    index: int
+    kind: str
+    value_repr: str
+    invoked_at: float
+    end_time: float
+    complete: bool
+
+
+def _prepare(history: History) -> List[_Op]:
+    ops: List[_Op] = []
+    for index, record in enumerate(history.records):
+        if record.kind == "read" and not record.complete:
+            continue  # incomplete reads have no visible effect
+        ops.append(
+            _Op(
+                index=index,
+                kind=record.kind,
+                value_repr=repr(record.value) if not is_bottom(record.value) else "<bottom>",
+                invoked_at=record.invoked_at,
+                end_time=record.completed_at if record.complete else math.inf,
+                complete=record.complete,
+            )
+        )
+    return ops
+
+
+def is_linearizable(history: History, max_operations: int = 24) -> bool:
+    """Whether *history* is linearizable as a single read/write register.
+
+    Incomplete WRITEs are optional: they may be linearized (they might have
+    taken effect) or dropped (they might not have).  Incomplete READs are
+    ignored.  Raises :class:`HistoryTooLarge` beyond *max_operations*.
+    """
+    ops = _prepare(history)
+    if len(ops) > max_operations:
+        raise HistoryTooLarge(
+            f"history has {len(ops)} operations; exhaustive search capped at {max_operations}"
+        )
+
+    total = len(ops)
+    #: memo of (linearized-set, last-write-index) states already proven fruitless.
+    failed: Set[Tuple[FrozenSet[int], int]] = set()
+
+    def value_of(last_write: int) -> str:
+        if last_write == -1:
+            return "<bottom>"
+        return ops[last_write].value_repr
+
+    def search(done: FrozenSet[int], last_write: int) -> bool:
+        if len(done) == total:
+            return True
+        key = (done, last_write)
+        if key in failed:
+            return False
+        pending = [op for op in ops if op.index not in done]
+        # An operation may be linearized next only if no other pending
+        # operation completed before it was invoked (real-time order).
+        earliest_end = min(op.end_time for op in pending)
+        for op in pending:
+            if op.invoked_at > earliest_end:
+                continue
+            if op.kind == "read":
+                if op.value_repr != value_of(last_write):
+                    continue
+                if search(done | {op.index}, last_write):
+                    return True
+            else:
+                if search(done | {op.index}, op.index):
+                    return True
+                # An incomplete write may also be dropped entirely.
+                if not op.complete and search(done | {op.index}, last_write):
+                    return True
+        failed.add(key)
+        return False
+
+    # Incomplete writes that are dropped are modelled by linearizing them but
+    # not letting them change the register (handled above), so the search space
+    # always covers all operations.
+    return search(frozenset(), -1)
+
+
+def cross_validate(history: History, max_operations: int = 24) -> Optional[bool]:
+    """Run the exhaustive checker, returning ``None`` if the history is too big."""
+    try:
+        return is_linearizable(history, max_operations=max_operations)
+    except HistoryTooLarge:
+        return None

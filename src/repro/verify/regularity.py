@@ -1,0 +1,30 @@
+"""SWMR regularity checker (Appendix D of the paper).
+
+Regularity keeps atomicity's properties 1-3 but drops the *read hierarchy*
+property (4): two non-overlapping READs may be ordered inconsistently with
+respect to concurrent WRITEs.  The Appendix D variant trades atomicity for
+regularity in exchange for tolerating malicious readers and for raising the
+fast-path thresholds to ``fw = t - b`` and ``fr = t``.
+"""
+
+from __future__ import annotations
+
+from .atomicity import AtomicityChecker, CheckResult
+from .history import History
+
+
+class RegularityChecker(AtomicityChecker):
+    """Checks regularity: no-creation, read-after-write, no-future-read."""
+
+    consistency = "regularity"
+    check_read_hierarchy = False
+
+
+def check_regularity(history: History) -> CheckResult:
+    """Convenience wrapper: run the :class:`RegularityChecker` on *history*."""
+    return RegularityChecker().check(history)
+
+
+def is_atomic_but_not_regular_possible() -> bool:
+    """Documentation helper used in tests: atomicity implies regularity."""
+    return False

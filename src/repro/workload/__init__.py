@@ -1,0 +1,25 @@
+"""Workload generation and execution helpers."""
+
+from .generator import (
+    ScheduledOperation,
+    Workload,
+    consecutive_read_workload,
+    contended_workload,
+    lucky_workload,
+    poisson_workload,
+    run_workload,
+    run_workload_history,
+    value_sequence,
+)
+
+__all__ = [
+    "ScheduledOperation",
+    "Workload",
+    "consecutive_read_workload",
+    "contended_workload",
+    "lucky_workload",
+    "poisson_workload",
+    "run_workload",
+    "run_workload_history",
+    "value_sequence",
+]

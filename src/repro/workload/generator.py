@@ -1,0 +1,208 @@
+"""Workload generation for the simulator.
+
+A :class:`Workload` is a timed schedule of operations (writes by the single
+writer, reads by named readers).  Generators produce the scenarios the paper
+reasons about:
+
+* *lucky* phases — well-spaced writes and reads on a synchronous network;
+* *contended* phases — reads overlapping writes;
+* read sequences for the Appendix A experiment;
+* mixed Poisson-like arrivals for throughput-style comparisons.
+
+``run_workload`` drives a :class:`~repro.sim.cluster.SimCluster` through a
+workload while respecting the well-formedness rule that a client has at most
+one outstanding operation: if a client is still busy when its next operation
+is due, the invocation is deferred until the current one completes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..sim.cluster import OperationHandle, SimCluster
+from ..verify.history import History
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One operation of a workload."""
+
+    at: float
+    kind: str  # "write" | "read"
+    client_id: str
+    value: Optional[str] = None
+
+
+@dataclass
+class Workload:
+    """A timed schedule of operations."""
+
+    operations: List[ScheduledOperation] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def sorted(self) -> List[ScheduledOperation]:
+        return sorted(self.operations, key=lambda op: op.at)
+
+    def writes(self) -> List[ScheduledOperation]:
+        return [op for op in self.operations if op.kind == "write"]
+
+    def reads(self) -> List[ScheduledOperation]:
+        return [op for op in self.operations if op.kind == "read"]
+
+
+def value_sequence(prefix: str = "v") -> Iterator[str]:
+    """Unique values ``v1, v2, ...`` — uniqueness keeps the checkers exact."""
+    index = 0
+    while True:
+        index += 1
+        yield f"{prefix}{index}"
+
+
+# --------------------------------------------------------------------------- #
+# Generators
+# --------------------------------------------------------------------------- #
+
+
+def lucky_workload(
+    num_rounds: int,
+    readers: Sequence[str],
+    gap: float = 20.0,
+    reads_per_round: int = 1,
+    start: float = 0.0,
+) -> Workload:
+    """Alternating well-separated writes and reads: every operation is lucky."""
+    values = value_sequence()
+    operations: List[ScheduledOperation] = []
+    now = start
+    for _ in range(num_rounds):
+        operations.append(
+            ScheduledOperation(at=now, kind="write", client_id="w", value=next(values))
+        )
+        now += gap
+        for index in range(reads_per_round):
+            reader = readers[index % len(readers)]
+            operations.append(ScheduledOperation(at=now, kind="read", client_id=reader))
+            now += gap
+    return Workload(operations, description=f"lucky x{num_rounds}")
+
+
+def contended_workload(
+    num_writes: int,
+    readers: Sequence[str],
+    write_gap: float = 10.0,
+    read_offset: float = 0.5,
+    start: float = 0.0,
+) -> Workload:
+    """Every READ is invoked shortly after a WRITE starts, so they overlap."""
+    values = value_sequence()
+    operations: List[ScheduledOperation] = []
+    now = start
+    for index in range(num_writes):
+        operations.append(
+            ScheduledOperation(at=now, kind="write", client_id="w", value=next(values))
+        )
+        reader = readers[index % len(readers)]
+        operations.append(
+            ScheduledOperation(at=now + read_offset, kind="read", client_id=reader)
+        )
+        now += write_gap
+    return Workload(operations, description=f"contended x{num_writes}")
+
+
+def consecutive_read_workload(
+    sequence_length: int,
+    readers: Sequence[str],
+    num_sequences: int = 1,
+    gap: float = 20.0,
+    start: float = 0.0,
+) -> Workload:
+    """Appendix A workload: a write, then a sequence of consecutive lucky reads."""
+    values = value_sequence()
+    operations: List[ScheduledOperation] = []
+    now = start
+    for _ in range(num_sequences):
+        operations.append(
+            ScheduledOperation(at=now, kind="write", client_id="w", value=next(values))
+        )
+        now += gap
+        for index in range(sequence_length):
+            reader = readers[index % len(readers)]
+            operations.append(ScheduledOperation(at=now, kind="read", client_id=reader))
+            now += gap
+    return Workload(
+        operations, description=f"{num_sequences} sequence(s) of {sequence_length} reads"
+    )
+
+
+def poisson_workload(
+    duration: float,
+    write_rate: float,
+    read_rate: float,
+    readers: Sequence[str],
+    seed: int = 0,
+    start: float = 0.0,
+) -> Workload:
+    """Random arrivals: writes at *write_rate* and reads at *read_rate* per unit."""
+    rng = random.Random(seed)
+    values = value_sequence()
+    operations: List[ScheduledOperation] = []
+    now = start
+    while True:
+        now += rng.expovariate(write_rate) if write_rate > 0 else duration + 1
+        if now - start > duration:
+            break
+        operations.append(
+            ScheduledOperation(at=now, kind="write", client_id="w", value=next(values))
+        )
+    now = start
+    while True:
+        now += rng.expovariate(read_rate) if read_rate > 0 else duration + 1
+        if now - start > duration:
+            break
+        operations.append(
+            ScheduledOperation(
+                at=now, kind="read", client_id=rng.choice(list(readers))
+            )
+        )
+    return Workload(operations, description=f"poisson w={write_rate}/r={read_rate} for {duration}")
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+
+
+def run_workload(cluster: SimCluster, workload: Workload) -> List[OperationHandle]:
+    """Drive *cluster* through *workload*; returns the operation handles.
+
+    Operations are invoked at their scheduled virtual time.  If the owning
+    client is still busy, the invocation waits for the outstanding operation to
+    finish first (preserving well-formedness while keeping cross-client
+    concurrency intact).
+    """
+    handles: List[OperationHandle] = []
+    for op in workload.sorted():
+        if op.at > cluster.now:
+            cluster.run_for(op.at - cluster.now)
+        client = (
+            cluster.writer if op.kind == "write" else cluster.reader(op.client_id)
+        )
+        if client.busy:
+            cluster.run(until=lambda client=client: not client.busy)
+        if op.kind == "write":
+            handles.append(cluster.start_write(op.value))
+        else:
+            handles.append(cluster.start_read(op.client_id))
+    cluster.run(until=lambda: all(handle.done for handle in handles))
+    return handles
+
+
+def run_workload_history(cluster: SimCluster, workload: Workload) -> History:
+    """Run the workload and return the cluster's full history."""
+    run_workload(cluster, workload)
+    return cluster.history()

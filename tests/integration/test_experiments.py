@@ -1,0 +1,126 @@
+"""Shape tests for the benchmark experiments (the EXPERIMENTS.md tables).
+
+Each experiment must reproduce the qualitative shape of the paper claim it
+covers: who is fast, where the thresholds sit, and that the consistency
+condition holds.  Absolute latencies are not asserted.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_ablation_predicates,
+    experiment_baseline_comparison,
+    experiment_contention,
+    experiment_fast_reads,
+    experiment_fast_writes,
+    experiment_ghost_writer,
+    experiment_regular_variant,
+    experiment_scalability,
+    experiment_threshold_tradeoff,
+    experiment_trading_reads,
+    experiment_two_round_write,
+    experiment_upper_bound_adversary,
+)
+from repro.bench.report import generate_report
+
+
+class TestExperimentShapes:
+    def test_e1_fast_writes_threshold(self):
+        table = experiment_fast_writes(t=2, b=1)
+        for row in table.rows:
+            if row["failure_kind"].startswith("crash"):
+                expected_fast = 1.0 if row["failures"] <= 1 else 0.0
+                assert row["fast_fraction"] == expected_fast
+            assert row["atomic"]
+
+    def test_e2_fast_reads_threshold(self):
+        table = experiment_fast_reads(t=2, b=1)
+        for row in table.rows:
+            if row["failures"] <= 1:
+                assert row["fast_fraction"] == 1.0
+            assert row["atomic"]
+
+    def test_e3_tradeoff_frontier_is_sharp(self):
+        table = experiment_threshold_tradeoff(t=2, b=0)
+        for row in table.rows:
+            assert row["write_fast"] == (row["failures"] <= row["fw"])
+            assert row["read_fast"] == (row["failures"] <= row["fr"])
+            assert row["atomic"]
+
+    def test_e4_naive_protocol_violates_and_paper_does_not(self):
+        table = experiment_upper_bound_adversary()
+        by_protocol = {row["protocol"]: row for row in table.rows}
+        assert by_protocol["naive-fast (UNSAFE)"]["violations"] >= 1
+        assert by_protocol["lucky-atomic"]["violations"] == 0
+
+    def test_e5_contention_slows_reads_but_keeps_atomicity(self):
+        table = experiment_contention(t=2, b=1, num_writes=4)
+        rows = {row["scenario"]: row for row in table.rows}
+        assert rows["lucky (no overlap)"]["fast_fraction"] == 1.0
+        assert rows["contended + degraded links (unlucky)"]["fast_fraction"] < 1.0
+        assert all(row["atomic"] for row in table.rows)
+
+    def test_e6_at_most_one_slow_read_per_sequence(self):
+        table = experiment_trading_reads(t=2, b=0, sequence_length=5)
+        assert all(row["max_slow_per_sequence"] <= 1 for row in table.rows)
+        assert all(row["atomic"] for row in table.rows)
+        worst = [row for row in table.rows if row["failures_after_write"] == 2]
+        assert worst and worst[0]["slow_reads_in_sequence"] == 1
+
+    def test_e7_two_round_writes_with_fast_reads(self):
+        table = experiment_two_round_write(t=2, b=1)
+        assert all(row["max_write_rounds"] <= 2 for row in table.rows)
+        assert all(row["read_fast_fraction"] == 1.0 for row in table.rows)
+        assert all(row["atomic"] for row in table.rows)
+
+    def test_e8_regular_variant_survives_malicious_readers(self):
+        table = experiment_regular_variant(t=2, b=1)
+        regular_rows = [row for row in table.rows if row["protocol"] == "lucky-regular"]
+        atomic_rows = [row for row in table.rows if row["protocol"] == "lucky-atomic"]
+        assert all(row["regular"] for row in regular_rows)
+        assert all(row["honest_read_value"].startswith("genuine") for row in regular_rows)
+        assert any(not row["atomic"] for row in atomic_rows)
+
+    def test_e9_ghost_writer_bounded_disruption(self):
+        table = experiment_ghost_writer(t=2, b=1, reads_after_crash=5)
+        assert all(row["slow_reads"] <= 3 for row in table.rows)
+        assert all(row["atomic"] for row in table.rows)
+
+    def test_e10_lucky_protocol_beats_slow_baseline(self):
+        table = experiment_baseline_comparison(t=2, b=1, cycles=3)
+        lucky_rows = [row for row in table.rows if row["protocol"] == "lucky-atomic"]
+        slow_rows = [row for row in table.rows if row["protocol"] == "slow-robust"]
+        for lucky, slow in zip(lucky_rows, slow_rows):
+            assert lucky["write_rounds"] < slow["write_rounds"]
+            assert lucky["read_rounds"] < slow["read_rounds"]
+            assert lucky["read_latency"] < slow["read_latency"]
+        assert all(row["atomic"] for row in table.rows)
+
+    def test_a1_ablation_modes_agree_on_lucky_runs(self):
+        table = experiment_ablation_predicates(t=2, b=1)
+        assert all(row["atomic"] for row in table.rows)
+
+    def test_a2_scalability_messages_grow_linearly_with_servers(self):
+        table = experiment_scalability(max_t=3)
+        messages = table.column("messages_per_write")
+        servers = table.column("servers")
+        assert all(
+            count == pytest.approx(2 * server_count)
+            for count, server_count in zip(messages, servers)
+        )
+
+
+class TestReportGeneration:
+    def test_registry_contains_all_experiments(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2",
+        }
+
+    def test_generate_single_experiment_report(self):
+        text = generate_report(["E4"])
+        assert "E4" in text and "naive-fast" in text
+
+    def test_markdown_report(self):
+        text = generate_report(["E4"], markdown=True)
+        assert text.startswith("### E4")

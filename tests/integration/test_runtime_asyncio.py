@@ -1,0 +1,161 @@
+"""Integration tests for the asyncio runtime (in-memory and TCP transports)."""
+
+import asyncio
+
+import pytest
+
+from repro.baselines.abd import ABDProtocol
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.runtime.cluster import AsyncCluster, tcp_cluster
+from repro.runtime.transport import constant_delay, InMemoryTransport
+from repro.variants.regular import RegularStorageProtocol
+from repro.verify.atomicity import check_atomicity
+from repro.verify.regularity import check_regularity
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestInMemoryRuntime:
+    def test_write_then_read_round_trip(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+        async def scenario(cluster):
+            write = await cluster.write("hello")
+            read = await cluster.read("r1")
+            return write, read
+
+        # A generous timer keeps the run "synchronous" even when the host is
+        # busy (e.g. the whole suite running): fastness assertions stay about
+        # the protocol, not about scheduling noise.
+        write, read = AsyncCluster.run_scenario(
+            LuckyAtomicProtocol(config), scenario, timer_delay=100.0
+        )
+        assert write.fast and write.rounds == 1
+        assert read.fast and read.value == "hello"
+
+    def test_history_is_atomic_across_clients(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+        async def scenario(cluster):
+            for index in range(3):
+                await cluster.write(f"v{index}")
+                await cluster.read(config.reader_ids()[index % 2])
+            return cluster.history()
+
+        history = AsyncCluster.run_scenario(LuckyAtomicProtocol(config), scenario)
+        assert len(history) == 6
+        assert check_atomicity(history).ok
+
+    def test_concurrent_write_and_read_still_atomic(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+        async def scenario(cluster):
+            await cluster.write("v0")
+            write_task = asyncio.create_task(cluster.write("v1"))
+            read_task = asyncio.create_task(cluster.read("r1"))
+            await asyncio.gather(write_task, read_task)
+            return cluster.history()
+
+        history = AsyncCluster.run_scenario(LuckyAtomicProtocol(config), scenario)
+        assert check_atomicity(history).ok
+
+    def test_crashed_servers_within_fw_keep_writes_fast(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=1)
+
+        async def scenario():
+            async with AsyncCluster(
+                LuckyAtomicProtocol(config), crashed_servers=["s6"], timer_delay=100.0
+            ) as cluster:
+                write = await cluster.write("despite-crash")
+                read = await cluster.read("r1")
+                return write, read
+
+        write, read = run(scenario())
+        assert write.fast
+        assert read.value == "despite-crash"
+
+    def test_runtime_crash_beyond_fw_forces_slow_write(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=1)
+
+        async def scenario():
+            async with AsyncCluster(
+                LuckyAtomicProtocol(config), crashed_servers=["s5", "s6"]
+            ) as cluster:
+                write = await cluster.write("slow-write")
+                read = await cluster.read("r1")
+                return write, read
+
+        write, read = run(scenario())
+        assert not write.fast and write.rounds == 3
+        assert read.value == "slow-write"
+
+    def test_latency_scales_with_injected_delay(self):
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=1)
+
+        async def scenario(delay_s):
+            async with AsyncCluster(
+                LuckyAtomicProtocol(config),
+                transport=InMemoryTransport(constant_delay(delay_s)),
+                time_scale=delay_s,
+            ) as cluster:
+                write = await cluster.write("x")
+                return write.metadata["latency_s"]
+
+        fast = run(scenario(0.001))
+        slow = run(scenario(0.01))
+        assert slow > fast
+
+    def test_regular_variant_runs_on_asyncio(self):
+        suite = RegularStorageProtocol.for_parameters(t=1, b=1, num_readers=1)
+
+        async def scenario(cluster):
+            await cluster.write("value")
+            read = await cluster.read("r1")
+            return read, cluster.history()
+
+        read, history = AsyncCluster.run_scenario(suite, scenario)
+        assert read.value == "value"
+        assert check_regularity(history).ok
+
+    def test_abd_baseline_runs_on_asyncio(self):
+        suite = ABDProtocol(SystemConfig.crash_only(t=1, num_readers=1))
+
+        async def scenario(cluster):
+            await cluster.write("value")
+            return await cluster.read("r1")
+
+        read = AsyncCluster.run_scenario(suite, scenario)
+        assert read.value == "value" and read.rounds == 2
+
+
+class TestTcpRuntime:
+    def test_full_cycle_over_tcp_sockets(self):
+        config = SystemConfig(t=1, b=1, fw=0, fr=0, num_readers=1)
+
+        async def scenario():
+            async with tcp_cluster(LuckyAtomicProtocol(config)) as cluster:
+                write = await cluster.write("over-tcp")
+                read = await cluster.read("r1")
+                return write, read, cluster.history()
+
+        write, read, history = run(scenario())
+        assert write.value == "over-tcp"
+        assert read.value == "over-tcp"
+        assert check_atomicity(history).ok
+
+    def test_multiple_operations_over_tcp(self):
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=2)
+
+        async def scenario():
+            async with tcp_cluster(LuckyAtomicProtocol(config)) as cluster:
+                for index in range(3):
+                    await cluster.write(f"v{index}")
+                    read = await cluster.read(config.reader_ids()[index % 2])
+                    assert read.value == f"v{index}"
+                return cluster.history()
+
+        history = run(scenario())
+        assert check_atomicity(history).ok

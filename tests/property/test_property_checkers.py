@@ -1,0 +1,111 @@
+"""Property-based tests for the consistency checkers.
+
+The SWMR atomicity checker is cross-validated against the exhaustive
+linearizability checker on randomly generated small histories, and the
+checkers' structural properties (atomic => regular, sequential histories are
+always accepted) are verified.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import BOTTOM
+from repro.verify.atomicity import check_atomicity
+from repro.verify.history import History, OperationRecord
+from repro.verify.linearizability import is_linearizable
+from repro.verify.regularity import check_regularity
+
+
+@st.composite
+def random_histories(draw):
+    """Small random histories with unique written values.
+
+    Writes are sequential (single writer, well-formed); reads come from two
+    readers, are sequential per reader, and return either ⊥ or one of the
+    written values (not necessarily a correct one — that is the point).
+    """
+    num_writes = draw(st.integers(min_value=0, max_value=4))
+    records = []
+    clock = 0.0
+    write_values = []
+    for index in range(num_writes):
+        start = clock + draw(st.floats(min_value=0.1, max_value=2.0))
+        duration = draw(st.floats(min_value=0.1, max_value=3.0))
+        value = f"v{index + 1}"
+        write_values.append(value)
+        records.append(OperationRecord("w", "write", value, start, start + duration))
+        # The single writer is well formed: the next WRITE starts only after
+        # the previous one completed (Section 2.2).  The SWMR atomicity
+        # definition relies on this; without it the physical write order no
+        # longer determines the value order and the per-property checker is
+        # deliberately stricter than plain linearizability.
+        clock = start + duration + draw(st.floats(min_value=0.0, max_value=2.0))
+
+    for reader in ("r1", "r2"):
+        clock_r = 0.0
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            start = clock_r + draw(st.floats(min_value=0.1, max_value=3.0))
+            duration = draw(st.floats(min_value=0.1, max_value=3.0))
+            choices = [BOTTOM] + write_values
+            value = draw(st.sampled_from(choices))
+            records.append(OperationRecord(reader, "read", value, start, start + duration))
+            clock_r = start + duration
+    return History(records)
+
+
+@given(random_histories())
+@settings(max_examples=150, deadline=None)
+def test_atomicity_checker_agrees_with_linearizability(history):
+    """The per-property SWMR checker and the exhaustive search must agree."""
+    assume(not history.has_duplicate_write_values())
+    swmr_ok = check_atomicity(history).ok
+    linearizable = is_linearizable(history)
+    assert swmr_ok == linearizable
+
+
+@given(random_histories())
+@settings(max_examples=150, deadline=None)
+def test_atomicity_implies_regularity(history):
+    if check_atomicity(history).ok:
+        assert check_regularity(history).ok
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_sequential_alternating_history_is_always_atomic(n):
+    records = []
+    clock = 0.0
+    for index in range(n):
+        records.append(OperationRecord("w", "write", f"v{index}", clock, clock + 1))
+        records.append(OperationRecord("r1", "read", f"v{index}", clock + 2, clock + 3))
+        clock += 4
+    result = check_atomicity(History(records))
+    assert result.ok
+    assert is_linearizable(History(records))
+
+
+@given(random_histories())
+@settings(max_examples=100, deadline=None)
+def test_checker_is_deterministic(history):
+    first = check_atomicity(history)
+    second = check_atomicity(history)
+    assert first.ok == second.ok
+    assert len(first.violations) == len(second.violations)
+
+
+@given(random_histories(), st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_checker_invariant_under_time_translation(history, offset):
+    shifted = History(
+        [
+            OperationRecord(
+                record.client_id,
+                record.kind,
+                record.value,
+                record.invoked_at + offset,
+                None if record.completed_at is None else record.completed_at + offset,
+            )
+            for record in history.records
+        ]
+    )
+    assert check_atomicity(history).ok == check_atomicity(shifted).ok

@@ -1,0 +1,127 @@
+"""Property-based tests for the configuration and quorum arithmetic.
+
+These encode the counting arguments that the paper's lemmas rely on and check
+them over every admissible configuration hypothesis can generate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ConfigurationError, SystemConfig, frontier_threshold_pairs
+from repro.core.quorums import (
+    fast_write_visibility,
+    overlap,
+    read_read_lock_guarantee,
+    required_servers_for_two_round_write,
+    slow_write_visibility,
+)
+
+
+@st.composite
+def valid_configs(draw):
+    t = draw(st.integers(min_value=0, max_value=6))
+    b = draw(st.integers(min_value=0, max_value=t))
+    budget = t - b
+    fw = draw(st.integers(min_value=0, max_value=budget))
+    fr = draw(st.integers(min_value=0, max_value=budget - fw))
+    readers = draw(st.integers(min_value=1, max_value=4))
+    return SystemConfig(t=t, b=b, fw=fw, fr=fr, num_readers=readers)
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_optimal_resilience_formula_holds(config):
+    assert config.num_servers == 2 * config.t + config.b + 1
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_round_quorum_outnumbers_faulty_servers(config):
+    # S - t correct responders always include at least b + 1 non-malicious and
+    # at least one correct server overall.
+    assert config.round_quorum >= config.t + config.b + 1
+    assert config.round_quorum > config.b
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_two_round_quorums_intersect_in_a_correct_server(config):
+    # Any two sets of S - t servers intersect in at least t + b + 1 servers,
+    # i.e. in at least b + 1 non-malicious ones: the basis of Lemmas 5 and 6.
+    intersection = overlap(config.round_quorum, config.round_quorum, config.num_servers)
+    assert intersection >= config.b + 1
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_fast_write_visible_to_lucky_reads(config):
+    # Theorem 4, case 1: a fast WRITE's value reaches enough correct servers
+    # for the fastpw predicate of a lucky READ despite fr failures.
+    assert fast_write_visibility(config) >= config.fast_read_pw_quorum
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_slow_write_visible_to_lucky_reads(config):
+    # Theorem 4, case 2: a slow WRITE's vw reaches at least b + 1 correct
+    # servers that answer a lucky READ despite fr failures.
+    assert slow_write_visibility(config) >= config.fast_read_vw_quorum
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_fast_read_witnesses_outvote_byzantine_servers(config):
+    # Lemma 8: the witnesses a fast READ leaves behind intersect any later
+    # round quorum in more than b servers.
+    assert read_read_lock_guarantee(config).intersection >= config.b + 1
+
+
+@given(valid_configs())
+@settings(max_examples=200)
+def test_safe_quorum_cannot_be_met_by_malicious_servers_alone(config):
+    assert config.safe_quorum > config.b
+
+
+@given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6))
+@settings(max_examples=100)
+def test_frontier_exhausts_the_budget(t, b):
+    if b > t:
+        return
+    pairs = frontier_threshold_pairs(t, b)
+    assert len(pairs) == t - b + 1
+    assert all(fw + fr == t - b for fw, fr in pairs)
+
+
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=200)
+def test_two_round_write_bound_is_between_optimal_and_plus_b(t, b, fr):
+    if b > t or fr > t:
+        return
+    required = required_servers_for_two_round_write(t, b, fr)
+    optimal = 2 * t + b + 1
+    assert optimal <= required <= optimal + b
+    if fr == 0 or b == 0:
+        assert required == optimal
+
+
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=200)
+def test_configurations_beyond_the_bound_are_rejected(t, b, fw, fr):
+    if b > t or fw > t or fr > t:
+        return
+    feasible = fw + fr <= t - b
+    try:
+        SystemConfig(t=t, b=b, fw=fw, fr=fr)
+        constructed = True
+    except ConfigurationError:
+        constructed = False
+    assert constructed == feasible

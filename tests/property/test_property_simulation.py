@@ -1,0 +1,143 @@
+"""Property-based end-to-end tests: random workloads, delays and failures.
+
+Whatever the (admissible) fault pattern, delay distribution and workload, the
+core algorithm and its variants must produce atomic (resp. regular) histories,
+and every operation must terminate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.sim.byzantine import (
+    EquivocationStrategy,
+    ForgeHighTimestampStrategy,
+    MuteStrategy,
+    StaleReplayStrategy,
+)
+from repro.sim.cluster import SimCluster
+from repro.sim.failures import FailureSchedule
+from repro.sim.latency import FixedDelay, UniformDelay
+from repro.variants.regular import RegularStorageProtocol
+from repro.variants.two_round import TwoRoundWriteProtocol
+from repro.verify.atomicity import check_atomicity
+from repro.verify.regularity import check_regularity
+from repro.workload.generator import contended_workload, lucky_workload, poisson_workload, run_workload
+
+STRATEGY_FACTORIES = [
+    MuteStrategy,
+    ForgeHighTimestampStrategy,
+    StaleReplayStrategy,
+    EquivocationStrategy,
+]
+
+
+@st.composite
+def fault_scenarios(draw):
+    t = draw(st.integers(min_value=1, max_value=3))
+    b = draw(st.integers(min_value=0, max_value=min(t, 2)))
+    config = SystemConfig.balanced(t, b, num_readers=2)
+    server_ids = config.server_ids()
+    num_byzantine = draw(st.integers(min_value=0, max_value=b))
+    byzantine = {
+        server_ids[index]: draw(st.sampled_from(STRATEGY_FACTORIES))()
+        for index in range(num_byzantine)
+    }
+    num_crashes = draw(st.integers(min_value=0, max_value=t - num_byzantine))
+    crashed = server_ids[len(server_ids) - num_crashes :] if num_crashes else []
+    crash_time = draw(st.floats(min_value=0.0, max_value=30.0))
+    failures = FailureSchedule({server_id: crash_time for server_id in crashed})
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    jitter = draw(st.booleans())
+    delay = UniformDelay(0.5, 1.5) if jitter else FixedDelay(1.0)
+    return config, byzantine, failures, delay, seed
+
+
+@given(fault_scenarios(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_core_algorithm_is_atomic_under_random_faults(scenario, num_cycles):
+    config, byzantine, failures, delay, seed = scenario
+    cluster = SimCluster(
+        LuckyAtomicProtocol(config),
+        delay_model=delay,
+        byzantine=byzantine,
+        failures=failures,
+        seed=seed,
+    )
+    workload = contended_workload(num_cycles, config.reader_ids(), write_gap=12.0)
+    handles = run_workload(cluster, workload)
+    assert all(handle.done for handle in handles)
+    check_atomicity(cluster.history()).raise_if_violated()
+
+
+@given(fault_scenarios())
+@settings(max_examples=20, deadline=None)
+def test_lucky_workloads_are_atomic_and_terminate(scenario):
+    config, byzantine, failures, delay, seed = scenario
+    cluster = SimCluster(
+        LuckyAtomicProtocol(config),
+        delay_model=delay,
+        byzantine=byzantine,
+        failures=failures,
+        seed=seed,
+    )
+    handles = run_workload(cluster, lucky_workload(3, config.reader_ids(), gap=10.0))
+    assert all(handle.done for handle in handles)
+    check_atomicity(cluster.history()).raise_if_violated()
+
+
+@given(
+    st.integers(min_value=1, max_value=2),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_poisson_mixes_stay_atomic(t, b, seed):
+    if b > t:
+        b = t
+    config = SystemConfig.balanced(t, b, num_readers=2)
+    cluster = SimCluster(LuckyAtomicProtocol(config), delay_model=FixedDelay(1.0), seed=seed)
+    workload = poisson_workload(
+        duration=60.0, write_rate=0.15, read_rate=0.3, readers=config.reader_ids(), seed=seed
+    )
+    handles = run_workload(cluster, workload)
+    assert all(handle.done for handle in handles)
+    check_atomicity(cluster.history()).raise_if_violated()
+
+
+@given(fault_scenarios())
+@settings(max_examples=15, deadline=None)
+def test_regular_variant_is_regular_under_random_faults(scenario):
+    config, byzantine, failures, delay, seed = scenario
+    regular_config = SystemConfig.regular(config.t, config.b, num_readers=2)
+    cluster = SimCluster(
+        RegularStorageProtocol(regular_config),
+        delay_model=delay,
+        byzantine=byzantine,
+        failures=failures,
+        seed=seed,
+    )
+    handles = run_workload(cluster, contended_workload(2, regular_config.reader_ids(), write_gap=12.0))
+    assert all(handle.done for handle in handles)
+    check_regularity(cluster.history()).raise_if_violated()
+
+
+@given(
+    st.integers(min_value=1, max_value=2),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_two_round_variant_is_atomic_under_random_faults(t, b, fr, seed):
+    b = min(b, t)
+    fr = min(fr, t)
+    suite = TwoRoundWriteProtocol.for_parameters(t, b, fr, num_readers=2)
+    cluster = SimCluster(suite, delay_model=FixedDelay(1.0), seed=seed)
+    handles = run_workload(cluster, contended_workload(2, suite.config.reader_ids(), write_gap=12.0))
+    assert all(handle.done for handle in handles)
+    assert all(
+        handle.rounds <= 2 for handle in handles if handle.kind == "write"
+    )
+    check_atomicity(cluster.history()).raise_if_violated()

@@ -1,0 +1,145 @@
+"""Unit tests for the SWMR atomicity and regularity checkers."""
+
+import pytest
+
+from repro.core.types import BOTTOM
+from repro.verify.atomicity import AtomicityChecker, check_atomicity
+from repro.verify.history import History, OperationRecord
+from repro.verify.regularity import check_regularity
+
+
+def write(value, start, end):
+    return OperationRecord("w", "write", value, start, end)
+
+
+def read(value, start, end, client="r1"):
+    return OperationRecord(client, "read", value, start, end)
+
+
+class TestNoCreation:
+    def test_reading_written_value_is_fine(self):
+        history = History([write("a", 0, 1), read("a", 2, 3)])
+        assert check_atomicity(history).ok
+
+    def test_reading_bottom_initially_is_fine(self):
+        history = History([read(BOTTOM, 0, 1)])
+        assert check_atomicity(history).ok
+
+    def test_reading_unwritten_value_is_flagged(self):
+        history = History([write("a", 0, 1), read("phantom", 2, 3)])
+        result = check_atomicity(history)
+        assert not result.ok
+        assert result.violations[0].property_name == "no-creation"
+
+
+class TestReadAfterWrite:
+    def test_stale_read_after_complete_write_is_flagged(self):
+        history = History([write("a", 0, 1), write("b", 2, 3), read("a", 4, 5)])
+        result = check_atomicity(history)
+        assert not result.ok
+        assert any(v.property_name == "read-after-write" for v in result.violations)
+
+    def test_reading_bottom_after_a_write_is_flagged(self):
+        history = History([write("a", 0, 1), read(BOTTOM, 2, 3)])
+        result = check_atomicity(history)
+        assert not result.ok
+
+    def test_read_concurrent_with_write_may_return_either(self):
+        history = History(
+            [write("a", 0, 1), write("b", 2, 10), read("a", 3, 4), read("b", 5, 6)]
+        )
+        assert check_atomicity(history).ok
+
+    def test_incomplete_write_does_not_force_new_value(self):
+        history = History([write("a", 0, 1), OperationRecord("w", "write", "b", 2, None), read("a", 3, 4)])
+        assert check_atomicity(history).ok
+
+
+class TestNoFutureRead:
+    def test_read_of_value_written_later_is_flagged(self):
+        history = History([read("b", 0, 1), write("b", 2, 3)])
+        result = check_atomicity(history)
+        assert not result.ok
+        assert any(v.property_name == "no-future-read" for v in result.violations)
+
+    def test_read_overlapping_the_write_is_fine(self):
+        history = History([write("b", 0, 5), read("b", 1, 2)])
+        assert check_atomicity(history).ok
+
+
+class TestReadHierarchy:
+    def test_new_old_inversion_between_readers_is_flagged(self):
+        history = History(
+            [
+                write("a", 0, 1),
+                write("b", 2, 10),  # concurrent with both reads
+                read("b", 3, 4, client="r1"),
+                read("a", 5, 6, client="r2"),
+            ]
+        )
+        result = check_atomicity(history)
+        assert not result.ok
+        assert any(v.property_name == "read-hierarchy" for v in result.violations)
+
+    def test_regularity_permits_the_same_inversion(self):
+        history = History(
+            [
+                write("a", 0, 1),
+                write("b", 2, 10),
+                read("b", 3, 4, client="r1"),
+                read("a", 5, 6, client="r2"),
+            ]
+        )
+        assert check_regularity(history).ok
+
+    def test_concurrent_reads_are_not_constrained(self):
+        history = History(
+            [
+                write("a", 0, 1),
+                write("b", 2, 10),
+                read("b", 3, 6, client="r1"),
+                read("a", 4, 7, client="r2"),
+            ]
+        )
+        assert check_atomicity(history).ok
+
+    def test_monotone_readers_are_fine(self):
+        history = History(
+            [
+                write("a", 0, 1),
+                read("a", 2, 3, client="r1"),
+                write("b", 4, 5),
+                read("b", 6, 7, client="r2"),
+            ]
+        )
+        assert check_atomicity(history).ok
+
+
+class TestResultObject:
+    def test_summary_counts_operations(self):
+        history = History([write("a", 0, 1), read("a", 2, 3)])
+        result = check_atomicity(history)
+        assert result.checked_reads == 1
+        assert result.checked_writes == 1
+        assert "OK" in result.summary()
+
+    def test_raise_if_violated(self):
+        history = History([read("phantom", 0, 1)])
+        result = check_atomicity(history)
+        with pytest.raises(AssertionError):
+            result.raise_if_violated()
+
+    def test_duplicate_values_produce_warning_not_violation(self):
+        history = History([write("a", 0, 1), write("a", 2, 3), read("a", 4, 5)])
+        result = check_atomicity(history)
+        assert result.ok
+        assert result.warnings
+
+    def test_overlapping_writer_produces_warning(self):
+        history = History([write("a", 0, 10), write("b", 2, 3)])
+        result = check_atomicity(history)
+        assert result.warnings
+
+    def test_incomplete_reads_are_not_checked(self):
+        history = History([write("a", 0, 1), OperationRecord("r1", "read", "phantom", 2, None)])
+        assert check_atomicity(history).ok

@@ -1,0 +1,77 @@
+"""Unit tests for the exhaustive linearizability checker."""
+
+import pytest
+
+from repro.core.types import BOTTOM
+from repro.verify.history import History, OperationRecord
+from repro.verify.linearizability import HistoryTooLarge, cross_validate, is_linearizable
+
+
+def write(value, start, end=None):
+    return OperationRecord("w", "write", value, start, end)
+
+
+def read(value, start, end, client="r1"):
+    return OperationRecord(client, "read", value, start, end)
+
+
+class TestLinearizable:
+    def test_sequential_history_is_linearizable(self):
+        history = History([write("a", 0, 1), read("a", 2, 3), write("b", 4, 5), read("b", 6, 7)])
+        assert is_linearizable(history)
+
+    def test_initial_bottom_read(self):
+        assert is_linearizable(History([read(BOTTOM, 0, 1)]))
+
+    def test_concurrent_read_may_return_old_or_new(self):
+        old = History([write("a", 0, 1), write("b", 2, 10), read("a", 3, 4)])
+        new = History([write("a", 0, 1), write("b", 2, 10), read("b", 3, 4)])
+        assert is_linearizable(old)
+        assert is_linearizable(new)
+
+    def test_incomplete_write_may_or_may_not_take_effect(self):
+        took_effect = History([write("a", 0, None), read("a", 5, 6)])
+        did_not = History([write("a", 0, None), read(BOTTOM, 5, 6)])
+        assert is_linearizable(took_effect)
+        assert is_linearizable(did_not)
+
+    def test_incomplete_reads_are_ignored(self):
+        history = History([write("a", 0, 1), OperationRecord("r1", "read", "x", 2, None)])
+        assert is_linearizable(history)
+
+
+class TestNotLinearizable:
+    def test_phantom_value_is_rejected(self):
+        assert not is_linearizable(History([write("a", 0, 1), read("phantom", 2, 3)]))
+
+    def test_stale_read_is_rejected(self):
+        history = History([write("a", 0, 1), write("b", 2, 3), read("a", 4, 5)])
+        assert not is_linearizable(history)
+
+    def test_new_old_inversion_is_rejected(self):
+        history = History(
+            [
+                write("a", 0, 1),
+                write("b", 2, 10),
+                read("b", 3, 4, client="r1"),
+                read("a", 5, 6, client="r2"),
+            ]
+        )
+        assert not is_linearizable(history)
+
+    def test_read_before_any_write_cannot_return_value(self):
+        assert not is_linearizable(History([read("a", 0, 1), write("a", 2, 3)]))
+
+
+class TestLimits:
+    def test_large_history_raises(self):
+        records = [write(f"v{i}", 2 * i, 2 * i + 1) for i in range(30)]
+        with pytest.raises(HistoryTooLarge):
+            is_linearizable(History(records))
+
+    def test_cross_validate_returns_none_for_large_history(self):
+        records = [write(f"v{i}", 2 * i, 2 * i + 1) for i in range(30)]
+        assert cross_validate(History(records)) is None
+
+    def test_cross_validate_returns_bool_for_small_history(self):
+        assert cross_validate(History([write("a", 0, 1), read("a", 2, 3)])) is True

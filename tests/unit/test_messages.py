@@ -1,0 +1,61 @@
+"""Unit tests for the protocol message definitions."""
+
+import pickle
+
+from repro.core.messages import (
+    ALL_MESSAGE_TYPES,
+    MESSAGE_TYPE_BY_NAME,
+    BaselineQuery,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    Write,
+    WriteAck,
+)
+from repro.core.types import FreezeDirective, TimestampValue
+
+
+class TestMessageBasics:
+    def test_kind_matches_class_name(self):
+        assert Read(sender="r1").kind == "Read"
+        assert PreWrite(sender="w").kind == "PreWrite"
+
+    def test_registry_covers_all_types(self):
+        assert set(MESSAGE_TYPE_BY_NAME) == {cls.__name__ for cls in ALL_MESSAGE_TYPES}
+        assert MESSAGE_TYPE_BY_NAME["ReadAck"] is ReadAck
+
+    def test_messages_are_immutable(self):
+        message = Read(sender="r1", read_ts=1, round=1)
+        try:
+            message.round = 2  # type: ignore[misc]
+            mutated = True
+        except Exception:
+            mutated = False
+        assert not mutated
+
+    def test_messages_are_hashable_value_objects(self):
+        a = WriteAck(sender="s1", round=2, ts=3)
+        b = WriteAck(sender="s1", round=2, ts=3)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_messages_pickle_roundtrip(self):
+        message = PreWrite(
+            sender="w",
+            ts=3,
+            pw=TimestampValue(3, "v"),
+            w=TimestampValue(2, "u"),
+            frozen=(FreezeDirective("r1", TimestampValue(3, "v"), 4),),
+        )
+        clone = pickle.loads(pickle.dumps(message))
+        assert clone == message
+
+    def test_defaults_are_sensible(self):
+        ack = PreWriteAck(sender="s1")
+        assert ack.newread == ()
+        write = Write(sender="w")
+        assert write.from_writer is True
+        assert write.frozen == ()
+        query = BaselineQuery(sender="r1")
+        assert query.op_id == 0

@@ -1,0 +1,212 @@
+"""Unit tests for the reader automaton (Fig. 2), driven message by message."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.messages import Read, ReadAck, Write, WriteAck
+from repro.core.reader import AtomicReader
+from repro.core.types import INITIAL_PAIR, FrozenEntry, TimestampValue
+
+
+@pytest.fixture
+def config():
+    # S=6, S-t=4, fastpw quorum 5, safe quorum 2.
+    return SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+
+@pytest.fixture
+def reader(config):
+    return AtomicReader("r1", config, timer_delay=5.0)
+
+
+V1 = TimestampValue(1, "v1")
+V2 = TimestampValue(2, "v2")
+
+
+def round1_timer(reader):
+    return f"{reader.process_id}/op{reader._op_counter}/read-round-1"
+
+
+def ack(server_id, pw, w=None, vw=None, frozen=None, read_ts=1, rnd=1):
+    return ReadAck(
+        sender=server_id,
+        read_ts=read_ts,
+        round=rnd,
+        pw=pw,
+        w=w if w is not None else pw,
+        vw=vw if vw is not None else INITIAL_PAIR,
+        frozen=frozen if frozen is not None else FrozenEntry(),
+    )
+
+
+class TestReadRounds:
+    def test_read_broadcasts_round_one(self, reader, config):
+        effects = reader.read()
+        assert reader.read_ts == 1
+        messages = [send.message for send in effects.sends]
+        assert all(isinstance(message, Read) and message.round == 1 for message in messages)
+        assert len(messages) == config.num_servers
+        assert len(effects.timers) == 1
+
+    def test_read_while_busy_rejected(self, reader):
+        reader.read()
+        with pytest.raises(RuntimeError):
+            reader.read()
+
+    def test_fast_read_after_full_pw_quorum(self, reader, config):
+        # Synchronous run: the fastpw quorum of replies arrives before the
+        # round-1 timer expires.
+        reader.read()
+        for index in range(1, config.fast_read_pw_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1))
+            assert not effects.completions
+        effects = reader.on_timer(round1_timer(reader))
+        completion = effects.completions[0]
+        assert completion.fast
+        assert completion.rounds == 1
+        assert completion.value == "v1"
+        assert completion.metadata["writeback"] is False
+
+    def test_no_return_before_timer_in_round_one(self, reader, config):
+        reader.read()
+        effects = None
+        for index in range(1, config.num_servers + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1))
+        assert not effects.completions
+        effects = reader.on_timer(round1_timer(reader))
+        assert effects.completions
+
+    def test_fast_read_via_vw_quorum(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        effects = None
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1, vw=V1))
+        completion = effects.completions[0]
+        assert completion.fast and completion.value == "v1"
+
+    def test_safe_but_not_fast_triggers_writeback(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        # Only S-t = 4 servers respond with the value: safe and highCand hold
+        # but neither fastpw (needs 5) nor fastvw (vw stale) does.
+        effects = None
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1))
+        assert not effects.completions
+        writebacks = [send.message for send in effects.sends]
+        assert all(isinstance(message, Write) and message.round == 1 for message in writebacks)
+
+    def test_empty_candidate_set_starts_next_round(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        # One server reports a higher forged value: with only four responders it
+        # is neither safe nor invalidated, so C is empty and round 2 begins.
+        effects = reader.handle_message(ack("s1", V2))
+        for index in range(2, config.round_quorum):
+            effects = reader.handle_message(ack(f"s{index}", V1))
+        assert not effects.sends
+        effects = reader.handle_message(ack(f"s{config.round_quorum}", V1))
+        round2 = [send.message for send in effects.sends]
+        assert all(isinstance(message, Read) and message.round == 2 for message in round2)
+
+    def test_round_two_needs_no_timer(self, reader, config):
+        self.test_empty_candidate_set_starts_next_round(reader, config)
+        effects = None
+        for index in range(1, config.num_servers + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1, rnd=2))
+        # All six servers now agree on V1, which invalidates the forged V2.
+        assert not any(isinstance(send.message, Read) for send in effects.sends)
+
+    def test_stale_read_ts_acks_ignored(self, reader):
+        reader.read()
+        effects = reader.handle_message(ack("s1", V1, read_ts=99))
+        assert effects.empty
+
+
+class TestWriteback:
+    def _reach_writeback(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1))
+        return effects
+
+    def test_writeback_runs_three_rounds_then_completes(self, reader, config):
+        self._reach_writeback(reader, config)
+        for round_number in (1, 2):
+            effects = None
+            for index in range(1, config.round_quorum + 1):
+                effects = reader.handle_message(
+                    WriteAck(sender=f"s{index}", round=round_number, ts=reader.read_ts)
+                )
+            next_round = [send.message for send in effects.sends]
+            assert all(message.round == round_number + 1 for message in next_round)
+        effects = None
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(
+                WriteAck(sender=f"s{index}", round=3, ts=reader.read_ts)
+            )
+        completion = effects.completions[0]
+        assert completion.rounds == 4  # 1 read round + 3 write-back rounds
+        assert not completion.fast
+        assert completion.metadata["writeback"] is True
+
+    def test_writeback_acks_with_wrong_ts_ignored(self, reader, config):
+        self._reach_writeback(reader, config)
+        effects = reader.handle_message(WriteAck(sender="s1", round=1, ts=12345))
+        assert effects.empty
+
+
+class TestFrozenPath:
+    def test_frozen_value_returned_even_with_forged_higher_value(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        frozen = FrozenEntry(V1, read_ts=1)
+        reader.handle_message(ack("s1", TimestampValue(50, "forged")))
+        reader.handle_message(ack("s2", INITIAL_PAIR, frozen=frozen))
+        reader.handle_message(ack("s3", INITIAL_PAIR, frozen=frozen))
+        effects = reader.handle_message(ack("s4", INITIAL_PAIR))
+        # The frozen candidate is selectable; the reader proceeds (slow path,
+        # because fast() does not hold for it).
+        assert any(isinstance(send.message, Write) for send in effects.sends)
+
+    def test_frozen_entry_for_older_read_is_ignored(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        stale_frozen = FrozenEntry(V1, read_ts=0)
+        effects = None
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", INITIAL_PAIR, frozen=stale_frozen))
+        # Nothing is safe (only the initial value is live, which is safe) —
+        # actually the initial pair is live at every responder, so it is the
+        # candidate; the frozen pair for the *previous* read must not be.
+        selected = reader.views.selectable(reader.read_ts)
+        assert V1 not in selected
+
+
+class TestAblationFlags:
+    def test_no_timer_mode_acts_on_round_quorum(self, config):
+        # Without the round-1 timer the reader decides at S - t replies, below
+        # the fastpw quorum: the value is returned but only after a write-back
+        # (this documents why the timer wait of Fig. 2 line 17 exists).
+        reader = AtomicReader("r1", config, wait_for_timer=False)
+        effects = reader.read()
+        assert not effects.timers
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1))
+        assert not effects.completions
+        assert any(isinstance(send.message, Write) for send in effects.sends)
+
+    def test_disabled_fast_path_forces_writeback(self, config):
+        reader = AtomicReader("r1", config, enable_fast_path=False, wait_for_timer=False)
+        reader.read()
+        effects = None
+        for index in range(1, config.round_quorum + 1):
+            effects = reader.handle_message(ack(f"s{index}", V1, vw=V1))
+        assert not effects.completions
+        assert any(isinstance(send.message, Write) for send in effects.sends)
+
+    def test_describe_reports_read_ts(self, reader):
+        reader.read()
+        assert reader.describe()["read_ts"] == 1

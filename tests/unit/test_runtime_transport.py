@@ -1,0 +1,181 @@
+"""Unit tests for the asyncio transports and nodes."""
+
+import asyncio
+
+import pytest
+
+from repro.core.automaton import Automaton, Effects
+from repro.core.config import SystemConfig
+from repro.core.messages import Read, ReadAck
+from repro.core.server import StorageServer
+from repro.runtime.node import AutomatonNode
+from repro.runtime.transport import (
+    InMemoryTransport,
+    TcpTransport,
+    constant_delay,
+    no_delay,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _Recorder:
+    """A minimal handler recording (source, message) pairs."""
+
+    def __init__(self):
+        self.received = []
+
+    async def __call__(self, source, message):
+        self.received.append((source, message))
+
+
+class TestInMemoryTransport:
+    def test_message_delivered_to_registered_handler(self):
+        async def scenario():
+            transport = InMemoryTransport()
+            recorder = _Recorder()
+            transport.register("s1", recorder)
+            await transport.send("r1", "s1", Read(sender="r1", read_ts=1, round=1))
+            await asyncio.sleep(0.01)
+            return recorder.received
+
+        received = run(scenario())
+        assert len(received) == 1
+        assert received[0][0] == "r1"
+
+    def test_unknown_destination_is_dropped_silently(self):
+        async def scenario():
+            transport = InMemoryTransport()
+            await transport.send("r1", "nowhere", Read(sender="r1"))
+            return True
+
+        assert run(scenario())
+
+    def test_close_prevents_further_deliveries(self):
+        async def scenario():
+            transport = InMemoryTransport(constant_delay(0.05))
+            recorder = _Recorder()
+            transport.register("s1", recorder)
+            await transport.send("r1", "s1", Read(sender="r1"))
+            await transport.close()
+            await asyncio.sleep(0.1)
+            return recorder.received
+
+        assert run(scenario()) == []
+
+    def test_delay_function_is_applied(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            transport = InMemoryTransport(constant_delay(0.05))
+            recorder = _Recorder()
+            arrival = {}
+
+            async def timed_handler(source, message):
+                arrival["at"] = loop.time()
+
+            transport.register("s1", timed_handler)
+            start = loop.time()
+            await transport.send("r1", "s1", Read(sender="r1"))
+            await asyncio.sleep(0.1)
+            return arrival["at"] - start
+
+        assert run(scenario()) >= 0.045
+
+    def test_no_delay_helper(self):
+        assert no_delay("a", "b") == 0.0
+        assert constant_delay(0.25)("a", "b") == 0.25
+
+
+class TestTcpTransport:
+    def test_round_trip_over_sockets(self):
+        async def scenario():
+            transport = TcpTransport()
+            recorder = _Recorder()
+            transport.register("s1", recorder)
+            await transport.start()
+            await transport.send("r1", "s1", Read(sender="r1", read_ts=7, round=2))
+            await asyncio.sleep(0.1)
+            await transport.close()
+            return recorder.received
+
+        received = run(scenario())
+        assert len(received) == 1
+        source, message = received[0]
+        assert source == "r1"
+        assert message.read_ts == 7 and message.round == 2
+
+    def test_send_to_unregistered_destination_is_ignored(self):
+        async def scenario():
+            transport = TcpTransport()
+            await transport.start()
+            await transport.send("r1", "ghost", Read(sender="r1"))
+            await transport.close()
+            return True
+
+        assert run(scenario())
+
+
+class TestAutomatonNode:
+    def test_node_routes_replies_back_through_transport(self):
+        config = SystemConfig(t=1, b=0, fw=0, fr=0, num_readers=1)
+
+        async def scenario():
+            transport = InMemoryTransport()
+            recorder = _Recorder()
+            transport.register("r1", recorder)
+            node = AutomatonNode(StorageServer("s1", config), transport, time_scale=0.001)
+            await node.start()
+            await transport.send("r1", "s1", Read(sender="r1", read_ts=1, round=1))
+            await asyncio.sleep(0.05)
+            await node.stop()
+            await transport.close()
+            return recorder.received
+
+        received = run(scenario())
+        assert len(received) == 1
+        assert isinstance(received[0][1], ReadAck)
+
+    def test_crashed_node_ignores_messages(self):
+        config = SystemConfig(t=1, b=0, fw=0, fr=0, num_readers=1)
+
+        async def scenario():
+            transport = InMemoryTransport()
+            recorder = _Recorder()
+            transport.register("r1", recorder)
+            node = AutomatonNode(StorageServer("s1", config), transport, time_scale=0.001)
+            node.crash()
+            await node.start()
+            await transport.send("r1", "s1", Read(sender="r1", read_ts=1, round=1))
+            await asyncio.sleep(0.05)
+            await node.stop()
+            await transport.close()
+            return recorder.received
+
+        assert run(scenario()) == []
+
+    def test_timer_effects_fire_through_the_event_loop(self):
+        fired = []
+
+        class TimerAutomaton(Automaton):
+            def handle_message(self, message):
+                effects = Effects()
+                effects.start_timer("demo", 10.0)  # 10 units * 0.001 = 10 ms
+                return effects
+
+            def on_timer(self, timer_id):
+                fired.append(timer_id)
+                return Effects()
+
+        async def scenario():
+            transport = InMemoryTransport()
+            node = AutomatonNode(TimerAutomaton("p1"), transport, time_scale=0.001)
+            await node.start()
+            await transport.send("x", "p1", Read(sender="x"))
+            await asyncio.sleep(0.1)
+            await node.stop()
+            await transport.close()
+            return fired
+
+        assert run(scenario()) == ["demo"]

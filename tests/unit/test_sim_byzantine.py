@@ -1,0 +1,135 @@
+"""Unit tests for Byzantine server strategies."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.messages import PreWrite, Read, ReadAck, Write
+from repro.core.server import StorageServer
+from repro.core.types import TimestampValue
+from repro.sim.byzantine import (
+    DelayedHonestyStrategy,
+    EquivocationStrategy,
+    ForgeHighTimestampStrategy,
+    ForgedStateStrategy,
+    MaliciousServer,
+    MuteStrategy,
+    StaleReplayStrategy,
+    TwoFacedStrategy,
+    make_strategy,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+
+
+def wrap(config, strategy):
+    return MaliciousServer(StorageServer("s1", config), strategy)
+
+
+READ = Read(sender="r1", read_ts=3, round=1)
+V1 = TimestampValue(1, "v1")
+
+
+class TestMute:
+    def test_mute_never_replies(self, config):
+        server = wrap(config, MuteStrategy())
+        assert server.handle_message(READ).empty
+        assert server.handle_message(PreWrite(sender="w", ts=1, pw=V1, w=V1)).empty
+
+    def test_inner_state_still_tracks_messages(self, config):
+        server = wrap(config, MuteStrategy())
+        server.handle_message(Write(sender="w", round=1, ts=1, pair=V1))
+        assert server.inner.pw == V1
+
+
+class TestForgeHighTimestamp:
+    def test_read_reply_is_forged(self, config):
+        server = wrap(config, ForgeHighTimestampStrategy())
+        effects = server.handle_message(READ)
+        reply = effects.sends[0].message
+        assert isinstance(reply, ReadAck)
+        assert reply.pw.val == "FORGED"
+        assert reply.pw.ts >= 10**9
+        assert reply.read_ts == READ.read_ts  # valid-looking reply
+
+    def test_writer_messages_answered_honestly(self, config):
+        server = wrap(config, ForgeHighTimestampStrategy())
+        effects = server.handle_message(PreWrite(sender="w", ts=1, pw=V1, w=V1))
+        assert effects.sends[0].message.ts == 1
+
+
+class TestStaleReplay:
+    def test_reports_initial_state_forever(self, config):
+        server = wrap(config, StaleReplayStrategy())
+        server.handle_message(Write(sender="w", round=3, ts=5, pair=TimestampValue(5, "new")))
+        reply = server.handle_message(READ).sends[0].message
+        assert reply.pw.ts == 0
+        assert reply.vw.ts == 0
+
+    def test_non_read_messages_are_honest(self, config):
+        server = wrap(config, StaleReplayStrategy())
+        effects = server.handle_message(PreWrite(sender="w", ts=2, pw=V1, w=V1))
+        assert effects.sends[0].message.ts == 2
+
+
+class TestTwoFaced:
+    def test_honest_towards_selected_clients_only(self, config):
+        strategy = TwoFacedStrategy(honest_towards={"r1"}, lie=StaleReplayStrategy())
+        server = wrap(config, strategy)
+        server.handle_message(Write(sender="w", round=1, ts=4, pair=TimestampValue(4, "x")))
+        honest_reply = server.handle_message(Read(sender="r1", read_ts=1, round=1)).sends[0].message
+        lying_reply = server.handle_message(Read(sender="r2", read_ts=1, round=1)).sends[0].message
+        assert honest_reply.pw.ts == 4
+        assert lying_reply.pw.ts == 0
+
+
+class TestForgedState:
+    def test_forged_pair_presented_in_pw(self, config):
+        pair = TimestampValue(7, "phantom")
+        server = wrap(config, ForgedStateStrategy(forged_pair=pair))
+        reply = server.handle_message(READ).sends[0].message
+        assert reply.pw == pair
+
+    def test_w_and_vw_forged_only_when_asked(self, config):
+        pair = TimestampValue(7, "phantom")
+        server = wrap(config, ForgedStateStrategy(forged_pair=pair, include_w=True, include_vw=True))
+        reply = server.handle_message(READ).sends[0].message
+        assert reply.w == pair and reply.vw == pair
+
+
+class TestEquivocation:
+    def test_different_readers_get_different_forgeries(self, config):
+        server = wrap(config, EquivocationStrategy())
+        reply1 = server.handle_message(Read(sender="r1", read_ts=1, round=1)).sends[0].message
+        reply2 = server.handle_message(Read(sender="r2", read_ts=1, round=1)).sends[0].message
+        assert reply1.pw.val != reply2.pw.val
+
+    def test_same_reader_gets_consistent_forgery(self, config):
+        server = wrap(config, EquivocationStrategy())
+        reply1 = server.handle_message(Read(sender="r1", read_ts=1, round=1)).sends[0].message
+        reply2 = server.handle_message(Read(sender="r1", read_ts=2, round=1)).sends[0].message
+        assert reply1.pw.val == reply2.pw.val
+
+
+class TestDelayedHonesty:
+    def test_first_messages_dropped_then_honest(self, config):
+        server = wrap(config, DelayedHonestyStrategy(drop_count=2))
+        assert server.handle_message(READ).empty
+        assert server.handle_message(READ).empty
+        assert not server.handle_message(READ).empty
+
+
+class TestRegistry:
+    def test_make_strategy_by_name(self):
+        assert isinstance(make_strategy("mute"), MuteStrategy)
+        assert isinstance(make_strategy("stale-replay"), StaleReplayStrategy)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("does-not-exist")
+
+    def test_describe_includes_strategy_name(self, config):
+        server = wrap(config, MuteStrategy())
+        assert server.describe()["byzantine"]["strategy"] == "mute"

@@ -1,0 +1,68 @@
+"""Unit tests for the simulator's event queue and event types."""
+
+import pytest
+
+from repro.core.messages import Read
+from repro.sim.events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, TimerEvent("p1", "a"))
+        queue.push(1.0, TimerEvent("p1", "b"))
+        queue.push(3.0, TimerEvent("p1", "c"))
+        order = [queue.pop().event.timer_id for _ in range(3)]
+        assert order == ["b", "c", "a"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(1.0, TimerEvent("p1", "first"))
+        queue.push(1.0, TimerEvent("p1", "second"))
+        assert queue.pop().event.timer_id == "first"
+        assert queue.pop().event.timer_id == "second"
+
+    def test_pop_on_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time_reports_earliest(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(7.0, TimerEvent("p1", "x"))
+        queue.push(2.0, TimerEvent("p1", "y"))
+        assert queue.peek_time() == 2.0
+
+    def test_cancelled_entries_are_skipped(self):
+        queue = EventQueue()
+        entry = queue.push(1.0, TimerEvent("p1", "cancelled"))
+        queue.push(2.0, TimerEvent("p1", "kept"))
+        EventQueue.cancel(entry)
+        assert queue.peek_time() == 2.0
+        assert queue.pop().event.timer_id == "kept"
+        assert len(queue) == 0
+
+    def test_len_counts_pending_entries_only(self):
+        queue = EventQueue()
+        first = queue.push(1.0, TimerEvent("p1", "a"))
+        queue.push(2.0, TimerEvent("p1", "b"))
+        assert len(queue) == 2
+        EventQueue.cancel(first)
+        assert len(queue) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, TimerEvent("p1", "x"))
+
+
+class TestEventTypes:
+    def test_delivery_event_carries_message_and_times(self):
+        message = Read(sender="r1", read_ts=1, round=1)
+        event = DeliveryEvent(source="r1", destination="s1", message=message, send_time=0.5)
+        assert event.message is message
+        assert event.destination == "s1"
+
+    def test_invocation_event_runs_action(self):
+        hits = []
+        event = InvocationEvent(label="demo", action=lambda: hits.append(1))
+        event.action()
+        assert hits == [1]

@@ -1,0 +1,52 @@
+"""Unit tests for the crash-failure schedule."""
+
+import pytest
+
+from repro.sim.failures import FailureSchedule
+
+
+class TestFailureSchedule:
+    def test_none_schedule_never_crashes(self):
+        schedule = FailureSchedule.none()
+        assert not schedule.is_crashed("s1", 1000.0)
+
+    def test_crash_at_start_applies_immediately(self):
+        schedule = FailureSchedule.crash_at_start(["s1", "s2"])
+        assert schedule.is_crashed("s1", 0.0)
+        assert schedule.is_crashed("s2", 5.0)
+        assert not schedule.is_crashed("s3", 5.0)
+
+    def test_crash_servers_at_start_takes_prefix(self):
+        schedule = FailureSchedule.crash_servers_at_start(2, ["s1", "s2", "s3"])
+        assert schedule.is_crashed("s1", 0.0) and schedule.is_crashed("s2", 0.0)
+        assert not schedule.is_crashed("s3", 0.0)
+
+    def test_crash_servers_at_start_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            FailureSchedule.crash_servers_at_start(4, ["s1", "s2"])
+
+    def test_crash_respects_time(self):
+        schedule = FailureSchedule().crash("s1", at=10.0)
+        assert not schedule.is_crashed("s1", 9.9)
+        assert schedule.is_crashed("s1", 10.0)
+
+    def test_earliest_crash_time_wins(self):
+        schedule = FailureSchedule().crash("s1", at=10.0).crash("s1", at=5.0)
+        assert schedule.is_crashed("s1", 5.0)
+        schedule2 = FailureSchedule().crash("s1", at=5.0).crash("s1", at=10.0)
+        assert schedule2.is_crashed("s1", 5.0)
+
+    def test_crashed_by_lists_processes(self):
+        schedule = FailureSchedule({"s1": 1.0, "s2": 5.0})
+        assert schedule.crashed_by(2.0) == ["s1"]
+        assert set(schedule.crashed_by(10.0)) == {"s1", "s2"}
+
+    def test_crash_count_over_subset(self):
+        schedule = FailureSchedule({"s1": 0.0, "r1": 0.0})
+        assert schedule.crash_count(["s1", "s2"]) == 1
+
+    def test_validate_enforces_model_bound(self):
+        schedule = FailureSchedule.crash_at_start(["s1", "s2"])
+        schedule.validate(["s1", "s2", "s3"], t=2)
+        with pytest.raises(ValueError):
+            schedule.validate(["s1", "s2", "s3"], t=1)

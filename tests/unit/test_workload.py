@@ -1,0 +1,83 @@
+"""Unit tests for workload generation and execution."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.sim.cluster import SimCluster
+from repro.sim.latency import FixedDelay
+from repro.verify.atomicity import check_atomicity
+from repro.workload.generator import (
+    consecutive_read_workload,
+    contended_workload,
+    lucky_workload,
+    poisson_workload,
+    run_workload,
+    run_workload_history,
+    value_sequence,
+)
+
+
+class TestGenerators:
+    def test_value_sequence_is_unique(self):
+        values = value_sequence()
+        drawn = [next(values) for _ in range(100)]
+        assert len(set(drawn)) == 100
+
+    def test_lucky_workload_alternates_and_spaces_operations(self):
+        workload = lucky_workload(3, readers=["r1", "r2"], gap=10.0)
+        assert len(workload.writes()) == 3
+        assert len(workload.reads()) == 3
+        times = [op.at for op in workload.sorted()]
+        assert times == sorted(times)
+        assert all(later - earlier >= 10.0 for earlier, later in zip(times, times[1:]))
+
+    def test_contended_workload_overlaps_reads_with_writes(self):
+        workload = contended_workload(4, readers=["r1"], write_gap=10.0, read_offset=0.5)
+        writes = workload.writes()
+        reads = workload.reads()
+        assert len(writes) == len(reads) == 4
+        for write_op, read_op in zip(writes, reads):
+            assert read_op.at == pytest.approx(write_op.at + 0.5)
+
+    def test_consecutive_read_workload_shape(self):
+        workload = consecutive_read_workload(5, readers=["r1", "r2"], num_sequences=2)
+        assert len(workload.writes()) == 2
+        assert len(workload.reads()) == 10
+
+    def test_poisson_workload_respects_duration_and_seed(self):
+        first = poisson_workload(50.0, write_rate=0.2, read_rate=0.4, readers=["r1"], seed=3)
+        second = poisson_workload(50.0, write_rate=0.2, read_rate=0.4, readers=["r1"], seed=3)
+        assert [op.at for op in first.sorted()] == [op.at for op in second.sorted()]
+        assert all(op.at <= 50.0 + 50.0 for op in first.operations)
+
+    def test_write_values_are_unique_within_workload(self):
+        workload = lucky_workload(10, readers=["r1"])
+        values = [op.value for op in workload.writes()]
+        assert len(set(values)) == len(values)
+
+
+class TestExecution:
+    def _cluster(self):
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=2)
+        return SimCluster(LuckyAtomicProtocol(config), delay_model=FixedDelay(1.0))
+
+    def test_run_workload_completes_every_operation(self):
+        cluster = self._cluster()
+        workload = lucky_workload(3, readers=["r1", "r2"], gap=10.0)
+        handles = run_workload(cluster, workload)
+        assert len(handles) == 6
+        assert all(handle.done for handle in handles)
+
+    def test_run_workload_defers_overlapping_invocations_of_same_client(self):
+        cluster = self._cluster()
+        workload = contended_workload(3, readers=["r1"], write_gap=0.1, read_offset=0.05)
+        handles = run_workload(cluster, workload)
+        assert all(handle.done for handle in handles)
+        # Well-formedness: the writer's operations never overlap each other.
+        assert cluster.history().writer_is_well_formed()
+
+    def test_run_workload_history_is_atomic(self):
+        cluster = self._cluster()
+        history = run_workload_history(cluster, contended_workload(4, readers=["r1", "r2"]))
+        assert check_atomicity(history).ok
