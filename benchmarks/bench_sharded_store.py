@@ -1,0 +1,49 @@
+"""S1 — sharded store: aggregate throughput scales with the shard count.
+
+The sharded store multiplexes N independent lucky-atomic registers over one
+server fleet.  A single register serializes each client's operations (the
+paper's well-formedness); sharding lifts that limit *across* keys, so the same
+dense workload completes faster as shards are added — while every per-key
+history still passes the single-register atomicity checker, even with a
+Byzantine server in the fleet.
+"""
+
+import pytest
+
+from repro.store.bench import (
+    run_store_throughput,
+    sharded_throughput_sweep,
+    zipf_store_scenario,
+)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+def test_store_workload_cost_per_shard_count(benchmark, shards):
+    """Wall-clock cost of driving the dense workload at each shard count."""
+    store, throughput = benchmark(run_store_throughput, shards, num_operations=48)
+    assert throughput > 0
+    assert len(store.completed_operations()) == 48
+
+
+def test_s1_throughput_increases_monotonically_to_eight_shards(benchmark):
+    table = benchmark.pedantic(sharded_throughput_sweep, rounds=1, iterations=1)
+    throughputs = table.column("throughput")
+    assert len(throughputs) == 8
+    # The acceptance bar: aggregate throughput grows monotonically 1 -> 8.
+    assert all(
+        later > earlier for earlier, later in zip(throughputs, throughputs[1:])
+    ), f"throughput not monotonically increasing: {throughputs}"
+    # Sharding overlaps client operations, so the gain is substantial, not
+    # marginal: 8 shards must beat 1 shard by at least 4x on this workload.
+    assert throughputs[-1] / throughputs[0] > 4.0
+
+
+def test_s1_zipf_keyspace_atomic_with_byzantine_server(benchmark):
+    store = benchmark.pedantic(
+        zipf_store_scenario,
+        kwargs={"num_operations": 150, "num_keys": 6, "byzantine": True},
+        rounds=1,
+        iterations=1,
+    )
+    results = store.check_atomicity()
+    assert results and all(result.ok for result in results.values())

@@ -31,7 +31,12 @@ from .core import (
     TimestampValue,
     is_bottom,
 )
-from .runtime import AsyncCluster, tcp_cluster
+from .runtime import (
+    AsyncCluster,
+    ShardedAsyncCluster,
+    sharded_tcp_cluster,
+    tcp_cluster,
+)
 from .sim import (
     FailureSchedule,
     FixedDelay,
@@ -40,6 +45,7 @@ from .sim import (
     SlowProcessDelay,
     UniformDelay,
 )
+from .store import ShardedProtocol, ShardedSimStore
 from .variants import (
     RegularStorageProtocol,
     TradingReadsProtocol,
@@ -64,6 +70,10 @@ __all__ = [
     "TimestampValue",
     "is_bottom",
     "AsyncCluster",
+    "ShardedAsyncCluster",
+    "ShardedProtocol",
+    "ShardedSimStore",
+    "sharded_tcp_cluster",
     "tcp_cluster",
     "FailureSchedule",
     "FixedDelay",

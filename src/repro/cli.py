@@ -52,6 +52,25 @@ def _build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--t", type=int, default=2)
     demo_parser.add_argument("--b", type=int, default=1)
     demo_parser.add_argument("--failures", type=int, default=0)
+
+    store_parser = subparsers.add_parser(
+        "store-bench",
+        help="sharded store: aggregate throughput vs shard count (+ Zipf check)",
+    )
+    store_parser.add_argument(
+        "--max-shards", type=int, default=8, help="sweep shard counts 1..N"
+    )
+    store_parser.add_argument(
+        "--ops", type=int, default=96, help="operations per sweep point"
+    )
+    store_parser.add_argument("--t", type=int, default=1)
+    store_parser.add_argument("--b", type=int, default=0)
+    store_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    store_parser.add_argument(
+        "--skip-zipf",
+        action="store_true",
+        help="skip the Zipf keyspace atomicity check (with one Byzantine server)",
+    )
     return parser
 
 
@@ -84,6 +103,33 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_bench(args: argparse.Namespace) -> int:
+    from .store.bench import sharded_throughput_sweep, zipf_store_scenario
+
+    table = sharded_throughput_sweep(
+        shard_counts=range(1, args.max_shards + 1),
+        num_operations=args.ops,
+        t=args.t,
+        b=args.b,
+    )
+    print(table.to_markdown() if args.markdown else table.format())
+    if not args.skip_zipf:
+        # The Byzantine scenario needs b >= 1, so it runs on its own fixed
+        # configuration rather than the sweep's --t/--b.
+        store = zipf_store_scenario(byzantine=True)
+        config = store.config
+        results = store.check_atomicity()
+        ok = all(result.ok for result in results.values())
+        print(
+            f"\nZipf keyspace (t={config.t} b={config.b}, {len(results)} keys, "
+            "1 Byzantine server): "
+            + ("all per-key histories atomic" if ok else "ATOMICITY VIOLATED")
+        )
+        if not ok:
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``lucky-storage`` console script."""
     parser = _build_parser()
@@ -94,6 +140,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_experiment(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "store-bench":
+        return _cmd_store_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -10,7 +10,7 @@ channels between two non-malicious processes — the transports enforce that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, FrozenSet, Optional, Tuple
 
 from .types import FrozenEntry, FreezeDirective, NewReadReport, TimestampValue
@@ -18,14 +18,26 @@ from .types import FrozenEntry, FreezeDirective, NewReadReport, TimestampValue
 
 @dataclass(frozen=True)
 class Message:
-    """Base class for every protocol message."""
+    """Base class for every protocol message.
+
+    ``register_id`` multiplexes many independent register instances over one
+    server fleet and transport (the sharded store of :mod:`repro.store`); the
+    single-register deployments of the paper leave it at the default ``""``.
+    """
 
     sender: str
+    register_id: str = ""
 
     @property
     def kind(self) -> str:
         """Short name used in traces and transport framing."""
         return type(self).__name__
+
+    def tagged(self, register_id: str) -> "Message":
+        """A copy of this message addressed to the register *register_id*."""
+        if self.register_id == register_id:
+            return self
+        return replace(self, register_id=register_id)
 
 
 # --------------------------------------------------------------------------- #

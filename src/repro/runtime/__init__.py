@@ -1,7 +1,7 @@
 """Asyncio runtime: the same automata over real timers, queues and TCP sockets."""
 
-from .cluster import AsyncCluster, tcp_cluster
-from .node import AutomatonNode, ClientNode
+from .cluster import AsyncCluster, ShardedAsyncCluster, sharded_tcp_cluster, tcp_cluster
+from .node import AutomatonNode, ClientNode, ShardedClientNode
 from .transport import (
     DelayFunction,
     InMemoryTransport,
@@ -13,9 +13,12 @@ from .transport import (
 
 __all__ = [
     "AsyncCluster",
+    "ShardedAsyncCluster",
     "tcp_cluster",
+    "sharded_tcp_cluster",
     "AutomatonNode",
     "ClientNode",
+    "ShardedClientNode",
     "DelayFunction",
     "InMemoryTransport",
     "TcpTransport",

@@ -20,10 +20,18 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional
 
+__all__ = [
+    "AsyncCluster",
+    "ShardedAsyncCluster",
+    "tcp_cluster",
+    "sharded_tcp_cluster",
+]
+
 from ..core.automaton import OperationComplete
 from ..core.protocol import ProtocolSuite
+from ..store.sharding import ShardedProtocol, StrategyFactory
 from ..verify.history import History
-from .node import AutomatonNode, ClientNode
+from .node import AutomatonNode, ClientNode, ShardedClientNode
 from .transport import DelayFunction, InMemoryTransport, TcpTransport, Transport, constant_delay
 
 
@@ -53,27 +61,32 @@ class AsyncCluster:
         self.timer_delay = timer_delay
 
         self.server_nodes: Dict[str, AutomatonNode] = {}
-        self.client_nodes: Dict[str, ClientNode] = {}
+        self.client_nodes: Dict[str, AutomatonNode] = {}
         self._started = False
+        self._build_nodes()
 
+    #: Node class hosting client automata; the sharded cluster overrides it.
+    CLIENT_NODE_CLASS = ClientNode
+
+    def _build_nodes(self) -> None:
         for server_id in self.config.server_ids():
             node = AutomatonNode(
-                suite.create_server(server_id),
+                self.suite.create_server(server_id),
                 self.transport,
-                time_scale=time_scale,
+                time_scale=self.time_scale,
                 crashed=server_id in self._crashed,
             )
             self.server_nodes[server_id] = node
-        writer = suite.create_writer()
+        writer = self.suite.create_writer()
         writer.timer_delay = self.timer_delay
-        self.client_nodes[self.config.writer_id] = ClientNode(
-            writer, self.transport, time_scale=time_scale
+        self.client_nodes[self.config.writer_id] = self.CLIENT_NODE_CLASS(
+            writer, self.transport, time_scale=self.time_scale
         )
         for reader_id in self.config.reader_ids():
-            reader = suite.create_reader(reader_id)
+            reader = self.suite.create_reader(reader_id)
             reader.timer_delay = self.timer_delay
-            self.client_nodes[reader_id] = ClientNode(
-                reader, self.transport, time_scale=time_scale
+            self.client_nodes[reader_id] = self.CLIENT_NODE_CLASS(
+                reader, self.transport, time_scale=self.time_scale
             )
 
     # ----------------------------------------------------------------- lifecycle
@@ -142,3 +155,65 @@ class AsyncCluster:
 def tcp_cluster(suite: ProtocolSuite, **kwargs: Any) -> AsyncCluster:
     """Build an :class:`AsyncCluster` communicating over localhost TCP sockets."""
     return AsyncCluster(suite, transport=TcpTransport(), **kwargs)
+
+
+class ShardedAsyncCluster(AsyncCluster):
+    """An asyncio deployment of the sharded multi-register store.
+
+    All shards share one server fleet and one transport (in-memory or TCP);
+    each client node multiplexes one outstanding operation per key::
+
+        base = LuckyAtomicProtocol(config)
+        async with ShardedAsyncCluster(base, keys=["k1", "k2"]) as store:
+            await asyncio.gather(                 # concurrent across keys
+                store.write("k1", "a"),
+                store.write("k2", "b"),
+            )
+            read = await store.read("k1")
+    """
+
+    CLIENT_NODE_CLASS = ShardedClientNode
+
+    def __init__(
+        self,
+        base: ProtocolSuite,
+        keys: Iterable[str],
+        byzantine: Optional[Dict[str, StrategyFactory]] = None,
+        **kwargs: Any,
+    ) -> None:
+        suite = ShardedProtocol(base, list(keys), byzantine=byzantine)
+        super().__init__(suite, **kwargs)
+
+    @property
+    def keys(self) -> List[str]:
+        return list(self.suite.register_ids)
+
+    # ---------------------------------------------------------------- operations
+    async def write(self, key: str, value: Any) -> OperationComplete:  # type: ignore[override]
+        return await self.client_nodes[self.config.writer_id].write(key, value)
+
+    async def read(  # type: ignore[override]
+        self, key: str, reader_id: Optional[str] = None
+    ) -> OperationComplete:
+        reader_id = reader_id or self.config.reader_ids()[0]
+        return await self.client_nodes[reader_id].read(key)
+
+    # ------------------------------------------------------------------ history
+    def history(self, key: Optional[str] = None) -> History:  # type: ignore[override]
+        records = []
+        for node in self.client_nodes.values():
+            records.extend(node.records)
+        if key is not None:
+            records = [r for r in records if r.metadata.get("register_id") == key]
+        return History(records)
+
+    def histories(self) -> Dict[str, History]:
+        """Per-key histories suitable for the single-register checkers."""
+        return {key: self.history(key) for key in self.keys}
+
+
+def sharded_tcp_cluster(
+    base: ProtocolSuite, keys: Iterable[str], **kwargs: Any
+) -> ShardedAsyncCluster:
+    """Build a :class:`ShardedAsyncCluster` over localhost TCP sockets."""
+    return ShardedAsyncCluster(base, keys, transport=TcpTransport(), **kwargs)

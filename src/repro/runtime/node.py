@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
@@ -101,6 +102,30 @@ class AutomatonNode:
         """Server automata never complete operations; clients override this."""
 
 
+def _record_completion(node, completion: OperationComplete, started: float, pending_value: Any) -> None:
+    """Stamp wall-clock latency on *completion* and append a history record.
+
+    Shared by :class:`ClientNode` and :class:`ShardedClientNode`; *node* needs
+    ``records`` and ``start_time``.
+    """
+    now = time.monotonic()
+    # Expose the wall-clock latency both on the completion handed back to the
+    # caller and on the recorded history entry.
+    completion.metadata["latency_s"] = now - started
+    node.records.append(
+        OperationRecord(
+            client_id=node.process_id,
+            kind=completion.kind,
+            value=completion.value if completion.kind == "read" else pending_value,
+            invoked_at=started - node.start_time,
+            completed_at=now - node.start_time,
+            rounds=completion.rounds,
+            fast=completion.fast,
+            metadata=dict(completion.metadata),
+        )
+    )
+
+
 class ClientNode(AutomatonNode):
     """A node hosting a client automaton; exposes awaitable operations."""
 
@@ -145,24 +170,83 @@ class ClientNode(AutomatonNode):
         return await self._pending_future
 
     def _handle_completion(self, completion: OperationComplete) -> None:
+        # Release the slot unconditionally: the automaton has completed the
+        # operation, so even when the caller's future was cancelled (e.g. a
+        # wait_for timeout) the client must accept new invocations.
         future = self._pending_future
+        self._pending_future = None
         if future is None or future.done():
             return
-        now = time.monotonic()
-        # Expose the wall-clock latency both on the completion handed back to
-        # the caller and on the recorded history entry.
-        completion.metadata["latency_s"] = now - self._pending_started
-        self.records.append(
-            OperationRecord(
-                client_id=self.process_id,
-                kind=completion.kind,
-                value=completion.value if completion.kind == "read" else self._pending_value,
-                invoked_at=self._pending_started - self.start_time,
-                completed_at=now - self.start_time,
-                rounds=completion.rounds,
-                fast=completion.fast,
-                metadata=dict(completion.metadata, latency_s=now - self._pending_started),
-            )
-        )
-        self._pending_future = None
+        _record_completion(self, completion, self._pending_started, self._pending_value)
         future.set_result(completion)
+
+
+@dataclass
+class _PendingStoreOperation:
+    """One outstanding sharded-store operation of a :class:`ShardedClientNode`."""
+
+    future: asyncio.Future
+    started: float
+    kind: str
+    value: Any
+
+
+class ShardedClientNode(AutomatonNode):
+    """A node hosting a sharded client; one outstanding operation *per key*.
+
+    The inner per-register automata still enforce the paper's per-register
+    well-formedness; across registers the node multiplexes freely, which is
+    what lets one asyncio client saturate many shards concurrently.
+    """
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        transport: Transport,
+        time_scale: float = 0.001,
+    ) -> None:
+        super().__init__(automaton, transport, time_scale=time_scale)
+        self._pending: Dict[str, _PendingStoreOperation] = {}
+        self.records: list[OperationRecord] = []
+        self.start_time = time.monotonic()
+
+    # ------------------------------------------------------------- operations
+    async def write(self, key: str, value: Any) -> OperationComplete:
+        """Invoke WRITE(value) on register *key* and await its completion."""
+        return await self._invoke(key, "write", value)
+
+    async def read(self, key: str) -> OperationComplete:
+        """Invoke READ() on register *key* and await its completion."""
+        return await self._invoke(key, "read", None)
+
+    async def _invoke(self, key: str, kind: str, value: Any) -> OperationComplete:
+        if key in self._pending:
+            raise RuntimeError(
+                f"client {self.process_id} already has a pending "
+                f"{self._pending[key].kind} on register {key!r}"
+            )
+        # Invoke the automaton before registering the pending slot: an unknown
+        # register raises KeyError here, and a leftover slot would make every
+        # later operation on that key fail with a misleading "already pending".
+        if kind == "write":
+            effects = self.automaton.write(key, value)  # type: ignore[attr-defined]
+        else:
+            effects = self.automaton.read(key)  # type: ignore[attr-defined]
+        loop = asyncio.get_running_loop()
+        pending = _PendingStoreOperation(
+            future=loop.create_future(),
+            started=time.monotonic(),
+            kind=kind,
+            value=value,
+        )
+        self._pending[key] = pending
+        await self.apply_effects(effects)
+        return await pending.future
+
+    def _handle_completion(self, completion: OperationComplete) -> None:
+        key = completion.metadata.get("register_id")
+        pending = self._pending.pop(key, None)
+        if pending is None or pending.future.done():
+            return
+        _record_completion(self, completion, pending.started, pending.value)
+        pending.future.set_result(completion)

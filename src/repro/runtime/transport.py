@@ -125,6 +125,19 @@ async def _read_frame(reader: asyncio.StreamReader) -> Optional[Tuple[str, str, 
     return pickle.loads(payload)
 
 
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close *writer* and wait for the underlying socket to be released."""
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except asyncio.CancelledError:
+        # Teardown is racing an external cancellation; the transport is
+        # already closing, so the socket will still be released.
+        pass
+    except (ConnectionError, OSError):
+        pass
+
+
 class TcpTransport(Transport):
     """Localhost TCP transport with one listening socket per registered process.
 
@@ -133,6 +146,15 @@ class TcpTransport(Transport):
     is a 4-byte length prefix followed by a pickled ``(source, destination,
     message)`` tuple — adequate for a trusted benchmarking environment (the
     paper's model has no network-level adversary, only faulty *processes*).
+
+    Concurrent senders share the cached connection of their ``(source,
+    destination)`` pair, so each connection is guarded by an
+    :class:`asyncio.Lock`: without it, two tasks could interleave their
+    ``write()``/``drain()`` calls and corrupt the length-prefixed framing.  A
+    send that finds the peer gone (stale cached connection, connection reset,
+    broken pipe) reconnects once and retries instead of dropping the message
+    silently — the paper's channel model is reliable links, so the transport
+    must not lose messages just because a kernel buffer was recycled.
     """
 
     def __init__(self, host: str = "127.0.0.1") -> None:
@@ -140,7 +162,11 @@ class TcpTransport(Transport):
         self._handlers: Dict[str, Callable[[str, Message], Awaitable[None]]] = {}
         self._servers: Dict[str, asyncio.AbstractServer] = {}
         self._ports: Dict[str, int] = {}
-        self._connections: Dict[Tuple[str, str], asyncio.StreamWriter] = {}
+        self._connections: Dict[
+            Tuple[str, str], Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = {}
+        self._connection_locks: Dict[Tuple[str, str], asyncio.Lock] = {}
+        self._serve_tasks: set = set()
         self._closed = False
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
@@ -162,6 +188,9 @@ class TcpTransport(Transport):
         writer: asyncio.StreamWriter,
         handler: Callable[[str, Message], Awaitable[None]],
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._serve_tasks.add(task)
         try:
             while not self._closed:
                 frame = await _read_frame(reader)
@@ -175,32 +204,79 @@ class TcpTransport(Transport):
             # does not log it as an unhandled exception.
             pass
         finally:
-            writer.close()
+            if task is not None:
+                self._serve_tasks.discard(task)
+            await _close_writer(writer)
+
+    def _connection_stale(
+        self, connection: Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+    ) -> bool:
+        if connection is None:
+            return True
+        reader, writer = connection
+        # ``at_eof()`` flips as soon as the peer's FIN is processed, letting us
+        # notice a closed peer *before* writing into the dead socket (the
+        # first write after a clean peer close succeeds silently at the TCP
+        # level, so waiting for an exception would lose that frame).
+        return writer.is_closing() or reader.at_eof()
+
+    async def _drop_connection(self, key: Tuple[str, str]) -> None:
+        connection = self._connections.pop(key, None)
+        if connection is not None:
+            await _close_writer(connection[1])
 
     async def send(self, source: str, destination: str, message: Message) -> None:
         if self._closed or destination not in self._ports:
             return
         key = (source, destination)
-        writer = self._connections.get(key)
-        if writer is None or writer.is_closing():
-            try:
-                _reader, writer = await asyncio.open_connection(
-                    self.host, self._ports[destination]
-                )
-            except OSError:
-                return
-            self._connections[key] = writer
-        try:
-            writer.write(_encode_frame(source, destination, message))
-            await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            self._connections.pop(key, None)
+        # setdefault is atomic here: asyncio is single-threaded and there is
+        # no await between the lookup and the insertion.
+        lock = self._connection_locks.setdefault(key, asyncio.Lock())
+        frame = _encode_frame(source, destination, message)
+        async with lock:
+            # One reconnect + retry: the first attempt may fail (or be known
+            # stale) because the peer recycled the cached connection; a fresh
+            # connection failing too means the destination is genuinely down,
+            # which the protocol layer tolerates (it is a crash, not a lossy
+            # link).
+            for attempt in range(2):
+                if self._closed:
+                    return
+                connection = self._connections.get(key)
+                if self._connection_stale(connection):
+                    await self._drop_connection(key)
+                    try:
+                        connection = await asyncio.open_connection(
+                            self.host, self._ports[destination]
+                        )
+                    except OSError:
+                        return
+                    if self._closed:
+                        # close() ran while we were connecting; it has already
+                        # swept the cache, so caching now would leak the socket.
+                        await _close_writer(connection[1])
+                        return
+                    self._connections[key] = connection
+                writer = connection[1]
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                    return
+                except OSError:  # ConnectionResetError, BrokenPipeError, ...
+                    await self._drop_connection(key)
 
     async def close(self) -> None:
         self._closed = True
-        for writer in self._connections.values():
-            writer.close()
-        self._connections.clear()
+        for key in list(self._connections):
+            await self._drop_connection(key)
+        self._connection_locks.clear()
+        # Cancel in-flight _serve coroutines (each closes its own connection
+        # in its ``finally`` block) and wait for them to unwind.
+        for task in list(self._serve_tasks):
+            task.cancel()
+        if self._serve_tasks:
+            await asyncio.gather(*self._serve_tasks, return_exceptions=True)
+        self._serve_tasks.clear()
         for server in self._servers.values():
             server.close()
             await server.wait_closed()

@@ -53,7 +53,14 @@ class SimulationError(RuntimeError):
 
 @dataclass
 class OperationHandle:
-    """A pending or completed client operation in the simulation."""
+    """A pending or completed client operation in the simulation.
+
+    ``register_id`` is ``None`` for single-register deployments; sharded-store
+    operations carry the key they target.  ``scheduled_at`` records when a
+    workload *wanted* to invoke the operation, which can be earlier than
+    ``invoked_at`` when the invocation was deferred behind an outstanding
+    operation of the same client (the difference is the queueing delay).
+    """
 
     client_id: str
     kind: str
@@ -61,6 +68,8 @@ class OperationHandle:
     invoked_at: float = 0.0
     completed_at: Optional[float] = None
     result: Optional[OperationComplete] = None
+    register_id: Optional[str] = None
+    scheduled_at: Optional[float] = None
 
     @property
     def done(self) -> bool:
@@ -90,6 +99,22 @@ class OperationHandle:
             raise RuntimeError("operation has not completed")
         return self.completed_at - self.invoked_at
 
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent deferred behind an earlier operation of the same client."""
+        if self.scheduled_at is None:
+            return 0.0
+        return max(0.0, self.invoked_at - self.scheduled_at)
+
+    def _metadata_extras(self) -> Dict[str, Any]:
+        extras: Dict[str, Any] = {}
+        if self.register_id is not None:
+            extras["register_id"] = self.register_id
+        if self.scheduled_at is not None:
+            extras["scheduled_at"] = self.scheduled_at
+            extras["queueing_delay"] = self.queueing_delay
+        return extras
+
     def to_record(self) -> OperationRecord:
         """Convert to the checker's operation record."""
         if self.result is None:
@@ -99,6 +124,7 @@ class OperationHandle:
                 value=self.requested_value,
                 invoked_at=self.invoked_at,
                 completed_at=None,
+                metadata=self._metadata_extras(),
             )
         return OperationRecord(
             client_id=self.client_id,
@@ -108,7 +134,7 @@ class OperationHandle:
             completed_at=self.completed_at,
             rounds=self.result.rounds,
             fast=self.result.fast,
-            metadata=dict(self.result.metadata),
+            metadata=dict(self.result.metadata, **self._metadata_extras()),
         )
 
 
@@ -140,7 +166,10 @@ class SimCluster:
         self.queue = EventQueue()
         self.trace = MessageTrace()
         self.operations: List[OperationHandle] = []
-        self._pending: Dict[str, OperationHandle] = {}
+        # Pending operations keyed by (client_id, register_id); register_id is
+        # None for single-register deployments, so plain clients keep exactly
+        # one slot while sharded clients get one slot per register.
+        self._pending: Dict[Tuple[str, Optional[str]], OperationHandle] = {}
 
         self.processes: Dict[str, Automaton] = {}
         self._build_processes()
@@ -215,6 +244,10 @@ class SimCluster:
     def start_write(self, value: Any) -> OperationHandle:
         """Invoke a WRITE now; returns a handle that completes as the loop runs."""
         writer = self.writer
+        # Invoke the automaton first: if it rejects the call (well-formedness),
+        # no handle must be registered, or it would shadow the genuinely
+        # pending one and corrupt the history.
+        effects = writer.write(value)  # type: ignore[attr-defined]
         handle = OperationHandle(
             client_id=writer.process_id,
             kind="write",
@@ -222,8 +255,7 @@ class SimCluster:
             invoked_at=self.now,
         )
         self.operations.append(handle)
-        self._pending[writer.process_id] = handle
-        effects = writer.write(value)  # type: ignore[attr-defined]
+        self._pending[(writer.process_id, None)] = handle
         self._apply_effects(writer.process_id, effects)
         return handle
 
@@ -231,13 +263,73 @@ class SimCluster:
         """Invoke a READ now on *reader_id* (default: the first reader)."""
         reader_id = reader_id or self.config.reader_ids()[0]
         reader = self.reader(reader_id)
+        effects = reader.read()  # type: ignore[attr-defined]
         handle = OperationHandle(
             client_id=reader_id, kind="read", invoked_at=self.now
         )
         self.operations.append(handle)
-        self._pending[reader_id] = handle
-        effects = reader.read()  # type: ignore[attr-defined]
+        self._pending[(reader_id, None)] = handle
         self._apply_effects(reader_id, effects)
+        return handle
+
+    # ------------------------------------------------- sharded-store invocation
+    def _sharded_client(self, client_id: str):
+        client = self.processes[client_id]
+        if not getattr(client, "sharded", False):
+            raise TypeError(
+                f"client {client_id!r} is not sharded; build the cluster with a "
+                "repro.store.ShardedProtocol suite to use store operations"
+            )
+        return client
+
+    def start_store_write(self, register_id: str, value: Any) -> OperationHandle:
+        """Invoke ``WRITE(value)`` on the register *register_id* now."""
+        writer = self._sharded_client(self.config.writer_id)
+        # Invoke first: an unknown register or a per-register well-formedness
+        # violation must not leave a ghost handle behind.
+        effects = writer.write(register_id, value)
+        handle = OperationHandle(
+            client_id=writer.process_id,
+            kind="write",
+            requested_value=value,
+            invoked_at=self.now,
+            register_id=register_id,
+        )
+        self.operations.append(handle)
+        self._pending[(writer.process_id, register_id)] = handle
+        self._apply_effects(writer.process_id, effects)
+        return handle
+
+    def start_store_read(
+        self, register_id: str, reader_id: Optional[str] = None
+    ) -> OperationHandle:
+        """Invoke ``READ()`` on the register *register_id* now."""
+        reader_id = reader_id or self.config.reader_ids()[0]
+        reader = self._sharded_client(reader_id)
+        effects = reader.read(register_id)
+        handle = OperationHandle(
+            client_id=reader_id,
+            kind="read",
+            invoked_at=self.now,
+            register_id=register_id,
+        )
+        self.operations.append(handle)
+        self._pending[(reader_id, register_id)] = handle
+        self._apply_effects(reader_id, effects)
+        return handle
+
+    def store_write(self, register_id: str, value: Any) -> OperationHandle:
+        """Invoke a sharded WRITE and run the loop until it completes."""
+        handle = self.start_store_write(register_id, value)
+        self.run(until=lambda: handle.done)
+        return handle
+
+    def store_read(
+        self, register_id: str, reader_id: Optional[str] = None
+    ) -> OperationHandle:
+        """Invoke a sharded READ and run the loop until it completes."""
+        handle = self.start_store_read(register_id, reader_id)
+        self.run(until=lambda: handle.done)
         return handle
 
     def schedule_write(self, at: float, value: Any) -> "OperationHandle":
@@ -253,10 +345,10 @@ class SimCluster:
         )
 
         def _invoke() -> None:
+            effects = self.writer.write(value)  # type: ignore[attr-defined]
             self.operations.append(handle)
             handle.invoked_at = self.now
-            self._pending[self.config.writer_id] = handle
-            effects = self.writer.write(value)  # type: ignore[attr-defined]
+            self._pending[(self.config.writer_id, None)] = handle
             self._apply_effects(self.config.writer_id, effects)
 
         self.queue.push(at, InvocationEvent(label=f"write@{at}", action=_invoke))
@@ -268,10 +360,10 @@ class SimCluster:
         handle = OperationHandle(client_id=reader_id, kind="read", invoked_at=at)
 
         def _invoke() -> None:
+            effects = self.reader(reader_id).read()  # type: ignore[attr-defined]
             self.operations.append(handle)
             handle.invoked_at = self.now
-            self._pending[reader_id] = handle
-            effects = self.reader(reader_id).read()  # type: ignore[attr-defined]
+            self._pending[(reader_id, None)] = handle
             self._apply_effects(reader_id, effects)
 
         self.queue.push(at, InvocationEvent(label=f"read@{at}", action=_invoke))
@@ -407,16 +499,35 @@ class SimCluster:
         )
 
     def _complete(self, client_id: str, completion: OperationComplete) -> None:
-        handle = self._pending.pop(client_id, None)
+        register_id = completion.metadata.get("register_id")
+        handle = self._pending.pop((client_id, register_id), None)
         if handle is None:
             return
         handle.result = completion
         handle.completed_at = self.now
 
     # --------------------------------------------------------------- history
-    def history(self) -> History:
-        """The operation history of everything invoked so far."""
-        return History([handle.to_record() for handle in self.operations])
+    def history(self, register_id: Optional[str] = None) -> History:
+        """The operation history of everything invoked so far.
+
+        With *register_id*, only that register's operations are returned — the
+        per-key history a single-register consistency checker understands.
+        """
+        handles = self.operations
+        if register_id is not None:
+            handles = [h for h in handles if h.register_id == register_id]
+        return History([handle.to_record() for handle in handles])
+
+    def register_histories(self) -> Dict[str, History]:
+        """Per-register histories of every sharded operation invoked so far."""
+        by_register: Dict[str, List[OperationHandle]] = {}
+        for handle in self.operations:
+            if handle.register_id is not None:
+                by_register.setdefault(handle.register_id, []).append(handle)
+        return {
+            register_id: History([handle.to_record() for handle in handles])
+            for register_id, handles in sorted(by_register.items())
+        }
 
     def completed_operations(self) -> List[OperationHandle]:
         return [handle for handle in self.operations if handle.done]

@@ -1,0 +1,48 @@
+"""Sharded multi-register store.
+
+The paper's algorithm implements a *single* SWMR register.  This subsystem
+multiplexes many independent register instances — one writer each, shared
+readers — over one shared server fleet and transport:
+
+* :mod:`repro.store.sharding` — the routing automata (:class:`ShardedServer`,
+  :class:`ShardedClient`) and the :class:`ShardedProtocol` suite that builds a
+  full sharded deployment from any base protocol suite;
+* :mod:`repro.store.sim` — :class:`ShardedSimStore`, the virtual-time facade
+  exposing ``write(key, value)`` / ``read(key)`` with per-key histories fed to
+  the existing consistency checkers;
+* :mod:`repro.store.bench` — the shard-count throughput sweep behind
+  ``benchmarks/bench_sharded_store.py`` and the ``store-bench`` CLI command;
+* the asyncio side lives in :class:`repro.runtime.cluster.ShardedAsyncCluster`
+  (re-exported here lazily to keep the import graph acyclic).
+
+Every register behaves exactly like the paper's lucky-atomic register: the
+sharding layer only routes messages by ``register_id`` and never touches the
+protocol logic, so all proofs carry over per key.
+"""
+
+from __future__ import annotations
+
+from .bench import sharded_throughput_sweep, zipf_store_scenario
+from .sharding import ShardedClient, ShardedProtocol, ShardedServer
+from .sim import ShardedSimStore
+
+__all__ = [
+    "ShardedClient",
+    "ShardedProtocol",
+    "ShardedServer",
+    "ShardedSimStore",
+    "ShardedAsyncCluster",
+    "sharded_tcp_cluster",
+    "sharded_throughput_sweep",
+    "zipf_store_scenario",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.runtime.cluster imports this package, so importing it eagerly
+    # here would create a cycle.
+    if name in ("ShardedAsyncCluster", "sharded_tcp_cluster"):
+        from ..runtime import cluster as _runtime_cluster
+
+        return getattr(_runtime_cluster, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

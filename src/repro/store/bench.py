@@ -1,0 +1,178 @@
+"""Sharded-store benchmarks: throughput scaling and Zipf keyspace scenarios.
+
+Two entry points, shared by ``benchmarks/bench_sharded_store.py`` and the
+``store-bench`` CLI command:
+
+* :func:`sharded_throughput_sweep` — drives the *same* dense multi-key
+  workload against stores with a growing number of shards and reports the
+  aggregate virtual-time throughput.  With one shard every operation of a
+  client serializes behind its predecessor; with N shards the per-key
+  multiplexing of :class:`~repro.store.sharding.ShardedClient` overlaps up to
+  N operations per client, so throughput grows with the shard count.
+* :func:`zipf_store_scenario` — a Zipf-skewed keyspace workload (optionally
+  with one Byzantine server) whose per-key histories are fed to the existing
+  atomicity checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bench.harness import ExperimentTable
+from ..core.config import SystemConfig
+from ..core.protocol import LuckyAtomicProtocol
+from ..sim.byzantine import ForgeHighTimestampStrategy
+from ..sim.latency import FixedDelay
+from ..workload.generator import (
+    ScheduledOperation,
+    Workload,
+    keyspace_workload,
+    run_store_workload,
+    value_sequence,
+)
+from .sim import ShardedSimStore
+
+
+def dense_store_workload(
+    num_operations: int,
+    keys: Sequence[str],
+    readers: Sequence[str],
+    gap: float = 0.05,
+    start: float = 0.0,
+) -> Workload:
+    """A saturating workload: operations arrive far faster than they complete.
+
+    Operations round-robin over *keys* and alternate write/read (reads
+    round-robin over *readers*), so the only thing limiting completion rate is
+    how many operations the clients can keep in flight — exactly what the
+    shard count controls.
+    """
+    values = {key: value_sequence(prefix=f"{key}:v") for key in keys}
+    operations: List[ScheduledOperation] = []
+    ops_on_key = {key: 0 for key in keys}
+    num_reads = 0
+    for index in range(num_operations):
+        at = start + index * gap
+        key = keys[index % len(keys)]
+        # Alternate write/read *per key* (a global alternation would alias with
+        # the key round-robin for even key counts, starving half the keys of
+        # writes and flattening the scaling curve).
+        if ops_on_key[key] % 2 == 0:
+            operations.append(
+                ScheduledOperation(
+                    at=at, kind="write", client_id="w", value=next(values[key]), key=key
+                )
+            )
+        else:
+            reader = readers[num_reads % len(readers)]
+            num_reads += 1
+            operations.append(
+                ScheduledOperation(at=at, kind="read", client_id=reader, key=key)
+            )
+        ops_on_key[key] += 1
+    return Workload(
+        operations,
+        description=f"dense x{num_operations} over {len(keys)} keys (gap={gap})",
+    )
+
+
+def run_store_throughput(
+    num_shards: int,
+    num_operations: int = 96,
+    t: int = 1,
+    b: int = 0,
+    num_readers: int = 2,
+    gap: float = 0.05,
+) -> Tuple[ShardedSimStore, float]:
+    """Run the dense workload on a *num_shards*-shard store; return throughput.
+
+    Throughput is completed operations per unit of virtual time over the
+    workload's makespan.  The per-key histories are verified atomic before the
+    number is reported — a throughput figure from an inconsistent store would
+    be meaningless.
+    """
+    config = SystemConfig.balanced(t, b, num_readers=num_readers)
+    keys = [f"k{i}" for i in range(1, num_shards + 1)]
+    store = ShardedSimStore(
+        LuckyAtomicProtocol(config), keys, delay_model=FixedDelay(1.0)
+    )
+    workload = dense_store_workload(
+        num_operations, keys, config.reader_ids(), gap=gap
+    )
+    run_store_workload(store, workload)
+    store.verify_atomic()
+    return store, store.throughput()
+
+
+def sharded_throughput_sweep(
+    shard_counts: Iterable[int] = range(1, 9),
+    num_operations: int = 96,
+    t: int = 1,
+    b: int = 0,
+    num_readers: int = 2,
+) -> ExperimentTable:
+    """Aggregate throughput of the same workload as the shard count grows."""
+    table = ExperimentTable(
+        experiment_id="S1",
+        title="sharded store: aggregate throughput vs shard count",
+        columns=["shards", "operations", "makespan", "throughput", "speedup"],
+    )
+    baseline: Optional[float] = None
+    for num_shards in shard_counts:
+        store, throughput = run_store_throughput(
+            num_shards, num_operations=num_operations, t=t, b=b, num_readers=num_readers
+        )
+        completed = store.completed_operations()
+        makespan = max(h.completed_at for h in completed) - min(
+            h.invoked_at for h in completed
+        )
+        if baseline is None:
+            baseline = throughput
+        table.add_row(
+            shards=num_shards,
+            operations=len(completed),
+            makespan=makespan,
+            throughput=throughput,
+            speedup=throughput / baseline,
+        )
+    table.add_note(
+        "virtual-time throughput on the in-memory simulator; every per-key "
+        "history passed the atomicity checker before being counted"
+    )
+    return table
+
+
+def zipf_store_scenario(
+    num_operations: int = 150,
+    num_keys: int = 6,
+    byzantine: bool = False,
+    seed: int = 0,
+    skew: float = 1.2,
+) -> ShardedSimStore:
+    """Run a Zipf keyspace workload; returns the store, ready for checking.
+
+    With ``byzantine=True`` the first server runs the forge-high-timestamp
+    attack on every shard — the per-key quorum arithmetic must still keep all
+    per-key histories atomic (each register tolerates ``b`` malicious servers
+    independently, so faults stay confined per shard).
+    """
+    config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=3)
+    keys = [f"k{i}" for i in range(1, num_keys + 1)]
+    strategies = {"s1": ForgeHighTimestampStrategy} if byzantine else None
+    store = ShardedSimStore(
+        LuckyAtomicProtocol(config),
+        keys,
+        byzantine=strategies,
+        delay_model=FixedDelay(1.0),
+    )
+    workload = keyspace_workload(
+        num_operations,
+        keys,
+        config.reader_ids(),
+        write_fraction=0.4,
+        skew=skew,
+        mean_gap=1.0,
+        seed=seed,
+    )
+    run_store_workload(store, workload)
+    return store

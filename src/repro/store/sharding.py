@@ -1,0 +1,250 @@
+"""Sharding automata: route protocol messages to per-register instances.
+
+A *shard* (register) is one complete instance of a base protocol — writer
+state, per-reader state and per-server state — identified by a ``register_id``
+string.  The classes here multiplex N such instances over one fleet of
+*physical* processes:
+
+* :class:`ShardedServer` hosts one inner server automaton per register and
+  routes each incoming message by its ``register_id`` tag;
+* :class:`ShardedClient` hosts one inner client automaton per register and
+  lifts the one-outstanding-operation-per-client limit *across* registers
+  (well-formedness is still enforced per register, which is all the paper's
+  proofs need);
+* :class:`ShardedProtocol` is a :class:`~repro.core.protocol.ProtocolSuite`
+  building the sharded deployment out of any base suite, so the simulator and
+  the asyncio runtime can drive it exactly like a single-register deployment.
+
+Routing is purely syntactic: outgoing messages are tagged with the register
+they belong to, timer identifiers are namespaced per register, and operation
+completions carry their register in ``metadata["register_id"]`` so the hosting
+cluster can resolve the right pending operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.automaton import Automaton, ClientAutomaton, Effects
+from ..core.config import SystemConfig
+from ..core.protocol import ProtocolSuite
+from ..sim.byzantine import ByzantineStrategy, MaliciousServer
+
+#: Separator between the register id and the inner timer id in namespaced
+#: timer identifiers.  Register ids therefore must not contain it.
+TIMER_SEPARATOR = "::"
+
+
+def tag_effects(register_id: str, effects: Effects) -> Effects:
+    """Tag every effect of one inner automaton step with its register.
+
+    Sends get the ``register_id`` message tag, timers get a namespaced id and
+    completions record the register in their metadata.
+    """
+    tagged = Effects()
+    for send in effects.sends:
+        tagged.send(send.destination, send.message.tagged(register_id))
+    for timer in effects.timers:
+        tagged.start_timer(
+            f"{register_id}{TIMER_SEPARATOR}{timer.timer_id}", timer.delay
+        )
+    for completion in effects.completions:
+        tagged.complete(
+            replace(
+                completion,
+                metadata={**completion.metadata, "register_id": register_id},
+            )
+        )
+    return tagged
+
+
+def split_timer_id(timer_id: str) -> Optional[tuple]:
+    """Split a namespaced timer id into ``(register_id, inner_id)``."""
+    register_id, separator, inner_id = timer_id.partition(TIMER_SEPARATOR)
+    if not separator:
+        return None
+    return register_id, inner_id
+
+
+class _RegisterRouter:
+    """Shared routing behaviour of sharded processes.
+
+    Expects ``self.registers`` (register id → inner automaton) and
+    ``self.process_id``.  Inputs for unknown registers are dropped (an honest
+    process never sends them; a malicious one gains nothing, since clients
+    ignore replies tagged with a register they have no pending operation on).
+    """
+
+    sharded = True
+    registers: Dict[str, Automaton]
+
+    def handle_message(self, message) -> Effects:
+        inner = self.registers.get(message.register_id)
+        if inner is None:
+            return Effects()
+        return tag_effects(message.register_id, inner.handle_message(message))
+
+    def on_timer(self, timer_id: str) -> Effects:
+        split = split_timer_id(timer_id)
+        if split is None:
+            return Effects()
+        register_id, inner_id = split
+        inner = self.registers.get(register_id)
+        if inner is None:
+            return Effects()
+        return tag_effects(register_id, inner.on_timer(inner_id))
+
+    def describe(self) -> dict:
+        return {
+            "process_id": self.process_id,
+            "registers": {
+                register_id: inner.describe()
+                for register_id, inner in self.registers.items()
+            },
+        }
+
+
+class ShardedServer(_RegisterRouter, Automaton):
+    """One physical server hosting per-register server automata."""
+
+    def __init__(self, server_id: str, registers: Dict[str, Automaton]) -> None:
+        super().__init__(server_id)
+        self.registers = dict(registers)
+
+
+class ShardedClient(_RegisterRouter, ClientAutomaton):
+    """One physical client hosting per-register client automata.
+
+    The client may have one outstanding operation *per register* concurrently;
+    each inner automaton still enforces the paper's per-register
+    well-formedness (at most one outstanding operation on its register).
+    """
+
+    def __init__(self, process_id: str, registers: Dict[str, ClientAutomaton]) -> None:
+        # ``registers`` must exist before super().__init__ runs: the base
+        # constructor assigns ``timer_delay``, whose setter forwards to them.
+        self.registers = dict(registers)
+        inner_delays = [inner.timer_delay for inner in self.registers.values()]
+        super().__init__(process_id, timer_delay=inner_delays[0] if inner_delays else 10.0)
+
+    # -------------------------------------------------------------- timer delay
+    @property
+    def timer_delay(self) -> float:
+        return self._timer_delay
+
+    @timer_delay.setter
+    def timer_delay(self, value: float) -> None:
+        self._timer_delay = value
+        for inner in self.registers.values():
+            inner.timer_delay = value
+
+    # ------------------------------------------------------------------- state
+    def _register(self, register_id: str) -> ClientAutomaton:
+        try:
+            return self.registers[register_id]
+        except KeyError:
+            raise KeyError(
+                f"client {self.process_id} has no register {register_id!r}; "
+                f"known registers: {sorted(self.registers)}"
+            ) from None
+
+    def busy_on(self, register_id: str) -> bool:
+        """Whether an operation is outstanding on *register_id*."""
+        return self._register(register_id).busy
+
+    @property
+    def busy(self) -> bool:
+        """Whether any register has an outstanding operation."""
+        return any(inner.busy for inner in self.registers.values())
+
+    # -------------------------------------------------------------- invocation
+    def write(self, register_id: str, value) -> Effects:
+        """Invoke ``WRITE(value)`` on *register_id*; returns tagged effects."""
+        return tag_effects(register_id, self._register(register_id).write(value))  # type: ignore[attr-defined]
+
+    def read(self, register_id: str) -> Effects:
+        """Invoke ``READ()`` on *register_id*; returns tagged effects."""
+        return tag_effects(register_id, self._register(register_id).read())  # type: ignore[attr-defined]
+
+
+#: A factory producing a fresh strategy instance; strategies are stateful, so
+#: each register of a malicious server gets its own.
+StrategyFactory = Callable[[], ByzantineStrategy]
+
+
+class ShardedProtocol(ProtocolSuite):
+    """Suite multiplexing *base* over the registers *register_ids*.
+
+    ``byzantine`` optionally maps server ids to strategy factories: the named
+    servers then behave maliciously on *every* register (a faulty machine is
+    faulty for all the shards it hosts — the fault-containment property is
+    that it still cannot affect more than ``b`` servers of any shard's quorum
+    system, so each register retains the paper's guarantees).
+    """
+
+    def __init__(
+        self,
+        base: ProtocolSuite,
+        register_ids: Sequence[str],
+        byzantine: Optional[Dict[str, StrategyFactory]] = None,
+    ) -> None:
+        super().__init__(base.config, timer_delay=base.timer_delay)
+        if not register_ids:
+            raise ValueError("a sharded store needs at least one register id")
+        if len(set(register_ids)) != len(register_ids):
+            raise ValueError(f"duplicate register ids: {list(register_ids)}")
+        for register_id in register_ids:
+            if TIMER_SEPARATOR in register_id:
+                raise ValueError(
+                    f"register id {register_id!r} must not contain "
+                    f"{TIMER_SEPARATOR!r}"
+                )
+        self.base = base
+        self.register_ids = list(register_ids)
+        self.name = f"sharded-{base.name}"
+        self.consistency = base.consistency
+        self.byzantine = dict(byzantine or {})
+        unknown = set(self.byzantine) - set(self.config.server_ids())
+        if unknown:
+            raise ValueError(f"byzantine ids are not servers: {sorted(unknown)}")
+        if len(self.byzantine) > self.config.b:
+            raise ValueError(
+                f"{len(self.byzantine)} Byzantine servers exceed the model "
+                f"bound b={self.config.b}"
+            )
+
+    # -------------------------------------------------------------- factories
+    def create_server(self, server_id: str) -> ShardedServer:
+        strategy_factory = self.byzantine.get(server_id)
+        registers: Dict[str, Automaton] = {}
+        for register_id in self.register_ids:
+            server = self.base.create_server(server_id)
+            if strategy_factory is not None:
+                server = MaliciousServer(server, strategy_factory())  # type: ignore[arg-type]
+            registers[register_id] = server
+        return ShardedServer(server_id, registers)
+
+    def create_writer(self) -> ShardedClient:
+        return ShardedClient(
+            self.config.writer_id,
+            {
+                register_id: self.base.create_writer()
+                for register_id in self.register_ids
+            },
+        )
+
+    def create_reader(self, reader_id: str) -> ShardedClient:
+        return ShardedClient(
+            reader_id,
+            {
+                register_id: self.base.create_reader(reader_id)
+                for register_id in self.register_ids
+            },
+        )
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["registers"] = len(self.register_ids)
+        info["base"] = self.base.name
+        return info

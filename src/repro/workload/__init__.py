@@ -5,11 +5,14 @@ from .generator import (
     Workload,
     consecutive_read_workload,
     contended_workload,
+    keyspace_workload,
     lucky_workload,
     poisson_workload,
+    run_store_workload,
     run_workload,
     run_workload_history,
     value_sequence,
+    zipf_weights,
 )
 
 __all__ = [
@@ -17,9 +20,12 @@ __all__ = [
     "Workload",
     "consecutive_read_workload",
     "contended_workload",
+    "keyspace_workload",
     "lucky_workload",
     "poisson_workload",
+    "run_store_workload",
     "run_workload",
     "run_workload_history",
     "value_sequence",
+    "zipf_weights",
 ]

@@ -17,6 +17,7 @@ is due, the invocation is deferred until the current one completes.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
@@ -27,12 +28,17 @@ from ..verify.history import History
 
 @dataclass(frozen=True)
 class ScheduledOperation:
-    """One operation of a workload."""
+    """One operation of a workload.
+
+    ``key`` is ``None`` for single-register workloads; keyspace workloads name
+    the register the operation targets.
+    """
 
     at: float
     kind: str  # "write" | "read"
     client_id: str
     value: Optional[str] = None
+    key: Optional[str] = None
 
 
 @dataclass
@@ -172,6 +178,74 @@ def poisson_workload(
     return Workload(operations, description=f"poisson w={write_rate}/r={read_rate} for {duration}")
 
 
+def zipf_weights(num_keys: int, skew: float) -> List[float]:
+    """Zipf popularity weights: the rank-``i`` key gets weight ``1 / i**skew``."""
+    if num_keys < 1:
+        raise ValueError("at least one key is required")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [1.0 / (rank**skew) for rank in range(1, num_keys + 1)]
+
+
+def keyspace_workload(
+    num_operations: int,
+    keys: Sequence[str],
+    readers: Sequence[str],
+    write_fraction: float = 0.5,
+    skew: float = 1.2,
+    mean_gap: float = 1.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> Workload:
+    """A multi-key workload with Zipf-skewed key popularity.
+
+    Operations arrive with exponential inter-arrival gaps (mean *mean_gap*);
+    each picks its key from *keys* with probability proportional to
+    ``1 / rank**skew`` (the order of *keys* is the popularity ranking), is a
+    write with probability *write_fraction* (issued by the single writer ``w``,
+    who owns every key in the SWMR model) and a read by a uniformly random
+    reader otherwise.  Written values embed the key and a per-key counter, so
+    every per-key history keeps the unique-value property the checkers rely on.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be within [0, 1]")
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    rng = random.Random(seed)
+    key_list = list(keys)
+    reader_list = list(readers)
+    cum_weights = list(itertools.accumulate(zipf_weights(len(key_list), skew)))
+    values = {key: value_sequence(prefix=f"{key}:v") for key in key_list}
+    operations: List[ScheduledOperation] = []
+    now = start
+    for _ in range(num_operations):
+        now += rng.expovariate(1.0 / mean_gap)
+        (key,) = rng.choices(key_list, cum_weights=cum_weights)
+        if rng.random() < write_fraction:
+            operations.append(
+                ScheduledOperation(
+                    at=now,
+                    kind="write",
+                    client_id="w",
+                    value=next(values[key]),
+                    key=key,
+                )
+            )
+        else:
+            operations.append(
+                ScheduledOperation(
+                    at=now, kind="read", client_id=rng.choice(reader_list), key=key
+                )
+            )
+    return Workload(
+        operations,
+        description=(
+            f"keyspace x{num_operations} over {len(keys)} keys "
+            f"(zipf s={skew}, writes={write_fraction:.0%})"
+        ),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Execution
 # --------------------------------------------------------------------------- #
@@ -183,7 +257,9 @@ def run_workload(cluster: SimCluster, workload: Workload) -> List[OperationHandl
     Operations are invoked at their scheduled virtual time.  If the owning
     client is still busy, the invocation waits for the outstanding operation to
     finish first (preserving well-formedness while keeping cross-client
-    concurrency intact).
+    concurrency intact).  Each handle records the schedule time as
+    ``scheduled_at``, so deferred invocations keep their queueing delay
+    (``invoked_at - scheduled_at``) measurable.
     """
     handles: List[OperationHandle] = []
     for op in workload.sorted():
@@ -195,9 +271,11 @@ def run_workload(cluster: SimCluster, workload: Workload) -> List[OperationHandl
         if client.busy:
             cluster.run(until=lambda client=client: not client.busy)
         if op.kind == "write":
-            handles.append(cluster.start_write(op.value))
+            handle = cluster.start_write(op.value)
         else:
-            handles.append(cluster.start_read(op.client_id))
+            handle = cluster.start_read(op.client_id)
+        handle.scheduled_at = op.at
+        handles.append(handle)
     cluster.run(until=lambda: all(handle.done for handle in handles))
     return handles
 
@@ -206,3 +284,34 @@ def run_workload_history(cluster: SimCluster, workload: Workload) -> History:
     """Run the workload and return the cluster's full history."""
     run_workload(cluster, workload)
     return cluster.history()
+
+
+def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
+    """Drive a :class:`~repro.store.sim.ShardedSimStore` through *workload*.
+
+    Every operation must name a key.  Deferral happens per (client, key): a
+    client busy on one register can still invoke on another, so only true
+    per-register conflicts are queued — the concurrency the sharded store
+    exists to unlock.  Handles record ``scheduled_at`` like
+    :func:`run_workload`.
+    """
+    handles: List[OperationHandle] = []
+    cluster = store.cluster
+    for op in workload.sorted():
+        if op.key is None:
+            raise ValueError(f"store workloads need a key on every operation: {op}")
+        if op.at > cluster.now:
+            cluster.run_for(op.at - cluster.now)
+        client_id = cluster.config.writer_id if op.kind == "write" else op.client_id
+        if store.client_busy(client_id, op.key):
+            cluster.run(
+                until=lambda c=client_id, k=op.key: not store.client_busy(c, k)
+            )
+        if op.kind == "write":
+            handle = store.start_write(op.key, op.value)
+        else:
+            handle = store.start_read(op.key, op.client_id)
+        handle.scheduled_at = op.at
+        handles.append(handle)
+    cluster.run(until=lambda: all(handle.done for handle in handles))
+    return handles

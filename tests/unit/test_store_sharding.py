@@ -1,0 +1,208 @@
+"""Unit tests for the sharding layer (mux automata, suite, sim facade)."""
+
+import pytest
+
+from repro.core.automaton import Effects
+from repro.core.config import SystemConfig
+from repro.core.messages import Read
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.sim.byzantine import ForgeHighTimestampStrategy
+from repro.sim.latency import FixedDelay
+from repro.store.sharding import (
+    ShardedClient,
+    ShardedProtocol,
+    ShardedServer,
+    tag_effects,
+)
+from repro.store.sim import ShardedSimStore
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=2)
+
+
+@pytest.fixture
+def suite(config):
+    return ShardedProtocol(LuckyAtomicProtocol(config), ["k1", "k2"])
+
+
+class TestMessageTagging:
+    def test_tagged_returns_copy_with_register(self):
+        message = Read(sender="r1", read_ts=3, round=1)
+        tagged = message.tagged("k1")
+        assert tagged.register_id == "k1"
+        assert tagged.read_ts == 3
+        assert message.register_id == ""  # original untouched
+
+    def test_tagged_is_identity_when_already_tagged(self):
+        message = Read(sender="r1", register_id="k1")
+        assert message.tagged("k1") is message
+
+    def test_tag_effects_namespaces_timers_and_completions(self):
+        effects = Effects()
+        effects.send("s1", Read(sender="r1"))
+        effects.start_timer("r1/op1/read-round-1", 10.0)
+        tagged = tag_effects("k2", effects)
+        assert tagged.sends[0].message.register_id == "k2"
+        assert tagged.timers[0].timer_id == "k2::r1/op1/read-round-1"
+
+
+class TestShardedAutomata:
+    def test_server_routes_by_register(self, suite):
+        server = suite.create_server("s1")
+        assert isinstance(server, ShardedServer)
+        effects = server.handle_message(
+            Read(sender="r1", register_id="k1", read_ts=1, round=1)
+        )
+        assert len(effects.sends) == 1
+        assert effects.sends[0].message.register_id == "k1"
+        # The other register's state is untouched.
+        assert server.registers["k2"].read_ts["r1"] == 0
+
+    def test_server_drops_unknown_register(self, suite):
+        server = suite.create_server("s1")
+        effects = server.handle_message(Read(sender="r1", register_id="nope"))
+        assert effects.empty
+
+    def test_client_multiplexes_across_registers(self, suite):
+        writer = suite.create_writer()
+        assert isinstance(writer, ShardedClient)
+        writer.write("k1", "a")
+        assert writer.busy_on("k1") and not writer.busy_on("k2")
+        writer.write("k2", "b")  # concurrent op on another register is fine
+        assert writer.busy
+
+    def test_client_enforces_per_register_well_formedness(self, suite):
+        writer = suite.create_writer()
+        writer.write("k1", "a")
+        with pytest.raises(RuntimeError):
+            writer.write("k1", "b")
+
+    def test_client_unknown_register_raises(self, suite):
+        writer = suite.create_writer()
+        with pytest.raises(KeyError, match="no register"):
+            writer.write("ghost", "x")
+
+    def test_timer_delay_forwards_to_inner_clients(self, suite):
+        writer = suite.create_writer()
+        writer.timer_delay = 42.0
+        assert all(
+            inner.timer_delay == 42.0 for inner in writer.registers.values()
+        )
+
+
+class TestShardedProtocolValidation:
+    def test_rejects_empty_and_duplicate_registers(self, config):
+        base = LuckyAtomicProtocol(config)
+        with pytest.raises(ValueError):
+            ShardedProtocol(base, [])
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardedProtocol(base, ["k1", "k1"])
+        with pytest.raises(ValueError, match="must not contain"):
+            ShardedProtocol(base, ["a::b"])
+
+    def test_rejects_byzantine_beyond_bound(self, config):
+        base = LuckyAtomicProtocol(config)  # b = 0
+        with pytest.raises(ValueError, match="exceed the model bound"):
+            ShardedProtocol(
+                base, ["k1"], byzantine={"s1": ForgeHighTimestampStrategy}
+            )
+
+    def test_byzantine_strategies_are_fresh_per_register(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+        suite = ShardedProtocol(
+            LuckyAtomicProtocol(config),
+            ["k1", "k2"],
+            byzantine={"s1": ForgeHighTimestampStrategy},
+        )
+        server = suite.create_server("s1")
+        strategies = {
+            rid: inner.strategy for rid, inner in server.registers.items()
+        }
+        assert strategies["k1"] is not strategies["k2"]
+
+
+class TestShardedSimStore:
+    def _store(self, keys=("k1", "k2", "k3")):
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=2)
+        return ShardedSimStore(
+            LuckyAtomicProtocol(config), list(keys), delay_model=FixedDelay(1.0)
+        )
+
+    def test_write_read_round_trip_per_key(self):
+        store = self._store()
+        store.write("k1", "a")
+        store.write("k2", "b")
+        assert store.read("k1").value == "a"
+        assert store.read("k2", "r2").value == "b"
+        assert store.verify_atomic()
+
+    def test_reads_of_unwritten_key_return_bottom(self):
+        from repro.core.types import is_bottom
+
+        store = self._store()
+        store.write("k1", "a")
+        read = store.read("k2")
+        assert is_bottom(read.value)
+        assert store.verify_atomic()
+
+    def test_concurrent_writes_across_keys_overlap(self):
+        store = self._store()
+        h1 = store.start_write("k1", "a")
+        h2 = store.start_write("k2", "b")
+        h3 = store.start_write("k3", "c")
+        store.run(until=lambda: h1.done and h2.done and h3.done)
+        # All three were invoked at the same instant — the single writer
+        # genuinely multiplexed them instead of queueing.
+        assert h1.invoked_at == h2.invoked_at == h3.invoked_at
+        assert {h.register_id for h in (h1, h2, h3)} == {"k1", "k2", "k3"}
+        assert store.verify_atomic()
+
+    def test_per_key_histories_are_disjoint_and_tagged(self):
+        store = self._store(keys=("k1", "k2"))
+        store.write("k1", "a")
+        store.read("k1")
+        store.write("k2", "b")
+        histories = store.histories()
+        assert set(histories) == {"k1", "k2"}
+        assert len(histories["k1"]) == 2 and len(histories["k2"]) == 1
+        for key, history in histories.items():
+            assert all(r.metadata["register_id"] == key for r in history)
+
+    def test_rejected_invocation_leaves_no_ghost_handle(self):
+        """A double-invoke on a busy (client, key) must not register a handle:
+        a ghost handle would shadow the real pending one, steal its completion
+        and corrupt the per-key history."""
+        store = self._store(keys=("k1",))
+        first = store.start_write("k1", "a")
+        before = list(store.cluster.operations)
+        with pytest.raises(RuntimeError):
+            store.start_write("k1", "b")
+        assert store.cluster.operations == before
+        store.run(until=lambda: first.done)
+        assert first.result.value == "a"
+        history = store.history("k1")
+        assert [record.value for record in history.writes()] == ["a"]
+        assert store.verify_atomic()
+
+    def test_unknown_key_invocation_leaves_no_ghost_handle(self):
+        store = self._store(keys=("k1",))
+        with pytest.raises(KeyError):
+            store.start_write("ghost", "x")
+        assert store.cluster.operations == []
+        store.write("k1", "a")  # the store still works normally afterwards
+        assert store.verify_atomic()
+
+    def test_plain_cluster_rejects_store_operations(self):
+        from repro.sim.cluster import SimCluster
+
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=1)
+        cluster = SimCluster(LuckyAtomicProtocol(config))
+        with pytest.raises(TypeError, match="not sharded"):
+            cluster.start_store_write("k1", "x")
+
+    def test_throughput_is_positive_after_operations(self):
+        store = self._store()
+        store.write("k1", "a")
+        assert store.throughput() > 0

@@ -10,11 +10,13 @@ from repro.verify.atomicity import check_atomicity
 from repro.workload.generator import (
     consecutive_read_workload,
     contended_workload,
+    keyspace_workload,
     lucky_workload,
     poisson_workload,
     run_workload,
     run_workload_history,
     value_sequence,
+    zipf_weights,
 )
 
 
@@ -56,6 +58,40 @@ class TestGenerators:
         values = [op.value for op in workload.writes()]
         assert len(set(values)) == len(values)
 
+    def test_zipf_weights_are_normalizable_and_skewed(self):
+        weights = zipf_weights(5, skew=1.2)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+        flat = zipf_weights(5, skew=0.0)
+        assert all(weight == 1.0 for weight in flat)
+
+    def test_keyspace_workload_tags_keys_and_skews_popularity(self):
+        keys = [f"k{i}" for i in range(1, 6)]
+        workload = keyspace_workload(
+            400, keys, readers=["r1", "r2"], skew=1.2, seed=5
+        )
+        assert len(workload) == 400
+        assert all(op.key in keys for op in workload.operations)
+        counts = {key: 0 for key in keys}
+        for op in workload.operations:
+            counts[op.key] += 1
+        assert counts["k1"] == max(counts.values())
+        assert counts["k1"] > counts["k5"]
+
+    def test_keyspace_workload_write_values_unique_per_key(self):
+        keys = ["a", "b"]
+        workload = keyspace_workload(100, keys, readers=["r1"], seed=2)
+        for key in keys:
+            values = [op.value for op in workload.writes() if op.key == key]
+            assert len(set(values)) == len(values)
+
+    def test_keyspace_workload_is_deterministic_per_seed(self):
+        first = keyspace_workload(50, ["a", "b"], readers=["r1"], seed=9)
+        second = keyspace_workload(50, ["a", "b"], readers=["r1"], seed=9)
+        assert [(op.at, op.kind, op.key) for op in first.operations] == [
+            (op.at, op.kind, op.key) for op in second.operations
+        ]
+
 
 class TestExecution:
     def _cluster(self):
@@ -81,3 +117,37 @@ class TestExecution:
         cluster = self._cluster()
         history = run_workload_history(cluster, contended_workload(4, readers=["r1", "r2"]))
         assert check_atomicity(history).ok
+
+    def test_deferred_ops_keep_well_formedness_and_scheduled_at(self):
+        """Deferral must preserve per-client well-formedness *and* keep the
+        schedule time: ``invoked_at`` moves to the drain time, while
+        ``scheduled_at`` records when the workload wanted the op, so queueing
+        delay stays measurable."""
+        cluster = self._cluster()
+        # Writes every 0.5 time units against a ~2.5-unit write latency: every
+        # write after the first is deferred behind its predecessor.
+        workload = contended_workload(5, readers=["r1"], write_gap=0.5, read_offset=0.1)
+        handles = run_workload(cluster, workload)
+        assert all(handle.done for handle in handles)
+        history = cluster.history()
+        assert history.writer_is_well_formed()
+        assert all(handle.scheduled_at is not None for handle in handles)
+        deferred = [handle for handle in handles if handle.queueing_delay > 0]
+        assert deferred, "this schedule must force deferrals"
+        for handle in deferred:
+            assert handle.invoked_at > handle.scheduled_at
+        # The schedule time survives into the history metadata.
+        for record in history:
+            assert "scheduled_at" in record.metadata
+            assert record.metadata["queueing_delay"] == pytest.approx(
+                record.invoked_at - record.metadata["scheduled_at"]
+            ) or record.metadata["queueing_delay"] == 0.0
+
+    def test_undeferred_ops_have_zero_queueing_delay(self):
+        cluster = self._cluster()
+        handles = run_workload(cluster, lucky_workload(3, readers=["r1", "r2"], gap=20.0))
+        assert all(handle.queueing_delay == 0.0 for handle in handles)
+        assert all(
+            handle.invoked_at == pytest.approx(handle.scheduled_at)
+            for handle in handles
+        )
