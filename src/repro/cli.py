@@ -67,6 +67,27 @@ def _build_parser() -> argparse.ArgumentParser:
     store_parser.add_argument("--b", type=int, default=0)
     store_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
     store_parser.add_argument(
+        "--batch",
+        dest="batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="coalesce same-destination messages into Batch frames (--no-batch disables)",
+    )
+    store_parser.add_argument(
+        "--compare-batching",
+        action="store_true",
+        help=(
+            "also run the batched-vs-unbatched sweep under per-frame overhead "
+            "(the S2 table)"
+        ),
+    )
+    store_parser.add_argument(
+        "--frame-overhead",
+        type=float,
+        default=0.1,
+        help="per-frame line time charged by the --compare-batching sweep",
+    )
+    store_parser.add_argument(
         "--skip-zipf",
         action="store_true",
         help="skip the Zipf keyspace atomicity check (with one Byzantine server)",
@@ -104,25 +125,39 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_bench(args: argparse.Namespace) -> int:
-    from .store.bench import sharded_throughput_sweep, zipf_store_scenario
+    from .store.bench import batching_sweep, sharded_throughput_sweep, zipf_store_scenario
 
     table = sharded_throughput_sweep(
         shard_counts=range(1, args.max_shards + 1),
         num_operations=args.ops,
         t=args.t,
         b=args.b,
+        batching=args.batch,
     )
     print(table.to_markdown() if args.markdown else table.format())
+    if args.compare_batching:
+        # The comparison always includes 8 shards (below that, per-key
+        # serialization dominates and batching is a wash) and extends to
+        # --max-shards when that reaches further.
+        comparison = batching_sweep(
+            shard_counts=sorted({1, 4, 8, max(args.max_shards, 8)}),
+            num_operations=args.ops,
+            t=args.t,
+            b=args.b,
+            frame_overhead=args.frame_overhead,
+        )
+        print()
+        print(comparison.to_markdown() if args.markdown else comparison.format())
     if not args.skip_zipf:
         # The Byzantine scenario needs b >= 1, so it runs on its own fixed
         # configuration rather than the sweep's --t/--b.
-        store = zipf_store_scenario(byzantine=True)
+        store = zipf_store_scenario(byzantine=True, batching=args.batch)
         config = store.config
         results = store.check_atomicity()
         ok = all(result.ok for result in results.values())
         print(
             f"\nZipf keyspace (t={config.t} b={config.b}, {len(results)} keys, "
-            "1 Byzantine server): "
+            f"1 Byzantine server, batching {'on' if args.batch else 'off'}): "
             + ("all per-key histories atomic" if ok else "ATOMICITY VIOLATED")
         )
         if not ok:

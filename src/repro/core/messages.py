@@ -11,7 +11,7 @@ channels between two non-malicious processes — the transports enforce that).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, FrozenSet, Optional, Tuple
+from typing import Any, FrozenSet, Optional, Sequence, Tuple
 
 from .types import FrozenEntry, FreezeDirective, NewReadReport, TimestampValue
 
@@ -112,6 +112,47 @@ class ReadAck(Message):
 
 
 # --------------------------------------------------------------------------- #
+# Transport-level envelope
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Batch(Message):
+    """Envelope coalescing many messages between one (source, destination) pair.
+
+    Produced by the batching layer of :mod:`repro.store`: all protocol messages
+    a sharded process emits towards the same destination within one flush
+    window travel as a single ``Batch`` — one delivery event on the simulator,
+    one length-prefixed frame on the asyncio transports.  The envelope is flat
+    (a batch never contains another batch) and purely syntactic: receivers
+    unwrap it and process every inner message exactly as if it had arrived on
+    its own, so protocol automata never see the envelope.
+    """
+
+    messages: Tuple[Message, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def tagged(self, register_id: str) -> "Message":
+        raise TypeError("a Batch envelope is not addressed to a register")
+
+
+def make_envelope(sender: str, messages: "Sequence[Message]") -> Message:
+    """One wire message for *messages*: unwrapped if single, a batch otherwise."""
+    if len(messages) == 1:
+        return messages[0]
+    return Batch(sender=sender, messages=tuple(messages))
+
+
+def iter_unbatched(message: Message) -> Tuple[Message, ...]:
+    """The protocol messages carried by *message* (itself, unless a batch)."""
+    if isinstance(message, Batch):
+        return message.messages
+    return (message,)
+
+
+# --------------------------------------------------------------------------- #
 # Messages used by the baselines (ABD and the always-slow robust store)
 # --------------------------------------------------------------------------- #
 
@@ -156,6 +197,7 @@ ALL_MESSAGE_TYPES = (
     WriteAck,
     Read,
     ReadAck,
+    Batch,
     BaselineQuery,
     BaselineQueryReply,
     BaselineStore,

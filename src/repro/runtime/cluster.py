@@ -161,7 +161,9 @@ class ShardedAsyncCluster(AsyncCluster):
     """An asyncio deployment of the sharded multi-register store.
 
     All shards share one server fleet and one transport (in-memory or TCP);
-    each client node multiplexes one outstanding operation per key::
+    each client node multiplexes one outstanding operation per key.  With
+    ``batching`` (the default) every message a node emits towards the same
+    destination within one event-loop tick rides a single ``Batch`` frame::
 
         base = LuckyAtomicProtocol(config)
         async with ShardedAsyncCluster(base, keys=["k1", "k2"]) as store:
@@ -179,9 +181,10 @@ class ShardedAsyncCluster(AsyncCluster):
         base: ProtocolSuite,
         keys: Iterable[str],
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
+        batching: bool = True,
         **kwargs: Any,
     ) -> None:
-        suite = ShardedProtocol(base, list(keys), byzantine=byzantine)
+        suite = ShardedProtocol(base, list(keys), byzantine=byzantine, batching=batching)
         super().__init__(suite, **kwargs)
 
     @property

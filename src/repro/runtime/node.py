@@ -15,13 +15,22 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
-from ..core.messages import Message
+from ..core.messages import Message, iter_unbatched, make_envelope
 from ..verify.history import OperationRecord
 from .transport import Transport
 
 
 class AutomatonNode:
-    """Hosts one automaton (server or client) on an asyncio event loop."""
+    """Hosts one automaton (server or client) on an asyncio event loop.
+
+    When the automaton opts into batching (``automaton.batching`` is true —
+    the sharded store's processes do), outgoing sends are buffered in a
+    per-destination outbox and flushed one event-loop tick later: everything
+    the node emitted during the tick towards the same destination leaves as a
+    single :class:`~repro.core.messages.Batch` — one frame on the transport.
+    Inbound batches are unwrapped here, so the automaton only ever sees
+    protocol messages.
+    """
 
     def __init__(
         self,
@@ -36,9 +45,14 @@ class AutomatonNode:
         #: (client timer delays are expressed in time units).
         self.time_scale = time_scale
         self.crashed = crashed
+        self.batching = bool(getattr(automaton, "batching", False))
         self._mailbox: asyncio.Queue = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self._timer_handles: list = []
+        self._outbox: Dict[str, list] = {}
+        self._flush_scheduled = False
+        self._flush_lock = asyncio.Lock()
+        self._flush_tasks: set = set()
         transport.register(self.process_id, self._on_transport_message)
 
     @property
@@ -53,6 +67,12 @@ class AutomatonNode:
         for handle in self._timer_handles:
             handle.cancel()
         self._timer_handles.clear()
+        for task in list(self._flush_tasks):
+            task.cancel()
+        if self._flush_tasks:
+            await asyncio.gather(*self._flush_tasks, return_exceptions=True)
+        self._flush_tasks.clear()
+        self._outbox.clear()
         if self._task is not None:
             self._task.cancel()
             try:
@@ -78,17 +98,30 @@ class AutomatonNode:
             if self.crashed:
                 continue
             if kind == "message":
-                effects = self.automaton.handle_message(payload)
-            else:
-                effects = self.automaton.on_timer(payload)
+                # One frame may carry a whole batch; the automaton processes
+                # each inner message as its own atomic step.  With batching on,
+                # applying effects never awaits (sends only fill the outbox),
+                # so every reply the batch provokes lands in the same flush —
+                # the batch boundary survives the hop.
+                for message in iter_unbatched(payload):
+                    await self.apply_effects(self.automaton.handle_message(message))
+                continue
+            effects = self.automaton.on_timer(payload)
             await self.apply_effects(effects)
 
     # ---------------------------------------------------------------- effects
     async def apply_effects(self, effects: Effects) -> None:
         if self.crashed:
             return
-        for send in effects.sends:
-            await self.transport.send(self.process_id, send.destination, send.message)
+        if self.batching:
+            for send in effects.sends:
+                self._outbox.setdefault(send.destination, []).append(send.message)
+            if self._outbox and not self._flush_scheduled:
+                self._flush_scheduled = True
+                asyncio.get_running_loop().call_soon(self._start_flush)
+        else:
+            for send in effects.sends:
+                await self.transport.send(self.process_id, send.destination, send.message)
         loop = asyncio.get_running_loop()
         for timer in effects.timers:
             handle = loop.call_later(
@@ -97,6 +130,26 @@ class AutomatonNode:
             self._timer_handles.append(handle)
         for completion in effects.completions:
             self._handle_completion(completion)
+
+    # --------------------------------------------------------------- batching
+    def _start_flush(self) -> None:
+        task = asyncio.ensure_future(self._flush_outbox())
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _flush_outbox(self) -> None:
+        # The lock serializes overlapping flushes so frames towards the same
+        # destination keep their send order even when a flush blocks on the
+        # transport (e.g. TCP drain) while the next one is already scheduled.
+        async with self._flush_lock:
+            self._flush_scheduled = False
+            pending, self._outbox = self._outbox, {}
+            if self.crashed:
+                return
+            for destination, messages in pending.items():
+                await self.transport.send(
+                    self.process_id, destination, make_envelope(self.process_id, messages)
+                )
 
     def _handle_completion(self, completion: OperationComplete) -> None:
         """Server automata never complete operations; clients override this."""

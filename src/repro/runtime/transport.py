@@ -44,7 +44,16 @@ def no_delay(source: str, destination: str) -> float:
 
 
 class Transport:
-    """Abstract transport: registration plus fire-and-forget sends."""
+    """Abstract transport: registration plus fire-and-forget sends.
+
+    ``frames_sent`` counts transport-level frames (one per :meth:`send` that
+    reaches the wire).  A :class:`~repro.core.messages.Batch` envelope is one
+    frame however many protocol messages it carries, which is what makes the
+    counter the observable for the batching layer's one-frame-per-batch
+    guarantee.
+    """
+
+    frames_sent: int = 0
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
         """Register *handler* as the inbound message callback of *process_id*."""
@@ -68,6 +77,7 @@ class InMemoryTransport(Transport):
         self._delay = delay or no_delay
         self._pending: set = set()
         self._closed = False
+        self.frames_sent = 0
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
         self._handlers[process_id] = handler
@@ -78,6 +88,7 @@ class InMemoryTransport(Transport):
         handler = self._handlers.get(destination)
         if handler is None:
             return
+        self.frames_sent += 1
         delay = self._delay(source, destination)
         task = asyncio.create_task(self._deliver(handler, source, message, delay))
         self._pending.add(task)
@@ -168,6 +179,7 @@ class TcpTransport(Transport):
         self._connection_locks: Dict[Tuple[str, str], asyncio.Lock] = {}
         self._serve_tasks: set = set()
         self._closed = False
+        self.frames_sent = 0
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
         self._handlers[process_id] = handler
@@ -261,6 +273,7 @@ class TcpTransport(Transport):
                 try:
                     writer.write(frame)
                     await writer.drain()
+                    self.frames_sent += 1
                     return
                 except OSError:  # ConnectionResetError, BrokenPipeError, ...
                     await self._drop_connection(key)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
-from ..core.messages import Message
+from ..core.messages import Batch, Message, iter_unbatched, make_envelope
 from ..core.protocol import ProtocolSuite
 from ..verify.history import History, OperationRecord
 from .byzantine import ByzantineStrategy, MaliciousServer
@@ -152,6 +152,7 @@ class SimCluster:
         auto_timer: bool = True,
         timer_margin: float = 0.5,
         max_events_per_run: int = 500_000,
+        frame_overhead: float = 0.0,
     ) -> None:
         self.suite = suite
         self.config = suite.config
@@ -161,10 +162,26 @@ class SimCluster:
         self.rng = random.Random(seed)
         self.message_filter = message_filter
         self.max_events_per_run = max_events_per_run
+        #: Per-frame transmission cost at the sender.  Frames leaving the same
+        #: process serialize on its outgoing line, each occupying it for
+        #: ``frame_overhead`` time units before the network delay starts — the
+        #: per-message overhead that batching amortises (a batch is one frame).
+        #: The default of 0 reproduces the classical charge-per-message model.
+        self.frame_overhead = frame_overhead
 
         self.now: float = 0.0
         self.queue = EventQueue()
         self.trace = MessageTrace()
+        #: Diagnostics: events dispatched, frames put on the wire and protocol
+        #: messages carried by them (frames < messages when batching is on).
+        self.events_processed: int = 0
+        self.frames_sent: int = 0
+        self.messages_sent: int = 0
+        # Batching layer: per-source buffered sends awaiting their flush event,
+        # plus the time each source's outgoing line is busy until.
+        self._outbox: Dict[str, Dict[str, List[Message]]] = {}
+        self._flush_scheduled: set = set()
+        self._line_busy_until: Dict[str, float] = {}
         self.operations: List[OperationHandle] = []
         # Pending operations keyed by (client_id, register_id); register_id is
         # None for single-register deployments, so plain clients keep exactly
@@ -410,19 +427,20 @@ class SimCluster:
             self.now = max(self.now, entry.time)
             self._dispatch(entry.event)
             processed += 1
+            self.events_processed += 1
             if processed > budget:
                 raise SimulationError(
                     f"exceeded event budget of {budget}; possible livelock"
                 )
 
-    def run_for(self, duration: float) -> None:
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
         """Advance virtual time by *duration*, processing every due event.
 
         Events scheduled after the horizon stay queued; the clock is moved to
         the horizon so that operations invoked afterwards genuinely start later.
         """
         horizon = self.now + duration
-        self.run(max_time=horizon)
+        self.run(max_time=horizon, max_events=max_events)
         self.now = max(self.now, horizon)
 
     def run_until_quiescent(self) -> None:
@@ -441,22 +459,30 @@ class SimCluster:
             raise TypeError(f"unknown event type: {event!r}")
 
     def _deliver(self, event: DeliveryEvent) -> None:
+        # A Batch envelope is one delivery event (the delay model charged one
+        # network traversal for the whole frame) but its payload messages are
+        # traced and handed to the automaton individually, so protocol logic
+        # and per-kind message statistics never see the envelope.
+        payload = iter_unbatched(event.message)
         if self.failures.is_crashed(event.destination, self.now):
-            self.trace.record_drop(
-                event.source, event.destination, event.message, event.send_time, "crashed"
-            )
+            for message in payload:
+                self.trace.record_drop(
+                    event.source, event.destination, message, event.send_time, "crashed"
+                )
             return
         process = self.processes.get(event.destination)
         if process is None:
-            self.trace.record_drop(
-                event.source, event.destination, event.message, event.send_time, "unknown"
-            )
+            for message in payload:
+                self.trace.record_drop(
+                    event.source, event.destination, message, event.send_time, "unknown"
+                )
             return
-        self.trace.record_delivery(
-            event.source, event.destination, event.message, event.send_time, self.now
-        )
-        effects = process.handle_message(event.message)
-        self._apply_effects(event.destination, effects)
+        for message in payload:
+            self.trace.record_delivery(
+                event.source, event.destination, message, event.send_time, self.now
+            )
+            effects = process.handle_message(message)
+            self._apply_effects(event.destination, effects)
 
     def _fire_timer(self, event: TimerEvent) -> None:
         if self.failures.is_crashed(event.process_id, self.now):
@@ -470,14 +496,63 @@ class SimCluster:
     def _apply_effects(self, source: str, effects: Effects) -> None:
         if self.failures.is_crashed(source, self.now):
             return
+        batching = getattr(self.processes.get(source), "batching", False)
         for send in effects.sends:
-            self._send(source, send.destination, send.message)
+            if batching:
+                self._buffer_send(source, send.destination, send.message)
+            else:
+                self._send(source, send.destination, send.message)
         for timer in effects.timers:
             self.queue.push(
                 self.now + timer.delay, TimerEvent(process_id=source, timer_id=timer.timer_id)
             )
         for completion in effects.completions:
             self._complete(source, completion)
+
+    # ------------------------------------------------------------- batching
+    def _buffer_send(self, source: str, destination: str, message: Message) -> None:
+        """Queue *message* in the source's outbox for the next flush.
+
+        The message filter runs now, per protocol message (never on the
+        envelope): a dropped message simply leaves the batch, and an explicit
+        per-message delay opts the message out of batching entirely, since the
+        filter demands full control over its arrival time.
+        """
+        if self.message_filter is not None:
+            verdict = self.message_filter(source, destination, message, self.now)
+            if verdict is DROP:
+                self.trace.record_drop(source, destination, message, self.now, "filtered")
+                return
+            if verdict is not None:
+                self._push_explicit(source, destination, message, float(verdict))
+                return
+        self._outbox.setdefault(source, {}).setdefault(destination, []).append(message)
+        if source not in self._flush_scheduled:
+            self._flush_scheduled.add(source)
+            # Flush when the outgoing line frees up (immediately when idle):
+            # everything buffered while a previous frame occupied the line
+            # coalesces into the next frame — batching under backpressure.
+            flush_at = max(self.now, self._line_busy_until.get(source, 0.0))
+            self.queue.push(
+                flush_at,
+                InvocationEvent(
+                    label=f"flush:{source}", action=lambda s=source: self._flush(s)
+                ),
+            )
+
+    def _flush(self, source: str) -> None:
+        """Emit one frame per destination with buffered messages of *source*."""
+        self._flush_scheduled.discard(source)
+        pending = self._outbox.pop(source, None)
+        if not pending:
+            return
+        if self.failures.is_crashed(source, self.now):
+            for destination, messages in pending.items():
+                for message in messages:
+                    self.trace.record_drop(source, destination, message, self.now, "crashed")
+            return
+        for destination, messages in pending.items():
+            self._transmit(source, destination, make_envelope(source, messages))
 
     def _send(self, source: str, destination: str, message: Message) -> None:
         delay: Union[None, float, object] = None
@@ -486,10 +561,41 @@ class SimCluster:
         if delay is DROP:
             self.trace.record_drop(source, destination, message, self.now, "filtered")
             return
-        if delay is None:
-            delay = self.delay_model.sample(source, destination, self.now, self.rng)
+        if delay is not None:
+            self._push_explicit(source, destination, message, float(delay))
+            return
+        self._transmit(source, destination, message)
+
+    def _push_explicit(
+        self, source: str, destination: str, message: Message, delay: float
+    ) -> None:
+        """Deliver with a filter-chosen delay: the filter retains full control
+        of the arrival time, bypassing batching and the frame-overhead
+        serialization (the message still counts as its own frame)."""
+        self.frames_sent += 1
+        self.messages_sent += 1
         self.queue.push(
-            self.now + float(delay),
+            self.now + delay,
+            DeliveryEvent(
+                source=source,
+                destination=destination,
+                message=message,
+                send_time=self.now,
+            ),
+        )
+
+    def _transmit(self, source: str, destination: str, message: Message) -> None:
+        """Put one frame on the wire, serializing on the source's line."""
+        departure = self.now
+        if self.frame_overhead > 0.0:
+            departure = max(self.now, self._line_busy_until.get(source, 0.0))
+            self._line_busy_until[source] = departure + self.frame_overhead
+            departure += self.frame_overhead
+        self.frames_sent += 1
+        self.messages_sent += len(message) if isinstance(message, Batch) else 1
+        delay = self.delay_model.sample(source, destination, departure, self.rng)
+        self.queue.push(
+            departure + float(delay),
             DeliveryEvent(
                 source=source,
                 destination=destination,

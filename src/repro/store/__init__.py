@@ -22,7 +22,7 @@ protocol logic, so all proofs carry over per key.
 
 from __future__ import annotations
 
-from .bench import sharded_throughput_sweep, zipf_store_scenario
+from .bench import batching_sweep, sharded_throughput_sweep, zipf_store_scenario
 from .sharding import ShardedClient, ShardedProtocol, ShardedServer
 from .sim import ShardedSimStore
 
@@ -32,6 +32,7 @@ __all__ = [
     "ShardedServer",
     "ShardedSimStore",
     "ShardedAsyncCluster",
+    "batching_sweep",
     "sharded_tcp_cluster",
     "sharded_throughput_sweep",
     "zipf_store_scenario",

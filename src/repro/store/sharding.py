@@ -74,9 +74,21 @@ class _RegisterRouter:
     ``self.process_id``.  Inputs for unknown registers are dropped (an honest
     process never sends them; a malicious one gains nothing, since clients
     ignore replies tagged with a register they have no pending operation on).
+
+    ``batching`` marks the process as a participant in the message-batching
+    layer: the hosting runtime (simulator or asyncio node) then buffers the
+    sends this process emits and flushes everything travelling to the same
+    destination as one :class:`~repro.core.messages.Batch` envelope per flush
+    boundary (end of the current virtual-time instant / event-loop tick, or —
+    under backpressure — the moment the outgoing line frees up).  Inbound
+    batches are unwrapped by the runtime before reaching the router, so the
+    per-register automata never see the envelope.
     """
 
     sharded = True
+    #: Set by :class:`ShardedProtocol`; runtimes read it via ``getattr`` with a
+    #: ``False`` default, so plain single-register automata are never batched.
+    batching = False
     registers: Dict[str, Automaton]
 
     def handle_message(self, message) -> Effects:
@@ -122,15 +134,20 @@ class ShardedClient(_RegisterRouter, ClientAutomaton):
     """
 
     def __init__(self, process_id: str, registers: Dict[str, ClientAutomaton]) -> None:
-        # ``registers`` must exist before super().__init__ runs: the base
-        # constructor assigns ``timer_delay``, whose setter forwards to them.
-        self.registers = dict(registers)
-        inner_delays = [inner.timer_delay for inner in self.registers.values()]
+        # The base constructor assigns ``timer_delay`` through our property
+        # setter, which broadcasts to every inner register.  Keep ``registers``
+        # empty until it has run: broadcasting a representative delay here
+        # would silently clobber heterogeneous per-register timer delays.
+        self.registers: Dict[str, ClientAutomaton] = {}
+        inner = dict(registers)
+        inner_delays = [automaton.timer_delay for automaton in inner.values()]
         super().__init__(process_id, timer_delay=inner_delays[0] if inner_delays else 10.0)
+        self.registers = inner
 
     # -------------------------------------------------------------- timer delay
     @property
     def timer_delay(self) -> float:
+        """A representative delay (explicit assignment broadcasts uniformly)."""
         return self._timer_delay
 
     @timer_delay.setter
@@ -181,6 +198,14 @@ class ShardedProtocol(ProtocolSuite):
     faulty for all the shards it hosts — the fault-containment property is
     that it still cannot affect more than ``b`` servers of any shard's quorum
     system, so each register retains the paper's guarantees).
+
+    ``batching`` (default on) marks every process of the deployment for the
+    message-batching layer: co-flushed messages to the same destination travel
+    as one :class:`~repro.core.messages.Batch` envelope.  Batching is purely a
+    transport optimisation — a Byzantine server still forges *per-register*
+    replies inside the envelope, and the receiving router drops anything
+    tagged with a register it does not know, so a malicious batch cannot leak
+    across co-batched registers.
     """
 
     def __init__(
@@ -188,6 +213,7 @@ class ShardedProtocol(ProtocolSuite):
         base: ProtocolSuite,
         register_ids: Sequence[str],
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
+        batching: bool = True,
     ) -> None:
         super().__init__(base.config, timer_delay=base.timer_delay)
         if not register_ids:
@@ -204,6 +230,7 @@ class ShardedProtocol(ProtocolSuite):
         self.register_ids = list(register_ids)
         self.name = f"sharded-{base.name}"
         self.consistency = base.consistency
+        self.batching = bool(batching)
         self.byzantine = dict(byzantine or {})
         unknown = set(self.byzantine) - set(self.config.server_ids())
         if unknown:
@@ -223,28 +250,35 @@ class ShardedProtocol(ProtocolSuite):
             if strategy_factory is not None:
                 server = MaliciousServer(server, strategy_factory())  # type: ignore[arg-type]
             registers[register_id] = server
-        return ShardedServer(server_id, registers)
+        sharded = ShardedServer(server_id, registers)
+        sharded.batching = self.batching
+        return sharded
 
     def create_writer(self) -> ShardedClient:
-        return ShardedClient(
+        client = ShardedClient(
             self.config.writer_id,
             {
                 register_id: self.base.create_writer()
                 for register_id in self.register_ids
             },
         )
+        client.batching = self.batching
+        return client
 
     def create_reader(self, reader_id: str) -> ShardedClient:
-        return ShardedClient(
+        client = ShardedClient(
             reader_id,
             {
                 register_id: self.base.create_reader(reader_id)
                 for register_id in self.register_ids
             },
         )
+        client.batching = self.batching
+        return client
 
     def describe(self) -> dict:
         info = super().describe()
         info["registers"] = len(self.register_ids)
         info["base"] = self.base.name
+        info["batching"] = self.batching
         return info

@@ -33,9 +33,10 @@ class ShardedSimStore:
         base: ProtocolSuite,
         keys: Sequence[str],
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
+        batching: bool = True,
         **cluster_kwargs: Any,
     ) -> None:
-        self.suite = ShardedProtocol(base, keys, byzantine=byzantine)
+        self.suite = ShardedProtocol(base, keys, byzantine=byzantine, batching=batching)
         self.cluster = SimCluster(self.suite, **cluster_kwargs)
 
     # ------------------------------------------------------------- inspection
@@ -103,6 +104,20 @@ class ShardedSimStore:
         return True
 
     # -------------------------------------------------------------- reporting
+    @property
+    def batching(self) -> bool:
+        return self.suite.batching
+
+    @property
+    def frames_sent(self) -> int:
+        """Transport frames put on the wire (batches count once)."""
+        return self.cluster.frames_sent
+
+    @property
+    def messages_sent(self) -> int:
+        """Protocol messages sent (batched or not)."""
+        return self.cluster.messages_sent
+
     def completed_operations(self) -> List[OperationHandle]:
         return self.cluster.completed_operations()
 

@@ -12,6 +12,7 @@ from .generator import (
     run_workload,
     run_workload_history,
     value_sequence,
+    workload_event_budget,
     zipf_weights,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "run_workload",
     "run_workload_history",
     "value_sequence",
+    "workload_event_budget",
     "zipf_weights",
 ]

@@ -251,6 +251,25 @@ def keyspace_workload(
 # --------------------------------------------------------------------------- #
 
 
+def workload_event_budget(cluster: SimCluster, workload: Workload) -> int:
+    """An event budget that scales with the workload instead of a fixed cap.
+
+    The cluster's default ``max_events_per_run`` guards interactive runs
+    against livelock, but a large healthy workload legitimately needs more:
+    every operation costs a bounded number of events per process (broadcast
+    deliveries, acks, timers, retry rounds and — unbatched — one delivery
+    event per message, which batching would otherwise collapse).  The budget
+    is proportional to ``operations x processes`` with a generous constant, so
+    it stays a livelock tripwire while never firing on healthy runs; the
+    cluster default remains the floor for tiny workloads.
+    """
+    num_processes = max(1, len(cluster.processes))
+    events_per_operation = 12 * num_processes + 24
+    return max(
+        cluster.max_events_per_run, len(workload) * events_per_operation
+    )
+
+
 def run_workload(cluster: SimCluster, workload: Workload) -> List[OperationHandle]:
     """Drive *cluster* through *workload*; returns the operation handles.
 
@@ -262,21 +281,24 @@ def run_workload(cluster: SimCluster, workload: Workload) -> List[OperationHandl
     (``invoked_at - scheduled_at``) measurable.
     """
     handles: List[OperationHandle] = []
+    budget = workload_event_budget(cluster, workload)
     for op in workload.sorted():
         if op.at > cluster.now:
-            cluster.run_for(op.at - cluster.now)
+            cluster.run_for(op.at - cluster.now, max_events=budget)
         client = (
             cluster.writer if op.kind == "write" else cluster.reader(op.client_id)
         )
         if client.busy:
-            cluster.run(until=lambda client=client: not client.busy)
+            cluster.run(
+                until=lambda client=client: not client.busy, max_events=budget
+            )
         if op.kind == "write":
             handle = cluster.start_write(op.value)
         else:
             handle = cluster.start_read(op.client_id)
         handle.scheduled_at = op.at
         handles.append(handle)
-    cluster.run(until=lambda: all(handle.done for handle in handles))
+    cluster.run(until=lambda: all(handle.done for handle in handles), max_events=budget)
     return handles
 
 
@@ -297,15 +319,17 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
     """
     handles: List[OperationHandle] = []
     cluster = store.cluster
+    budget = workload_event_budget(cluster, workload)
     for op in workload.sorted():
         if op.key is None:
             raise ValueError(f"store workloads need a key on every operation: {op}")
         if op.at > cluster.now:
-            cluster.run_for(op.at - cluster.now)
+            cluster.run_for(op.at - cluster.now, max_events=budget)
         client_id = cluster.config.writer_id if op.kind == "write" else op.client_id
         if store.client_busy(client_id, op.key):
             cluster.run(
-                until=lambda c=client_id, k=op.key: not store.client_busy(c, k)
+                until=lambda c=client_id, k=op.key: not store.client_busy(c, k),
+                max_events=budget,
             )
         if op.kind == "write":
             handle = store.start_write(op.key, op.value)
@@ -313,5 +337,5 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
             handle = store.start_read(op.key, op.client_id)
         handle.scheduled_at = op.at
         handles.append(handle)
-    cluster.run(until=lambda: all(handle.done for handle in handles))
+    cluster.run(until=lambda: all(handle.done for handle in handles), max_events=budget)
     return handles

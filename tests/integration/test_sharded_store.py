@@ -88,6 +88,49 @@ class TestSimStoreWorkloads:
             throughputs.append(throughput)
         assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
 
+    def test_batched_mode_beats_unbatched_under_frame_overhead(self):
+        results = {}
+        for batching in (False, True):
+            _store, throughput = run_store_throughput(
+                8, num_operations=48, batching=batching, frame_overhead=0.1
+            )
+            results[batching] = throughput
+        assert results[True] > results[False]
+
+
+class TestBatchingUnderByzantineServers:
+    def test_malicious_batch_cannot_corrupt_cobatched_registers(self):
+        """A Byzantine server's forged replies ride the same envelopes as its
+        honest co-batched replies; the receiving router dispatches strictly by
+        ``register_id``, so the forgery stays confined to the register it
+        targets and every per-key history remains atomic."""
+        store = zipf_store_scenario(
+            num_operations=150, num_keys=6, byzantine=True, batching=True
+        )
+        assert store.batching
+        # Batching actually engaged: fewer frames than protocol messages.
+        assert store.frames_sent < store.messages_sent
+        assert store.verify_atomic()
+        for history in store.histories().values():
+            for record in history.reads():
+                assert record.value != "FORGED"
+
+    def test_stale_replay_strategy_is_harmless_inside_batches(self):
+        config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
+        store = ShardedSimStore(
+            LuckyAtomicProtocol(config),
+            ["k1", "k2", "k3"],
+            byzantine={"s2": StaleReplayStrategy},
+            batching=True,
+            delay_model=FixedDelay(1.0),
+        )
+        workload = keyspace_workload(
+            80, store.keys, config.reader_ids(), write_fraction=0.5, mean_gap=0.2, seed=7
+        )
+        run_store_workload(store, workload)
+        assert store.frames_sent < store.messages_sent
+        assert store.verify_atomic()
+
 
 class TestAsyncShardedStore:
     def test_concurrent_multi_key_operations_in_memory(self):
@@ -166,5 +209,44 @@ class TestAsyncShardedStore:
 
         reads, histories = asyncio.run(scenario())
         assert [read.value for read in reads] == [f"tcp-{key}" for key in keys]
+        for history in histories.values():
+            assert check_atomicity(history).ok
+
+    @pytest.mark.parametrize("transport", ["memory", "tcp"])
+    def test_batching_sends_fewer_frames_on_asyncio_transports(self, transport):
+        """Concurrent multi-key operations started in the same event-loop tick
+        coalesce into Batch envelopes — one transport frame per destination —
+        while disabling batching sends every protocol message as its own
+        frame.  Results and per-key atomicity are identical either way."""
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=2)
+        keys = [f"k{i}" for i in range(1, 7)]
+
+        def run(batching):
+            async def scenario():
+                factory = (
+                    sharded_tcp_cluster if transport == "tcp" else ShardedAsyncCluster
+                )
+                async with factory(
+                    LuckyAtomicProtocol(config),
+                    keys,
+                    batching=batching,
+                    timer_delay=200.0,
+                ) as store:
+                    await asyncio.gather(
+                        *(store.write(key, f"{key}-value") for key in keys)
+                    )
+                    reads = await asyncio.gather(*(store.read(key) for key in keys))
+                    return (
+                        [read.value for read in reads],
+                        store.transport.frames_sent,
+                        store.histories(),
+                    )
+
+            return asyncio.run(scenario())
+
+        values_batched, frames_batched, histories = run(True)
+        values_unbatched, frames_unbatched, _ = run(False)
+        assert values_batched == values_unbatched == [f"{key}-value" for key in keys]
+        assert frames_batched < frames_unbatched
         for history in histories.values():
             assert check_atomicity(history).ok

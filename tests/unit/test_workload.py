@@ -143,6 +143,31 @@ class TestExecution:
                 record.invoked_at - record.metadata["scheduled_at"]
             ) or record.metadata["queueing_delay"] == 0.0
 
+    def test_deferred_reads_record_queueing_delay_in_history_metadata(self):
+        """Reads deferred behind an earlier read of the same reader must keep
+        the schedule time and expose a positive queueing delay, both on the
+        handle and in the recorded history metadata."""
+        cluster = self._cluster()
+        # Back-to-back reads by the same single reader against a >= 2-unit
+        # read latency: every read after the first defers.
+        workload = consecutive_read_workload(6, readers=["r1"], gap=0.2)
+        handles = run_workload(cluster, workload)
+        assert all(handle.done for handle in handles)
+        deferred_reads = [
+            h for h in handles if h.kind == "read" and h.queueing_delay > 0
+        ]
+        assert deferred_reads, "this schedule must defer reads"
+        records_by_invoked = {
+            (r.kind, r.invoked_at): r for r in cluster.history()
+        }
+        for handle in deferred_reads:
+            assert handle.invoked_at > handle.scheduled_at
+            record = records_by_invoked[("read", handle.invoked_at)]
+            assert record.metadata["scheduled_at"] == handle.scheduled_at
+            assert record.metadata["queueing_delay"] == pytest.approx(
+                handle.queueing_delay
+            )
+
     def test_undeferred_ops_have_zero_queueing_delay(self):
         cluster = self._cluster()
         handles = run_workload(cluster, lucky_workload(3, readers=["r1", "r2"], gap=20.0))
