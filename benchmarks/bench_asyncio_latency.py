@@ -6,15 +6,12 @@ numbers depend on the host; the asserted shape is that the slow paths cost
 roughly the extra round-trips the protocol requires.
 """
 
-import asyncio
 
-import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.protocol import LuckyAtomicProtocol
 from repro.baselines.slow_robust import SlowRobustProtocol
 from repro.runtime.cluster import AsyncCluster
-from repro.runtime.transport import InMemoryTransport, constant_delay
 
 #: Injected one-way message delay (seconds): emulates a fast LAN.
 MESSAGE_DELAY_S = 0.002

@@ -5,7 +5,6 @@ up to ``fr`` actual server failures, and contrasts it with the slow path
 (write-back) beyond the threshold.
 """
 
-import pytest
 
 from repro.bench.experiments import experiment_fast_reads
 from repro.bench.harness import build_cluster

@@ -5,7 +5,6 @@ round-trip despite up to ``fw`` actual server failures, and measures the cost
 of the fast path against the three-round slow path.
 """
 
-import pytest
 
 from repro.bench.experiments import experiment_fast_writes
 from repro.bench.harness import build_cluster

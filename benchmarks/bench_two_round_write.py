@@ -1,6 +1,5 @@
 """E7 — two-round WRITEs with fast lucky READs (Appendix C, Propositions 5-6)."""
 
-import pytest
 
 from repro.bench.experiments import experiment_two_round_write
 from repro.bench.harness import build_cluster

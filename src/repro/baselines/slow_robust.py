@@ -18,7 +18,6 @@ implementation quality.
 
 from __future__ import annotations
 
-from ..core.config import SystemConfig
 from ..core.protocol import ProtocolSuite
 from ..core.reader import AtomicReader
 from ..core.server import StorageServer

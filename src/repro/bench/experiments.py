@@ -8,8 +8,7 @@ what EXPERIMENTS.md reports.  The functions are deliberately deterministic
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from ..baselines.abd import ABDProtocol
 from ..baselines.slow_robust import SlowRobustProtocol
@@ -17,17 +16,14 @@ from ..core.config import SystemConfig, frontier_threshold_pairs
 from ..core.protocol import LuckyAtomicProtocol, ProtocolSuite
 from ..sim.byzantine import (
     ForgeHighTimestampStrategy,
-    ForgedStateStrategy,
     MuteStrategy,
     StaleReplayStrategy,
 )
 from ..sim.cluster import DROP, SimCluster
-from ..sim.failures import FailureSchedule
 from ..sim.latency import FixedDelay, SlowProcessDelay, UniformDelay
 from ..variants.regular import MaliciousWritebackReader, RegularStorageProtocol
 from ..variants.trading import (
     TradingReadsProtocol,
-    TradingWritesProtocol,
     consecutive_lucky_read_sequences,
 )
 from ..variants.two_round import TwoRoundWriteProtocol
@@ -632,7 +628,6 @@ def experiment_baseline_comparison(t: int = 2, b: int = 1, cycles: int = 6) -> E
             "atomic",
         ],
     )
-    lucky_config = SystemConfig.balanced(t, b, num_readers=2)
     suites = [
         ("lucky", lambda: LuckyAtomicProtocol(SystemConfig.balanced(t, b, num_readers=2)), True),
         ("slow", lambda: SlowRobustProtocol(SystemConfig(t=t, b=b, num_readers=2, enforce_tradeoff=False)), True),

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..core.config import SystemConfig
 from ..core.protocol import ProtocolSuite
 from ..sim.byzantine import ByzantineStrategy
 from ..sim.cluster import OperationHandle, SimCluster
@@ -66,6 +65,16 @@ class ExperimentTable:
         if isinstance(value, float):
             return f"{value:.3f}"
         return str(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dump (CI publishes these as BENCH artifacts)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
     def to_markdown(self) -> str:
         """Render the table as GitHub-flavoured markdown."""

@@ -92,6 +92,35 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the Zipf keyspace atomicity check (with one Byzantine server)",
     )
+    store_parser.add_argument(
+        "--mwmr",
+        action="store_true",
+        help=(
+            "also run the S3 contended-writers sweep: every key multi-writer, "
+            "several clients racing with (ts, writer_id) timestamp pairs"
+        ),
+    )
+    store_parser.add_argument(
+        "--mwmr-writers",
+        type=int,
+        default=3,
+        help="number of concurrent writer clients in the --mwmr sweep",
+    )
+    store_parser.add_argument(
+        "--mwmr-skew",
+        type=float,
+        default=0.8,
+        help="Zipf skew of the --mwmr sweep's key popularity",
+    )
+    store_parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write every produced experiment table as JSON to PATH "
+            "(the CI benchmark job publishes this as BENCH_pr.json)"
+        ),
+    )
     return parser
 
 
@@ -125,8 +154,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_bench(args: argparse.Namespace) -> int:
-    from .store.bench import batching_sweep, sharded_throughput_sweep, zipf_store_scenario
+    from .store.bench import (
+        batching_sweep,
+        mwmr_sweep,
+        sharded_throughput_sweep,
+        zipf_store_scenario,
+    )
 
+    tables = []
     table = sharded_throughput_sweep(
         shard_counts=range(1, args.max_shards + 1),
         num_operations=args.ops,
@@ -134,6 +169,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
         b=args.b,
         batching=args.batch,
     )
+    tables.append(table)
     print(table.to_markdown() if args.markdown else table.format())
     if args.compare_batching:
         # The comparison always includes 8 shards (below that, per-key
@@ -146,8 +182,51 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
             b=args.b,
             frame_overhead=args.frame_overhead,
         )
+        tables.append(comparison)
         print()
         print(comparison.to_markdown() if args.markdown else comparison.format())
+    if args.mwmr:
+        # S3: contended writers on an all-MWMR store; shard counts are the
+        # powers of two up to --max-shards (plus --max-shards itself).
+        contended = mwmr_sweep(
+            shard_counts=sorted(
+                {c for c in (1, 2, 4, 8) if c <= args.max_shards} | {args.max_shards}
+            ),
+            num_operations=args.ops,
+            t=args.t,
+            b=args.b,
+            num_writers=args.mwmr_writers,
+            skew=args.mwmr_skew,
+            batching=args.batch,
+        )
+        tables.append(contended)
+        print()
+        print(contended.to_markdown() if args.markdown else contended.format())
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "command": "store-bench",
+                    "parameters": {
+                        "max_shards": args.max_shards,
+                        "ops": args.ops,
+                        "t": args.t,
+                        "b": args.b,
+                        "batching": args.batch,
+                        "frame_overhead": args.frame_overhead,
+                        "mwmr": args.mwmr,
+                        "mwmr_writers": args.mwmr_writers,
+                        "mwmr_skew": args.mwmr_skew,
+                    },
+                    "experiments": [table.to_dict() for table in tables],
+                },
+                fh,
+                indent=2,
+                default=str,
+            )
+        print(f"\nwrote {len(tables)} experiment table(s) to {args.json_out}")
     if not args.skip_zipf:
         # The Byzantine scenario needs b >= 1, so it runs on its own fixed
         # configuration rather than the sweep's --t/--b.

@@ -24,9 +24,12 @@ from .messages import (
     PreWriteAck,
     Read,
     ReadAck,
+    TimestampQuery,
+    TimestampQueryAck,
     Write,
     WriteAck,
 )
+from .mwmr import MultiWriterClient
 from .predicates import ServerView, ViewTable
 from .protocol import LuckyAtomicProtocol, ProtocolSuite
 from .reader import AtomicReader
@@ -60,8 +63,11 @@ __all__ = [
     "PreWriteAck",
     "Write",
     "WriteAck",
+    "TimestampQuery",
+    "TimestampQueryAck",
     "Read",
     "ReadAck",
+    "MultiWriterClient",
     "BaselineQuery",
     "BaselineQueryReply",
     "BaselineStore",

@@ -11,7 +11,7 @@ deterministic virtual time and real wall-clock time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 from .messages import Message
 

@@ -14,7 +14,7 @@ the pseudocode (``S - t``, ``S - fw``, ``2b + t + 1`` ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 

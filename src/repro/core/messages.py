@@ -10,8 +10,8 @@ channels between two non-malicious processes — the transports enforce that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, FrozenSet, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
 
 from .types import FrozenEntry, FreezeDirective, NewReadReport, TimestampValue
 
@@ -80,10 +80,38 @@ class Write(Message):
 
 @dataclass(frozen=True)
 class WriteAck(Message):
-    """``WRITE_ACK <round, ts>`` — server reply to a W / write-back message."""
+    """``WRITE_ACK <round, ts>`` — server reply to a W / write-back message.
+
+    ``from_writer`` echoes the W message's flag, so a client hosting *both* a
+    writer and a reader automaton on the same register (the MWMR composite
+    client) can route the acknowledgement to the role that sent the round.
+    """
 
     round: int = 2
     ts: int = 0
+    from_writer: bool = True
+
+
+@dataclass(frozen=True)
+class TimestampQuery(Message):
+    """``TS_QUERY <op>`` — read phase of an MWMR WRITE.
+
+    A multi-writer WRITE first queries every server for the highest pair it
+    stores; the writer then writes ``(max_ts + 1, writer_id)``.  Single-writer
+    deployments never send this message (the lone writer already knows its own
+    latest timestamp), which is what keeps the SWMR lucky write one round.
+    """
+
+    op_id: int = 0
+
+
+@dataclass(frozen=True)
+class TimestampQueryAck(Message):
+    """``TS_QUERY_ACK <op, pw, w>`` — server reply to a :class:`TimestampQuery`."""
+
+    op_id: int = 0
+    pw: TimestampValue = TimestampValue(0)
+    w: TimestampValue = TimestampValue(0)
 
 
 # --------------------------------------------------------------------------- #
@@ -195,6 +223,8 @@ ALL_MESSAGE_TYPES = (
     PreWriteAck,
     Write,
     WriteAck,
+    TimestampQuery,
+    TimestampQueryAck,
     Read,
     ReadAck,
     Batch,

@@ -1,0 +1,132 @@
+"""Multi-writer (MWMR) register client: one process, both roles.
+
+The paper's protocol is SWMR: one distinguished writer, many readers.  The
+MWMR extension (ROADMAP) lifts that restriction with lexicographic
+``(ts, writer_id)`` timestamp pairs: every client may write, a WRITE first
+queries the highest stored pair (one :class:`~repro.core.messages.TimestampQuery`
+round) and then writes ``(max_ts + 1, writer_id)`` through the unchanged
+PW/W machinery.  :class:`MultiWriterClient` is the client-side composition —
+an :class:`~repro.core.writer.AtomicWriter` in MWMR mode and an
+:class:`~repro.core.reader.AtomicReader` sharing one process identity and one
+mailbox:
+
+* ``PreWriteAck`` / ``TimestampQueryAck`` route to the writer role;
+* ``ReadAck`` routes to the reader role;
+* ``WriteAck`` routes on its echoed ``from_writer`` flag (servers echo the
+  flag of the W round they acknowledge), which keeps the writer's W phase and
+  the reader's write-back — both built from ``Write``/``WriteAck`` rounds —
+  from consuming each other's acknowledgements.
+
+Well-formedness stays per register: the composite allows at most one
+outstanding operation (read *or* write) at a time, exactly the discipline the
+sharded store's per-key deferral enforces for plain clients.
+"""
+
+from __future__ import annotations
+
+from .automaton import ClientAutomaton, Effects
+from .config import SystemConfig
+from .messages import (
+    Message,
+    PreWriteAck,
+    ReadAck,
+    TimestampQueryAck,
+    WriteAck,
+)
+from .reader import AtomicReader
+from .writer import AtomicWriter
+
+
+class MultiWriterClient(ClientAutomaton):
+    """A client that can both READ and WRITE one MWMR register."""
+
+    #: Marks the automaton for history consumers (completions carry it too).
+    mwmr = True
+
+    def __init__(
+        self,
+        process_id: str,
+        config: SystemConfig,
+        timer_delay: float = 10.0,
+        count_unresponsive: bool = False,
+    ) -> None:
+        # Build the two roles before the base constructor runs: it assigns
+        # ``timer_delay`` through the propagating property below.
+        self.writer = AtomicWriter(
+            config,
+            timer_delay=timer_delay,
+            writer_id=process_id,
+            mwmr=True,
+        )
+        self.reader = AtomicReader(
+            process_id,
+            config,
+            timer_delay=timer_delay,
+            count_unresponsive=count_unresponsive,
+        )
+        super().__init__(process_id, timer_delay=timer_delay)
+        self.config = config
+
+    # -------------------------------------------------------------- timer delay
+    @property
+    def timer_delay(self) -> float:
+        return self._timer_delay
+
+    @timer_delay.setter
+    def timer_delay(self, value: float) -> None:
+        self._timer_delay = value
+        self.writer.timer_delay = value
+        self.reader.timer_delay = value
+
+    # ------------------------------------------------------------------- state
+    @property
+    def busy(self) -> bool:
+        """Whether a read or a write is outstanding on this register."""
+        return self.writer.busy or self.reader.busy
+
+    # -------------------------------------------------------------- invocation
+    def write(self, value) -> Effects:
+        """Invoke ``WRITE(value)`` (query round, then the PW/W machinery)."""
+        if self.busy:
+            raise RuntimeError(
+                f"client {self.process_id} invoked an operation while another "
+                "is still outstanding (violates per-register well-formedness)"
+            )
+        return self.writer.write(value)
+
+    def read(self) -> Effects:
+        """Invoke ``READ()`` exactly as a plain reader would."""
+        if self.busy:
+            raise RuntimeError(
+                f"client {self.process_id} invoked an operation while another "
+                "is still outstanding (violates per-register well-formedness)"
+            )
+        return self.reader.read()
+
+    # ------------------------------------------------------------------- input
+    def handle_message(self, message: Message) -> Effects:
+        if isinstance(message, (TimestampQueryAck, PreWriteAck)):
+            return self.writer.handle_message(message)
+        if isinstance(message, ReadAck):
+            return self.reader.handle_message(message)
+        if isinstance(message, WriteAck):
+            if message.from_writer:
+                return self.writer.handle_message(message)
+            return self.reader.handle_message(message)
+        return Effects()
+
+    def on_timer(self, timer_id: str) -> Effects:
+        # Timer identifiers embed the role's op counter and phase label, so
+        # each role recognises exactly its own timers and ignores the rest.
+        effects = self.writer.on_timer(timer_id)
+        return effects.merge(self.reader.on_timer(timer_id))
+
+    # -------------------------------------------------------------- inspection
+    def describe(self) -> dict:
+        return {
+            "process_id": self.process_id,
+            "mwmr": True,
+            "writer": self.writer.describe(),
+            "reader": self.reader.describe(),
+            "busy": self.busy,
+        }

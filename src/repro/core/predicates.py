@@ -21,7 +21,7 @@ ablation benchmark can contrast the two; the library default is the safe one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .config import SystemConfig
@@ -158,9 +158,13 @@ class ViewTable:
         return sum(1 for view in self._domain() if view.read_live(pair))
 
     def _older_or_conflicting(self, candidate: TimestampValue, other: TimestampValue) -> bool:
-        """Whether *other* is strictly older than, or conflicts with, *candidate*."""
-        return other.ts < candidate.ts or (
-            other.ts == candidate.ts and other.val != candidate.val
+        """Whether *other* is strictly older than, or conflicts with, *candidate*.
+
+        "Older" is by the lexicographic ``(ts, writer_id)`` pair, so the
+        predicates order multi-writer pairs exactly as the servers do.
+        """
+        return other.order_key < candidate.order_key or (
+            other.order_key == candidate.order_key and other.val != candidate.val
         )
 
     def invalid_w(self, pair: TimestampValue) -> bool:
@@ -186,7 +190,7 @@ class ViewTable:
         for competitor in self.live_candidates():
             if competitor == pair:
                 continue
-            if competitor.ts < pair.ts:
+            if competitor.order_key < pair.order_key:
                 continue
             if not (self.invalid_w(competitor) and self.invalid_pw(competitor)):
                 return False
@@ -238,7 +242,7 @@ class ViewTable:
         candidates = self.selectable(read_ts)
         if not candidates:
             return None
-        return max(candidates, key=lambda pair: (pair.ts, repr(pair.val)))
+        return max(candidates, key=lambda pair: (*pair.order_key, repr(pair.val)))
 
 
 def summarize_views(table: ViewTable) -> str:

@@ -10,7 +10,7 @@ benchmark harness compare protocols apples-to-apples.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from .automaton import Automaton, ClientAutomaton
 from .config import SystemConfig
@@ -41,6 +41,17 @@ class ProtocolSuite:
 
     def create_reader(self, reader_id: str) -> ClientAutomaton:
         raise NotImplementedError
+
+    def create_mwmr_client(self, client_id: str) -> ClientAutomaton:
+        """A read-*and*-write client for one multi-writer register.
+
+        Only protocols whose writer supports the MWMR query phase provide
+        this; the sharded store calls it for every client of a register
+        declared ``mwmr``.
+        """
+        raise NotImplementedError(
+            f"protocol {self.name!r} does not support multi-writer registers"
+        )
 
     # -- convenience ----------------------------------------------------------
     def create_all(self) -> Dict[str, Automaton]:
@@ -94,6 +105,16 @@ class LuckyAtomicProtocol(ProtocolSuite):
     def create_reader(self, reader_id: str) -> AtomicReader:
         return AtomicReader(
             reader_id,
+            self.config,
+            timer_delay=self.timer_delay,
+            count_unresponsive=self.count_unresponsive,
+        )
+
+    def create_mwmr_client(self, client_id: str) -> "MultiWriterClient":
+        from .mwmr import MultiWriterClient
+
+        return MultiWriterClient(
+            client_id,
             self.config,
             timer_delay=self.timer_delay,
             count_unresponsive=self.count_unresponsive,

@@ -22,7 +22,7 @@ unbounded number of concurrent WRITEs (Theorem 2, case b).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set
+from typing import Optional, Set
 
 from .automaton import ClientAutomaton, Effects, OperationComplete
 from .config import SystemConfig
@@ -240,6 +240,11 @@ class AtomicReader(ClientAutomaton):
                     "read_rounds": attempt.read_rounds_used,
                     "writeback": attempt.did_writeback,
                     "is_bottom": is_bottom(selected.val),
+                    **(
+                        {"writer_id": selected.writer_id}
+                        if selected.writer_id
+                        else {}
+                    ),
                 },
             )
         )

@@ -17,8 +17,7 @@ client messages, which is the paper's data-centric model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from .automaton import Automaton, Effects
 from .config import SystemConfig
@@ -28,6 +27,8 @@ from .messages import (
     PreWriteAck,
     Read,
     ReadAck,
+    TimestampQuery,
+    TimestampQueryAck,
     Write,
     WriteAck,
 )
@@ -65,8 +66,13 @@ class StorageServer(Automaton):
 
     @staticmethod
     def _update(current: TimestampValue, candidate: TimestampValue) -> TimestampValue:
-        """The ``update(localtsval, tsval)`` helper of Fig. 3 (line 17)."""
-        if candidate.ts > current.ts:
+        """The ``update(localtsval, tsval)`` helper of Fig. 3 (line 17).
+
+        Comparison is by the lexicographic ``(ts, writer_id)`` pair; with the
+        paper's single writer every pair carries the empty writer id and this
+        degenerates to the pseudocode's by-timestamp rule.
+        """
+        if candidate.order_key > current.order_key:
             return candidate
         return current
 
@@ -85,7 +91,24 @@ class StorageServer(Automaton):
             return self._on_read(message)
         if isinstance(message, Write):
             return self._on_write(message)
+        if isinstance(message, TimestampQuery):
+            return self._on_timestamp_query(message)
         return Effects()
+
+    # ----------------------------------------------------- MWMR query phase
+    def _on_timestamp_query(self, message: TimestampQuery) -> Effects:
+        """Read phase of an MWMR WRITE: report the highest stored pairs."""
+        effects = Effects()
+        effects.send(
+            message.sender,
+            TimestampQueryAck(
+                sender=self.process_id,
+                op_id=message.op_id,
+                pw=self.pw,
+                w=self.w,
+            ),
+        )
+        return effects
 
     # ------------------------------------------------------------- PW phase
     def _apply_freeze_directives(self, directives: Iterable) -> None:
@@ -150,7 +173,12 @@ class StorageServer(Automaton):
         effects = Effects()
         effects.send(
             message.sender,
-            WriteAck(sender=self.process_id, round=message.round, ts=message.ts),
+            WriteAck(
+                sender=self.process_id,
+                round=message.round,
+                ts=message.ts,
+                from_writer=message.from_writer,
+            ),
         )
         return effects
 

@@ -50,34 +50,49 @@ def is_bottom(value: Any) -> bool:
 class TimestampValue:
     """A timestamp-value pair ``c = <ts, val>`` as used throughout the paper.
 
-    Ordering is by timestamp only, which mirrors how the algorithms compare
-    pairs; equality considers both fields, which is what the reader predicates
-    (e.g. ``invalidw``) need to detect two different values carrying the same
-    timestamp (only possible if some server is malicious, Lemma 2).
+    Ordering is by the lexicographic pair ``(ts, writer_id)``.  The paper's
+    SWMR protocol has a single writer, so every pair it manipulates carries the
+    default empty ``writer_id`` and ordering degenerates to by-timestamp — the
+    pseudocode's comparisons are unchanged.  The multi-writer (MWMR) extension
+    stamps the issuing writer's identity into ``writer_id``: two writers that
+    independently pick the same numeric timestamp then still produce totally
+    ordered pairs, which is the classic ABD-lineage lift from SWMR to MWMR.
+
+    Equality considers every field, which is what the reader predicates (e.g.
+    ``invalidw``) need to detect two different values carrying the same
+    timestamp pair (only possible if some server is malicious, Lemma 2).
     """
 
     ts: int
     val: Any = BOTTOM
+    writer_id: str = ""
+
+    @property
+    def order_key(self) -> tuple:
+        """The lexicographic ordering key ``(ts, writer_id)``."""
+        return (self.ts, self.writer_id)
 
     def newer_than(self, other: "TimestampValue") -> bool:
-        """``True`` iff this pair carries a strictly higher timestamp."""
-        return self.ts > other.ts
+        """``True`` iff this pair is strictly higher in ``(ts, writer_id)``."""
+        return self.order_key > other.order_key
 
     def at_least(self, other: "TimestampValue") -> bool:
-        """``True`` iff this pair carries a timestamp >= the other's."""
-        return self.ts >= other.ts
+        """``True`` iff this pair's ``(ts, writer_id)`` is >= the other's."""
+        return self.order_key >= other.order_key
 
     def conflicts_with(self, other: "TimestampValue") -> bool:
-        """Same timestamp but different value (impossible for honest data)."""
-        return self.ts == other.ts and self.val != other.val
+        """Same ``(ts, writer_id)`` but different value (impossible honestly)."""
+        return self.order_key == other.order_key and self.val != other.val
 
     def replace_if_newer(self, candidate: "TimestampValue") -> "TimestampValue":
         """The server ``update()`` helper of Fig. 3 (line 17)."""
-        if candidate.ts > self.ts:
+        if candidate.order_key > self.order_key:
             return candidate
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.writer_id:
+            return f"<{self.ts},{self.val!r},{self.writer_id}>"
         return f"<{self.ts},{self.val!r}>"
 
 
@@ -137,16 +152,16 @@ class NewReadReport:
 
 
 def freshest(*pairs: TimestampValue) -> TimestampValue:
-    """Return the pair with the highest timestamp among *pairs*.
+    """Return the pair with the highest ``(ts, writer_id)`` among *pairs*.
 
     Ties are broken in favour of the earliest argument, which matches the
-    server ``update`` rule (strictly greater timestamps replace).
+    server ``update`` rule (strictly greater pairs replace).
     """
     if not pairs:
         raise ValueError("freshest() requires at least one pair")
     best = pairs[0]
     for pair in pairs[1:]:
-        if pair.ts > best.ts:
+        if pair.order_key > best.order_key:
             best = pair
     return best
 

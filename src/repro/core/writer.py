@@ -23,13 +23,21 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .automaton import ClientAutomaton, Effects, OperationComplete
 from .config import SystemConfig
-from .messages import Message, PreWrite, PreWriteAck, Write, WriteAck
+from .messages import (
+    Message,
+    PreWrite,
+    PreWriteAck,
+    TimestampQuery,
+    TimestampQueryAck,
+    Write,
+    WriteAck,
+)
 from .types import (
     INITIAL_PAIR,
     INITIAL_READ_TIMESTAMP,
     FreezeDirective,
-    NewReadReport,
     TimestampValue,
+    freshest,
 )
 
 
@@ -40,11 +48,12 @@ class _WriteAttempt:
     op_id: int
     value: Any
     ts: int
-    phase: str = "pw"  # "pw", then "w2", "w3", then "done"
+    phase: str = "pw"  # optional "query", then "pw", "w2", "w3", then "done"
     pw_acks: Dict[str, PreWriteAck] = field(default_factory=dict)
     timer_expired: bool = False
     w_acks: Dict[int, Set[str]] = field(default_factory=dict)
     rounds_used: int = 0
+    query_acks: Dict[str, TimestampQueryAck] = field(default_factory=dict)
 
 
 class AtomicWriter(ClientAutomaton):
@@ -66,6 +75,7 @@ class AtomicWriter(ClientAutomaton):
         writer_id: Optional[str] = None,
         enable_fast_path: bool = True,
         wait_for_timer: bool = True,
+        mwmr: bool = False,
     ) -> None:
         """Create the writer.
 
@@ -75,11 +85,26 @@ class AtomicWriter(ClientAutomaton):
         which sacrifices the fast path (the writer may act on only ``S - t``
         acknowledgements) in exchange for lower worst-case latency; it is used
         by the always-slow baseline.
+
+        ``mwmr=True`` lifts the single-writer restriction: every WRITE is
+        preceded by a *read phase* (a :class:`TimestampQuery` round collecting
+        the highest stored pair from ``S - t`` servers) and writes the pair
+        ``(max_ts + 1, value, writer_id)`` — the classic ABD-lineage
+        multi-writer generalisation with lexicographic ``(ts, writer_id)``
+        ordering.  Any completed WRITE stored its pair at ``S - t`` servers and
+        any query hears from ``S - t``, so the quorums intersect in at least
+        ``S - 2t = b + 1`` servers, of which at least one is honest: the
+        chosen timestamp strictly dominates every completed WRITE.  A
+        malicious server forging a huge timestamp in its query reply only
+        makes this writer skip timestamps on this one register — order, and
+        therefore safety, is unaffected, and the forgery cannot escape the
+        register it was uttered on.
         """
         super().__init__(writer_id or config.writer_id, timer_delay=timer_delay)
         self.config = config
         self.enable_fast_path = enable_fast_path
         self.wait_for_timer = wait_for_timer
+        self.mwmr = mwmr
         self.ts: int = 0
         self.pw: TimestampValue = INITIAL_PAIR
         self.w: TimestampValue = INITIAL_PAIR
@@ -89,39 +114,83 @@ class AtomicWriter(ClientAutomaton):
         self.frozen: Tuple[FreezeDirective, ...] = ()
         self._attempt: Optional[_WriteAttempt] = None
 
+    def _pair_writer_id(self) -> str:
+        """The writer identity stamped into pairs ("" in the SWMR protocol)."""
+        return self.process_id if self.mwmr else ""
+
     # ------------------------------------------------------------ invocation
     def write(self, value: Any) -> Effects:
         """Invoke ``WRITE(value)``; returns the effects of its first round."""
         self._operation_started()
         op_id = self._next_op_id()
+        if self.mwmr:
+            # MWMR read phase: learn the highest pair before picking a
+            # timestamp.  The PW phase starts once S - t replies are in.
+            self._attempt = _WriteAttempt(
+                op_id=op_id, value=value, ts=0, phase="query"
+            )
+            effects = Effects()
+            effects.broadcast(
+                self.config.server_ids(),
+                TimestampQuery(sender=self.process_id, op_id=op_id),
+            )
+            self._attempt.rounds_used = 1
+            return effects
         self.ts += 1
-        self.pw = TimestampValue(self.ts, value)
         self._attempt = _WriteAttempt(op_id=op_id, value=value, ts=self.ts)
+        return self._start_pw_phase()
+
+    def _start_pw_phase(self) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.phase = "pw"
+        self.pw = TimestampValue(attempt.ts, attempt.value, self._pair_writer_id())
 
         if not self.wait_for_timer:
-            self._attempt.timer_expired = True
+            attempt.timer_expired = True
 
         effects = Effects()
         if self.wait_for_timer:
-            effects.start_timer(self._timer_id(op_id, "pw"), self.timer_delay)
+            effects.start_timer(self._timer_id(attempt.op_id, "pw"), self.timer_delay)
         message = PreWrite(
             sender=self.process_id,
-            ts=self.ts,
+            ts=attempt.ts,
             pw=self.pw,
             w=self.w,
             frozen=self.frozen if self.FREEZE_CHANNEL == "pw" else (),
         )
         effects.broadcast(self.config.server_ids(), message)
-        self._attempt.rounds_used = 1
+        attempt.rounds_used += 1
         return effects
 
     # ----------------------------------------------------------------- input
     def handle_message(self, message: Message) -> Effects:
+        if isinstance(message, TimestampQueryAck):
+            return self._on_query_ack(message)
         if isinstance(message, PreWriteAck):
             return self._on_pw_ack(message)
         if isinstance(message, WriteAck):
             return self._on_write_ack(message)
         return Effects()
+
+    # ------------------------------------------------------------ query phase
+    def _on_query_ack(self, ack: TimestampQueryAck) -> Effects:
+        attempt = self._attempt
+        if attempt is None or attempt.phase != "query":
+            return Effects()
+        if ack.op_id != attempt.op_id:
+            return Effects()  # stale or forged acknowledgement
+        attempt.query_acks[ack.sender] = ack
+        if len(attempt.query_acks) < self.config.round_quorum:
+            return Effects()
+        highest = freshest(
+            TimestampValue(self.ts, None, self._pair_writer_id()),
+            *(ack.pw for ack in attempt.query_acks.values()),
+            *(ack.w for ack in attempt.query_acks.values()),
+        )
+        attempt.ts = highest.ts + 1
+        self.ts = attempt.ts
+        return self._start_pw_phase()
 
     def on_timer(self, timer_id: str) -> Effects:
         attempt = self._attempt
@@ -152,7 +221,7 @@ class AtomicWriter(ClientAutomaton):
 
         # Fig. 1, lines 6-7: adopt the written pair, recompute the frozen set.
         self.frozen = ()
-        self.w = TimestampValue(attempt.ts, attempt.value)
+        self.w = TimestampValue(attempt.ts, attempt.value, self._pair_writer_id())
         self._freeze_values(attempt)
 
         # Fig. 1, line 8: the fast path.
@@ -213,6 +282,8 @@ class AtomicWriter(ClientAutomaton):
         attempt = self._attempt
         if attempt is None or not attempt.phase.startswith("w"):
             return Effects()
+        if not ack.from_writer:
+            return Effects()  # echo of a reader write-back round, not ours
         round_number = int(attempt.phase[1:])
         if ack.round != round_number or ack.ts != attempt.ts:
             return Effects()
@@ -242,6 +313,11 @@ class AtomicWriter(ClientAutomaton):
                     "ts": attempt.ts,
                     "pw_acks": len(attempt.pw_acks),
                     "frozen_directives": len(self.frozen),
+                    **(
+                        {"mwmr": True, "writer_id": self.process_id}
+                        if self.mwmr
+                        else {}
+                    ),
                 },
             )
         )
@@ -257,4 +333,5 @@ class AtomicWriter(ClientAutomaton):
             "read_ts": dict(self.read_ts),
             "frozen": self.frozen,
             "busy": self.busy,
+            "mwmr": self.mwmr,
         }

@@ -32,7 +32,7 @@ from ..core.protocol import ProtocolSuite
 from ..store.sharding import ShardedProtocol, StrategyFactory
 from ..verify.history import History
 from .node import AutomatonNode, ClientNode, ShardedClientNode
-from .transport import DelayFunction, InMemoryTransport, TcpTransport, Transport, constant_delay
+from .transport import InMemoryTransport, TcpTransport, Transport, constant_delay
 
 
 class AsyncCluster:
@@ -182,18 +182,35 @@ class ShardedAsyncCluster(AsyncCluster):
         keys: Iterable[str],
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
         batching: bool = True,
+        mwmr: Any = (),
         **kwargs: Any,
     ) -> None:
-        suite = ShardedProtocol(base, list(keys), byzantine=byzantine, batching=batching)
+        suite = ShardedProtocol(
+            base, list(keys), byzantine=byzantine, batching=batching, mwmr=mwmr
+        )
         super().__init__(suite, **kwargs)
 
     @property
     def keys(self) -> List[str]:
         return list(self.suite.register_ids)
 
+    @property
+    def mwmr_keys(self) -> List[str]:
+        """The keys declared multi-writer (every client node may write them)."""
+        return sorted(self.suite.mwmr_registers)
+
     # ---------------------------------------------------------------- operations
-    async def write(self, key: str, value: Any) -> OperationComplete:  # type: ignore[override]
-        return await self.client_nodes[self.config.writer_id].write(key, value)
+    async def write(  # type: ignore[override]
+        self, key: str, value: Any, client_id: Optional[str] = None
+    ) -> OperationComplete:
+        """WRITE *value* to *key*; ``client_id`` picks the writing client.
+
+        Any client node may write a key the suite declared ``mwmr``; SWMR keys
+        accept writes only from the configured writer (the default).
+        """
+        return await self.client_nodes[client_id or self.config.writer_id].write(
+            key, value
+        )
 
     async def read(  # type: ignore[override]
         self, key: str, reader_id: Optional[str] = None

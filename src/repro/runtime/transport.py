@@ -21,7 +21,6 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
-from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 
 from ..core.messages import Message

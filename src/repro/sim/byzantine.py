@@ -15,19 +15,14 @@ not reply at all.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..core.automaton import Automaton, Effects
 from ..core.messages import (
     Message,
-    PreWrite,
-    PreWriteAck,
     Read,
     ReadAck,
-    Write,
-    WriteAck,
 )
 from ..core.server import StorageServer
 from ..core.types import INITIAL_PAIR, FrozenEntry, TimestampValue

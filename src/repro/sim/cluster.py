@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
@@ -299,9 +299,16 @@ class SimCluster:
             )
         return client
 
-    def start_store_write(self, register_id: str, value: Any) -> OperationHandle:
-        """Invoke ``WRITE(value)`` on the register *register_id* now."""
-        writer = self._sharded_client(self.config.writer_id)
+    def start_store_write(
+        self, register_id: str, value: Any, client_id: Optional[str] = None
+    ) -> OperationHandle:
+        """Invoke ``WRITE(value)`` on the register *register_id* now.
+
+        ``client_id`` defaults to the configured writer; on a register the
+        suite declared ``mwmr`` any client of the deployment may write, which
+        is what multi-writer workloads pass here.
+        """
+        writer = self._sharded_client(client_id or self.config.writer_id)
         # Invoke first: an unknown register or a per-register well-formedness
         # violation must not leave a ghost handle behind.
         effects = writer.write(register_id, value)
@@ -335,9 +342,11 @@ class SimCluster:
         self._apply_effects(reader_id, effects)
         return handle
 
-    def store_write(self, register_id: str, value: Any) -> OperationHandle:
+    def store_write(
+        self, register_id: str, value: Any, client_id: Optional[str] = None
+    ) -> OperationHandle:
         """Invoke a sharded WRITE and run the loop until it completes."""
-        handle = self.start_store_write(register_id, value)
+        handle = self.start_store_write(register_id, value, client_id=client_id)
         self.run(until=lambda: handle.done)
         return handle
 

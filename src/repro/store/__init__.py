@@ -22,7 +22,13 @@ protocol logic, so all proofs carry over per key.
 
 from __future__ import annotations
 
-from .bench import batching_sweep, sharded_throughput_sweep, zipf_store_scenario
+from .bench import (
+    batching_sweep,
+    mwmr_sweep,
+    sharded_throughput_sweep,
+    swmr_fast_path_probe,
+    zipf_store_scenario,
+)
 from .sharding import ShardedClient, ShardedProtocol, ShardedServer
 from .sim import ShardedSimStore
 
@@ -33,8 +39,10 @@ __all__ = [
     "ShardedSimStore",
     "ShardedAsyncCluster",
     "batching_sweep",
+    "mwmr_sweep",
     "sharded_tcp_cluster",
     "sharded_throughput_sweep",
+    "swmr_fast_path_probe",
     "zipf_store_scenario",
 ]
 

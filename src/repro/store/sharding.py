@@ -24,10 +24,9 @@ cluster can resolve the right pending operation.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects
-from ..core.config import SystemConfig
 from ..core.protocol import ProtocolSuite
 from ..sim.byzantine import ByzantineStrategy, MaliciousServer
 
@@ -178,11 +177,27 @@ class ShardedClient(_RegisterRouter, ClientAutomaton):
     # -------------------------------------------------------------- invocation
     def write(self, register_id: str, value) -> Effects:
         """Invoke ``WRITE(value)`` on *register_id*; returns tagged effects."""
-        return tag_effects(register_id, self._register(register_id).write(value))  # type: ignore[attr-defined]
+        inner = self._register(register_id)
+        write = getattr(inner, "write", None)
+        if write is None:
+            raise TypeError(
+                f"client {self.process_id} cannot write register {register_id!r}: "
+                "the register is single-writer (declare it mwmr to let every "
+                "client write it)"
+            )
+        return tag_effects(register_id, write(value))
 
     def read(self, register_id: str) -> Effects:
         """Invoke ``READ()`` on *register_id*; returns tagged effects."""
-        return tag_effects(register_id, self._register(register_id).read())  # type: ignore[attr-defined]
+        inner = self._register(register_id)
+        read = getattr(inner, "read", None)
+        if read is None:
+            raise TypeError(
+                f"client {self.process_id} cannot read register {register_id!r}: "
+                "in the SWMR model the writer never reads (declare the register "
+                "mwmr to give every client both roles)"
+            )
+        return tag_effects(register_id, read())
 
 
 #: A factory producing a fresh strategy instance; strategies are stateful, so
@@ -206,6 +221,15 @@ class ShardedProtocol(ProtocolSuite):
     replies inside the envelope, and the receiving router drops anything
     tagged with a register it does not know, so a malicious batch cannot leak
     across co-batched registers.
+
+    ``mwmr`` lifts the single-writer restriction *key by key*: pass ``True``
+    to make every register multi-writer, or a collection of register ids to
+    make just those MWMR.  On an MWMR register every client of the deployment
+    (the config's writer and all its readers) hosts a
+    :class:`~repro.core.mwmr.MultiWriterClient` — it can both read and write,
+    a WRITE runs the ``(ts, writer_id)`` query-then-write protocol, and
+    concurrent writers order their pairs lexicographically.  SWMR registers
+    are untouched: their lone writer keeps the paper's one-round lucky WRITE.
     """
 
     def __init__(
@@ -214,6 +238,7 @@ class ShardedProtocol(ProtocolSuite):
         register_ids: Sequence[str],
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
         batching: bool = True,
+        mwmr: Union[bool, Sequence[str]] = (),
     ) -> None:
         super().__init__(base.config, timer_delay=base.timer_delay)
         if not register_ids:
@@ -221,6 +246,18 @@ class ShardedProtocol(ProtocolSuite):
         if len(set(register_ids)) != len(register_ids):
             raise ValueError(f"duplicate register ids: {list(register_ids)}")
         for register_id in register_ids:
+            # Validate up front: a malformed id would otherwise surface only
+            # when a timer fires, as a silently misrouted (dropped) timer —
+            # ``split_timer_id`` cuts at the first separator, so an id
+            # containing it (or an empty id, whose namespaced timers alias a
+            # separator-prefixed inner id) can never round-trip.
+            if not isinstance(register_id, str):
+                raise ValueError(
+                    f"register id {register_id!r} must be a string, "
+                    f"not {type(register_id).__name__}"
+                )
+            if not register_id:
+                raise ValueError("register ids must be non-empty strings")
             if TIMER_SEPARATOR in register_id:
                 raise ValueError(
                     f"register id {register_id!r} must not contain "
@@ -228,6 +265,21 @@ class ShardedProtocol(ProtocolSuite):
                 )
         self.base = base
         self.register_ids = list(register_ids)
+        if isinstance(mwmr, str):
+            # A bare string is one register id, not a sequence of
+            # single-character ids (an easy typo for mwmr=["hot"]).
+            mwmr = [mwmr]
+        if mwmr is True:
+            self.mwmr_registers = frozenset(self.register_ids)
+        elif mwmr is False:
+            self.mwmr_registers = frozenset()
+        else:
+            self.mwmr_registers = frozenset(mwmr)
+            unknown_mwmr = self.mwmr_registers - set(self.register_ids)
+            if unknown_mwmr:
+                raise ValueError(
+                    f"mwmr ids are not registers: {sorted(unknown_mwmr)}"
+                )
         self.name = f"sharded-{base.name}"
         self.consistency = base.consistency
         self.batching = bool(batching)
@@ -255,10 +307,15 @@ class ShardedProtocol(ProtocolSuite):
         return sharded
 
     def create_writer(self) -> ShardedClient:
+        writer_id = self.config.writer_id
         client = ShardedClient(
-            self.config.writer_id,
+            writer_id,
             {
-                register_id: self.base.create_writer()
+                register_id: (
+                    self.base.create_mwmr_client(writer_id)
+                    if register_id in self.mwmr_registers
+                    else self.base.create_writer()
+                )
                 for register_id in self.register_ids
             },
         )
@@ -269,7 +326,11 @@ class ShardedProtocol(ProtocolSuite):
         client = ShardedClient(
             reader_id,
             {
-                register_id: self.base.create_reader(reader_id)
+                register_id: (
+                    self.base.create_mwmr_client(reader_id)
+                    if register_id in self.mwmr_registers
+                    else self.base.create_reader(reader_id)
+                )
                 for register_id in self.register_ids
             },
         )
@@ -281,4 +342,5 @@ class ShardedProtocol(ProtocolSuite):
         info["registers"] = len(self.register_ids)
         info["base"] = self.base.name
         info["batching"] = self.batching
+        info["mwmr_registers"] = sorted(self.mwmr_registers)
         return info

@@ -34,15 +34,23 @@ class ShardedSimStore:
         keys: Sequence[str],
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
         batching: bool = True,
+        mwmr: Any = (),
         **cluster_kwargs: Any,
     ) -> None:
-        self.suite = ShardedProtocol(base, keys, byzantine=byzantine, batching=batching)
+        self.suite = ShardedProtocol(
+            base, keys, byzantine=byzantine, batching=batching, mwmr=mwmr
+        )
         self.cluster = SimCluster(self.suite, **cluster_kwargs)
 
     # ------------------------------------------------------------- inspection
     @property
     def keys(self) -> List[str]:
         return list(self.suite.register_ids)
+
+    @property
+    def mwmr_keys(self) -> List[str]:
+        """The keys declared multi-writer (every client may write them)."""
+        return sorted(self.suite.mwmr_registers)
 
     @property
     def config(self):
@@ -57,14 +65,18 @@ class ShardedSimStore:
         return self.cluster._sharded_client(client_id).busy_on(key)
 
     # ------------------------------------------------------------- operations
-    def start_write(self, key: str, value: Any) -> OperationHandle:
-        return self.cluster.start_store_write(key, value)
+    def start_write(
+        self, key: str, value: Any, client_id: Optional[str] = None
+    ) -> OperationHandle:
+        return self.cluster.start_store_write(key, value, client_id=client_id)
 
     def start_read(self, key: str, reader_id: Optional[str] = None) -> OperationHandle:
         return self.cluster.start_store_read(key, reader_id)
 
-    def write(self, key: str, value: Any) -> OperationHandle:
-        return self.cluster.store_write(key, value)
+    def write(
+        self, key: str, value: Any, client_id: Optional[str] = None
+    ) -> OperationHandle:
+        return self.cluster.store_write(key, value, client_id=client_id)
 
     def read(self, key: str, reader_id: Optional[str] = None) -> OperationHandle:
         return self.cluster.store_read(key, reader_id)
@@ -89,9 +101,15 @@ class ShardedSimStore:
         return self.cluster.register_histories()
 
     def check_atomicity(self) -> Dict[str, CheckResult]:
-        """Run the existing atomicity checker on every per-key history."""
+        """Run the fitting atomicity checker on every per-key history.
+
+        SWMR keys go through the paper's four-property checker; MWMR keys go
+        through the multi-writer checker, which orders writes by their
+        ``(ts, writer_id)`` pairs instead of assuming one writer.
+        """
+        mwmr_keys = self.suite.mwmr_registers
         return {
-            key: check_atomicity(history)
+            key: check_atomicity(history, mwmr=key in mwmr_keys)
             for key, history in self.histories().items()
         }
 

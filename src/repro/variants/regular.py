@@ -15,11 +15,11 @@ back, and servers ignore write-back messages sent by readers.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from ..core.automaton import ClientAutomaton, Effects, OperationComplete
 from ..core.config import SystemConfig
-from ..core.messages import Message, Write
+from ..core.messages import Write
 from ..core.protocol import ProtocolSuite
 from ..core.reader import AtomicReader
 from ..core.server import StorageServer

@@ -19,7 +19,7 @@ and count the slow ones per sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from ..core.config import SystemConfig
 from ..core.protocol import LuckyAtomicProtocol, ProtocolSuite

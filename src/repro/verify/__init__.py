@@ -1,12 +1,24 @@
 """Operation histories and consistency checkers (atomicity, regularity, linearizability)."""
 
-from .atomicity import AtomicityChecker, CheckResult, Violation, check_atomicity
+from .atomicity import (
+    AtomicityChecker,
+    CheckResult,
+    MultiWriterAtomicityChecker,
+    Violation,
+    check_atomicity,
+)
 from .history import History, OperationRecord
-from .linearizability import HistoryTooLarge, cross_validate, is_linearizable
+from .linearizability import (
+    HistoryTooLarge,
+    cross_validate,
+    cross_validate_registers,
+    is_linearizable,
+)
 from .regularity import RegularityChecker, check_regularity
 
 __all__ = [
     "AtomicityChecker",
+    "MultiWriterAtomicityChecker",
     "CheckResult",
     "Violation",
     "check_atomicity",
@@ -14,6 +26,7 @@ __all__ = [
     "OperationRecord",
     "HistoryTooLarge",
     "cross_validate",
+    "cross_validate_registers",
     "is_linearizable",
     "RegularityChecker",
     "check_regularity",

@@ -1,6 +1,6 @@
-"""SWMR atomicity checker (Section 2.2 of the paper).
+"""Atomicity checkers (Section 2.2 of the paper, plus the MWMR extension).
 
-A partial run satisfies atomicity iff:
+A partial SWMR run satisfies atomicity iff:
 
 1. **No creation** — if a READ returns ``x`` then ``x`` was written by some
    WRITE (or is the initial value ⊥).
@@ -15,12 +15,19 @@ The checker reports every violated property with the operations involved.
 When two WRITEs wrote the same value the mapping from a returned value to a
 write index is ambiguous; the checker then uses the most permissive consistent
 index (and flags the ambiguity), so benchmark workloads write unique values.
+
+:class:`MultiWriterAtomicityChecker` checks the same four properties over a
+*multi-writer* history, where "later" is no longer the single writer's
+invocation order but the lexicographic ``(ts, writer_id)`` order the MWMR
+protocol stamps into every completed operation's metadata.  Writer overlap
+across distinct clients is legal there; each individual client must still be
+well-formed.  :func:`check_atomicity` dispatches between the two.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.types import is_bottom
 from .history import History, OperationRecord
@@ -66,6 +73,31 @@ class CheckResult:
         )
 
 
+def _warn_on_ill_formed_writers(history: History, result: CheckResult) -> None:
+    """Flag writer overlap *per register*, skipping multi-writer registers.
+
+    Well-formedness is a per-register property: a sharded history legitimately
+    interleaves writes to different keys, and an MWMR register legitimately
+    interleaves writes by different clients.  Only a genuinely broken shape is
+    warned about — overlapping writes on one SWMR register, or overlapping
+    writes by one client on one MWMR register.
+    """
+    for register_id, sub in history.by_register().items():
+        prefix = f"register {register_id!r}: " if register_id is not None else ""
+        if sub.is_mwmr():
+            if not sub.clients_are_well_formed():
+                result.warnings.append(
+                    prefix
+                    + "a single client's writes overlap; per-client "
+                    "well-formedness broken"
+                )
+            continue  # concurrent writers are legal on an MWMR register
+        if not sub.writer_is_well_formed():
+            result.warnings.append(
+                prefix + "writer operations overlap; SWMR well-formedness broken"
+            )
+
+
 class AtomicityChecker:
     """Checks the four SWMR atomicity properties over a :class:`History`."""
 
@@ -85,8 +117,7 @@ class AtomicityChecker:
             result.warnings.append(
                 "history contains duplicate written values; index mapping is ambiguous"
             )
-        if not history.writer_is_well_formed():
-            result.warnings.append("writer operations overlap; SWMR well-formedness broken")
+        _warn_on_ill_formed_writers(history, result)
 
         for read in reads:
             self._check_no_creation(history, read, result)
@@ -194,6 +225,352 @@ class AtomicityChecker:
                     )
 
 
-def check_atomicity(history: History) -> CheckResult:
-    """Convenience wrapper: run the :class:`AtomicityChecker` on *history*."""
+#: Ordering key of an operation in a multi-writer history: ``(ts, writer_id)``.
+_PairKey = Tuple[int, str]
+
+#: The key of the initial value ⊥ (below every honestly written pair).
+_BOTTOM_KEY: _PairKey = (0, "")
+
+
+class MultiWriterAtomicityChecker:
+    """Checks atomicity of a *multi-writer* register history.
+
+    The SWMR checker orders writes by invocation time — correct only when one
+    writer issues them all.  With concurrent writers, the authoritative order
+    is the lexicographic ``(ts, writer_id)`` pair the MWMR protocol assigned
+    to each write, recorded in completion metadata.  The four SWMR properties
+    generalise verbatim with "write index" replaced by that pair:
+
+    1. **no-creation** — a READ returns ⊥ or some WRITE's value (value-based,
+       no keys needed);
+    2. **write-order** — if WRITE ``u`` completes before WRITE ``v`` is
+       invoked then ``key(u) < key(v)`` (the query phase guarantees every new
+       pair dominates all completed writes);
+    3. **read-after-write** — a READ that starts after a WRITE completed
+       returns a pair at least as high;
+    4. **no-future-read** — a READ never returns a value whose only writes
+       started after the READ completed;
+    5. **read-hierarchy** — two non-overlapping READs return non-decreasing
+       pairs.
+
+    Two distinct complete writes carrying the same ``(ts, writer_id)`` are
+    additionally flagged (honest writers never reuse a pair).  Histories whose
+    writes lack the metadata (hand-built records) fall back to the value-based
+    properties only, with a warning.
+    """
+
+    consistency = "mwmr-atomicity"
+
+    #: Which properties to verify (mirrors :class:`AtomicityChecker`).
+    check_read_hierarchy = True
+
+    def check(self, history: History) -> CheckResult:
+        """Check *history*; multi-register histories are checked per register.
+
+        Atomicity — and in particular pair uniqueness and write order — is a
+        per-register property: every register's writers count timestamps
+        independently, so the first writes to two different keys legitimately
+        carry the same ``(ts, writer_id)`` pair.  A combined history is split
+        on the ``register_id`` metadata and each group checked on its own,
+        with violations and warnings labelled by register.
+        """
+        groups = history.by_register()
+        if len(groups) <= 1:
+            return self._check_register(history)
+        result = CheckResult(consistency=self.consistency)
+        for register_id, sub in sorted(groups.items(), key=lambda kv: str(kv[0])):
+            sub_result = self._check_register(sub)
+            prefix = f"register {register_id!r}: "
+            result.violations.extend(
+                Violation(
+                    property_name=violation.property_name,
+                    description=prefix + violation.description,
+                    operations=violation.operations,
+                )
+                for violation in sub_result.violations
+            )
+            result.warnings.extend(prefix + warning for warning in sub_result.warnings)
+            result.checked_reads += sub_result.checked_reads
+            result.checked_writes += sub_result.checked_writes
+        return result
+
+    def _check_register(self, history: History) -> CheckResult:
+        result = CheckResult(consistency=self.consistency)
+        writes = history.writes()
+        reads = history.reads(only_complete=True)
+        result.checked_reads = len(reads)
+        result.checked_writes = len(writes)
+
+        if history.has_duplicate_write_values():
+            result.warnings.append(
+                "history contains duplicate written values; value-to-write "
+                "mapping is ambiguous"
+            )
+        if not history.clients_are_well_formed():
+            result.warnings.append(
+                "a single client's writes overlap; per-client well-formedness "
+                "broken"
+            )
+
+        write_keys = self._write_keys(writes, result)
+        self._check_pair_uniqueness(writes, write_keys, result)
+        self._check_write_order(writes, write_keys, result)
+
+        read_keys: Dict[int, Optional[_PairKey]] = {}
+        for read in reads:
+            read_keys[id(read)] = self._resolve_read(
+                history, read, writes, write_keys, result
+            )
+        for read in reads:
+            self._check_read_after_write(read, writes, write_keys, read_keys, result)
+            self._check_not_from_future(history, read, writes, result)
+        if self.check_read_hierarchy:
+            self._check_read_hierarchy(reads, read_keys, result)
+        return result
+
+    # ------------------------------------------------------------------ keys
+    @staticmethod
+    def _key_of(record: OperationRecord) -> Optional[_PairKey]:
+        """The ``(ts, writer_id)`` pair a completed WRITE carries.
+
+        MWMR writes always stamp their ``writer_id``; for writes that lack it
+        (hand-built records) the invoking client is the writer by definition.
+        """
+        ts = record.metadata.get("ts")
+        if ts is None:
+            return None
+        return (ts, record.metadata.get("writer_id", record.client_id))
+
+    @staticmethod
+    def _reported_read_key(record: OperationRecord) -> Optional[_PairKey]:
+        """The pair a READ explicitly reported, or ``None``.
+
+        Unlike writes there is no fallback: the reading client's id says
+        nothing about the pair's writer, and reads of SWMR-written pairs
+        legitimately carry no ``writer_id`` at all.
+        """
+        ts = record.metadata.get("ts")
+        writer_id = record.metadata.get("writer_id")
+        if ts is None or writer_id is None:
+            return None
+        return (ts, writer_id)
+
+    def _write_keys(
+        self, writes: List[OperationRecord], result: CheckResult
+    ) -> Dict[int, Optional[_PairKey]]:
+        keys: Dict[int, Optional[_PairKey]] = {}
+        missing = 0
+        for write in writes:
+            key = self._key_of(write)
+            keys[id(write)] = key
+            if key is None and write.complete:
+                missing += 1
+        if missing:
+            result.warnings.append(
+                f"{missing} complete write(s) lack (ts, writer_id) metadata; "
+                "order-based properties are checked on the remainder only"
+            )
+        return keys
+
+    def _resolve_read(
+        self,
+        history: History,
+        read: OperationRecord,
+        writes: List[OperationRecord],
+        write_keys: Dict[int, Optional[_PairKey]],
+        result: CheckResult,
+    ) -> Optional[_PairKey]:
+        """The pair a READ observed, derived from the write of its value.
+
+        Returns ``None`` when the value cannot be attributed (the no-creation
+        violation is reported separately).  When several writes wrote the same
+        value the highest key is used — the most permissive consistent choice,
+        mirroring the SWMR checker.
+        """
+        if is_bottom(read.value):
+            return _BOTTOM_KEY
+        matching = [w for w in writes if not is_bottom(w.value) and w.value == read.value]
+        if not matching:
+            result.violations.append(
+                Violation(
+                    property_name="no-creation",
+                    description=(
+                        f"READ returned {read.value!r} which was never written "
+                        "and is not ⊥"
+                    ),
+                    operations=(read,),
+                )
+            )
+            return None
+        keys = [write_keys[id(w)] for w in matching]
+        known = [key for key in keys if key is not None]
+        chosen = max(known) if known else None
+        # Cross-check the pair the reader itself reported: a mismatch means
+        # the read and the write disagree about the value's timestamp, which
+        # only forged server state can produce.
+        reported = self._reported_read_key(read)
+        if (
+            chosen is not None
+            and reported is not None
+            and len(matching) == 1
+            and reported != chosen
+        ):
+            result.violations.append(
+                Violation(
+                    property_name="pair-mismatch",
+                    description=(
+                        f"READ returned {read.value!r} with pair {reported} but "
+                        f"its WRITE carried pair {chosen}"
+                    ),
+                    operations=(matching[0], read),
+                )
+            )
+        return chosen
+
+    # ------------------------------------------------------------ properties
+    def _check_pair_uniqueness(
+        self,
+        writes: List[OperationRecord],
+        write_keys: Dict[int, Optional[_PairKey]],
+        result: CheckResult,
+    ) -> None:
+        seen: Dict[_PairKey, OperationRecord] = {}
+        for write in writes:
+            key = write_keys[id(write)]
+            if key is None:
+                continue
+            other = seen.get(key)
+            if other is not None:
+                result.violations.append(
+                    Violation(
+                        property_name="pair-reuse",
+                        description=(
+                            f"two WRITEs carry the same (ts, writer_id) pair {key}"
+                        ),
+                        operations=(other, write),
+                    )
+                )
+            else:
+                seen[key] = write
+
+    def _check_write_order(
+        self,
+        writes: List[OperationRecord],
+        write_keys: Dict[int, Optional[_PairKey]],
+        result: CheckResult,
+    ) -> None:
+        for i, earlier in enumerate(writes):
+            earlier_key = write_keys[id(earlier)]
+            if earlier_key is None:
+                continue
+            for later in writes[i + 1 :]:
+                later_key = write_keys[id(later)]
+                if later_key is None or not earlier.precedes(later):
+                    continue
+                if later_key <= earlier_key:
+                    result.violations.append(
+                        Violation(
+                            property_name="write-order",
+                            description=(
+                                f"WRITE with pair {later_key} was invoked after "
+                                f"a WRITE with pair {earlier_key} completed but "
+                                "does not dominate it"
+                            ),
+                            operations=(earlier, later),
+                        )
+                    )
+
+    def _check_read_after_write(
+        self,
+        read: OperationRecord,
+        writes: List[OperationRecord],
+        write_keys: Dict[int, Optional[_PairKey]],
+        read_keys: Dict[int, Optional[_PairKey]],
+        result: CheckResult,
+    ) -> None:
+        read_key = read_keys.get(id(read))
+        if read_key is None:
+            return
+        for write in writes:
+            write_key = write_keys[id(write)]
+            if write_key is None or not write.precedes(read):
+                continue
+            if read_key < write_key:
+                result.violations.append(
+                    Violation(
+                        property_name="read-after-write",
+                        description=(
+                            f"READ returned pair {read_key} ({read.value!r}) "
+                            f"although the WRITE of pair {write_key} "
+                            f"({write.value!r}) completed before it"
+                        ),
+                        operations=(write, read),
+                    )
+                )
+                return
+
+    def _check_not_from_future(
+        self,
+        history: History,
+        read: OperationRecord,
+        writes: List[OperationRecord],
+        result: CheckResult,
+    ) -> None:
+        if is_bottom(read.value):
+            return
+        matching = [w for w in writes if not is_bottom(w.value) and w.value == read.value]
+        if not matching:
+            return  # already reported as no-creation
+        if all(read.precedes(write) for write in matching):
+            result.violations.append(
+                Violation(
+                    property_name="no-future-read",
+                    description=(
+                        f"READ returned {read.value!r} although every WRITE of "
+                        "that value was invoked only after the READ completed"
+                    ),
+                    operations=(read,),
+                )
+            )
+
+    def _check_read_hierarchy(
+        self,
+        reads: List[OperationRecord],
+        read_keys: Dict[int, Optional[_PairKey]],
+        result: CheckResult,
+    ) -> None:
+        for i, earlier in enumerate(reads):
+            earlier_key = read_keys.get(id(earlier))
+            if earlier_key is None:
+                continue
+            for later in reads[i + 1 :]:
+                later_key = read_keys.get(id(later))
+                if later_key is None or not earlier.precedes(later):
+                    continue
+                if later_key < earlier_key:
+                    result.violations.append(
+                        Violation(
+                            property_name="read-hierarchy",
+                            description=(
+                                f"READ returned pair {later_key} "
+                                f"({later.value!r}) although a preceding READ "
+                                f"already returned pair {earlier_key} "
+                                f"({earlier.value!r})"
+                            ),
+                            operations=(earlier, later),
+                        )
+                    )
+
+
+def check_atomicity(history: History, mwmr: Optional[bool] = None) -> CheckResult:
+    """Run the checker that fits *history*.
+
+    ``mwmr=True`` forces the multi-writer checker, ``mwmr=False`` the SWMR
+    one; the default ``None`` auto-detects from the history (MWMR writers
+    stamp ``mwmr: True`` into their completion metadata).
+    """
+    if mwmr is None:
+        mwmr = history.is_mwmr()
+    if mwmr:
+        return MultiWriterAtomicityChecker().check(history)
     return AtomicityChecker().check(history)

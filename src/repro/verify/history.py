@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..core.types import BOTTOM, is_bottom
 
@@ -57,6 +57,17 @@ class OperationRecord:
             f"{self.kind.upper()}({self.value!r}) by {self.client_id} "
             f"[{self.invoked_at:.2f}, {completion}]"
         )
+
+
+def _writes_never_overlap(writes: Sequence[OperationRecord]) -> bool:
+    """Whether a sequence of writes (in invocation order) is well-formed."""
+    for earlier, later in zip(writes, writes[1:]):
+        if not earlier.complete and later.invoked_at >= earlier.invoked_at:
+            # An incomplete write may only be the last one.
+            return later is writes[-1] and earlier is writes[-2]
+        if earlier.end_time > later.invoked_at:
+            return False
+    return True
 
 
 class History:
@@ -111,14 +122,52 @@ class History:
 
     def writer_is_well_formed(self) -> bool:
         """Writes by the single writer never overlap each other."""
-        writes = self.writes()
-        for earlier, later in zip(writes, writes[1:]):
-            if not earlier.complete and later.invoked_at >= earlier.invoked_at:
-                # An incomplete write may only be the last one.
-                return later is writes[-1] and earlier is writes[-2]
-            if earlier.end_time > later.invoked_at:
-                return False
-        return True
+        return _writes_never_overlap(self.writes())
+
+    # ------------------------------------------------------------ multi-key
+    def by_register(self) -> Dict[Optional[Any], "History"]:
+        """Sub-histories grouped by the register each operation targeted.
+
+        Operations without a ``register_id`` in their metadata (single-register
+        deployments) are grouped under ``None``.  Consistency is a per-register
+        property, so checkers reason about each group independently.
+        """
+        groups: Dict[Optional[Any], List[OperationRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.metadata.get("register_id"), []).append(record)
+        return {key: History(records) for key, records in groups.items()}
+
+    # ------------------------------------------------------------------ MWMR
+    def is_mwmr(self) -> bool:
+        """Whether some write of this history came from a multi-writer client.
+
+        MWMR writers stamp ``mwmr: True`` into their completion metadata, so a
+        history that contains such a write belongs to a multi-writer register
+        and concurrent writes by *different* clients are legal.
+        """
+        return any(
+            record.kind == "write" and record.metadata.get("mwmr")
+            for record in self.records
+        )
+
+    def writes_by_client(self) -> Dict[str, List[OperationRecord]]:
+        """Writes grouped by invoking client, each group in invocation order."""
+        groups: Dict[str, List[OperationRecord]] = {}
+        for record in self.writes():
+            groups.setdefault(record.client_id, []).append(record)
+        return groups
+
+    def clients_are_well_formed(self) -> bool:
+        """Writes of each *individual* client never overlap each other.
+
+        The multi-writer analogue of :meth:`writer_is_well_formed`: different
+        clients may write concurrently, but one client still has at most one
+        outstanding operation per register.
+        """
+        return all(
+            _writes_never_overlap(writes)
+            for writes in self.writes_by_client().values()
+        )
 
     # ------------------------------------------------------------ contention
     def contention_free(self, read: OperationRecord) -> bool:

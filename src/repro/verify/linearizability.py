@@ -1,11 +1,20 @@
 """A generic linearizability checker for a read/write register.
 
-The SWMR atomicity checker in :mod:`repro.verify.atomicity` is fast and follows
-the paper's definition literally, but its per-property formulation can be
+The atomicity checkers in :mod:`repro.verify.atomicity` are fast and follow
+the paper's definition literally, but their per-property formulation can be
 subtle when written values are duplicated.  This module provides an independent
 checker based on exhaustive linearization search (in the spirit of Wing & Gong)
-that is used in the test suite to cross-validate the SWMR checker on small
-histories: a history accepted by one must be accepted by the other.
+that is used in the test suite to cross-validate them on small histories: a
+history accepted by one must be accepted by the other.
+
+The search makes no single-writer assumption: every operation — whoever
+invoked it — is linearized somewhere between its invocation and its response,
+so the checker applies unchanged to *multi-writer* histories.  It is the
+ground truth the MWMR property tests compare the
+:class:`~repro.verify.atomicity.MultiWriterAtomicityChecker` against.  For a
+sharded run use :func:`cross_validate_registers`: linearizability of a
+key-value store decomposes per key, so each register's history is searched
+independently (which also keeps the exponential search tractable).
 
 Complexity is exponential in the number of concurrent operations, so the
 checker refuses histories above a configurable size.
@@ -17,8 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..core.types import BOTTOM, is_bottom
-from .history import History, OperationRecord
+from ..core.types import is_bottom
+from .history import History
 
 
 class HistoryTooLarge(ValueError):
@@ -114,3 +123,18 @@ def cross_validate(history: History, max_operations: int = 24) -> Optional[bool]
         return is_linearizable(history, max_operations=max_operations)
     except HistoryTooLarge:
         return None
+
+
+def cross_validate_registers(
+    histories: Dict[str, History], max_operations: int = 24
+) -> Dict[str, Optional[bool]]:
+    """Cross-validate every per-register history of a sharded (or MWMR) run.
+
+    A key-value store is linearizable iff each key's history is, so the
+    exhaustive search runs per register.  Each entry is ``True``/``False`` for
+    searched histories and ``None`` for histories above *max_operations*.
+    """
+    return {
+        register_id: cross_validate(history, max_operations=max_operations)
+        for register_id, history in histories.items()
+    }

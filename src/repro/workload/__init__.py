@@ -5,6 +5,7 @@ from .generator import (
     Workload,
     consecutive_read_workload,
     contended_workload,
+    contended_writers_workload,
     keyspace_workload,
     lucky_workload,
     poisson_workload,
@@ -21,6 +22,7 @@ __all__ = [
     "Workload",
     "consecutive_read_workload",
     "contended_workload",
+    "contended_writers_workload",
     "keyspace_workload",
     "lucky_workload",
     "poisson_workload",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from ..sim.cluster import OperationHandle, SimCluster
 from ..verify.history import History
@@ -187,6 +187,72 @@ def zipf_weights(num_keys: int, skew: float) -> List[float]:
     return [1.0 / (rank**skew) for rank in range(1, num_keys + 1)]
 
 
+def _zipf_operations(
+    num_operations: int,
+    keys: Sequence[str],
+    readers: Sequence[str],
+    writers: Sequence[str],
+    write_fraction: float,
+    skew: float,
+    mean_gap: float,
+    seed: int,
+    start: float,
+    value_prefix: Callable[[str, str], str],
+) -> List[ScheduledOperation]:
+    """Shared arrival loop of the Zipf keyspace workloads.
+
+    Operations arrive with exponential inter-arrival gaps (mean *mean_gap*);
+    each picks its key with probability proportional to ``1 / rank**skew``
+    (the order of *keys* is the popularity ranking) and is a write with
+    probability *write_fraction*, issued by a uniformly random writer (no
+    draw is spent when there is only one, keeping single-writer workloads
+    byte-identical across releases), or a read by a uniformly random reader.
+    Values come from per-(key, writer) unique sequences named by
+    *value_prefix*, preserving the unique-value property the checkers need.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be within [0, 1]")
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    if not writers and write_fraction > 0.0:
+        raise ValueError("at least one writer client is required")
+    if not readers and write_fraction < 1.0:
+        raise ValueError("at least one reader client is required")
+    rng = random.Random(seed)
+    key_list = list(keys)
+    writer_list = list(writers)
+    reader_list = list(readers)
+    cum_weights = list(itertools.accumulate(zipf_weights(len(key_list), skew)))
+    values = {
+        (key, writer): value_sequence(prefix=value_prefix(key, writer))
+        for key in key_list
+        for writer in writer_list
+    }
+    operations: List[ScheduledOperation] = []
+    now = start
+    for _ in range(num_operations):
+        now += rng.expovariate(1.0 / mean_gap)
+        (key,) = rng.choices(key_list, cum_weights=cum_weights)
+        if rng.random() < write_fraction:
+            writer = writer_list[0] if len(writer_list) == 1 else rng.choice(writer_list)
+            operations.append(
+                ScheduledOperation(
+                    at=now,
+                    kind="write",
+                    client_id=writer,
+                    value=next(values[(key, writer)]),
+                    key=key,
+                )
+            )
+        else:
+            operations.append(
+                ScheduledOperation(
+                    at=now, kind="read", client_id=rng.choice(reader_list), key=key
+                )
+            )
+    return operations
+
+
 def keyspace_workload(
     num_operations: int,
     keys: Sequence[str],
@@ -199,49 +265,71 @@ def keyspace_workload(
 ) -> Workload:
     """A multi-key workload with Zipf-skewed key popularity.
 
-    Operations arrive with exponential inter-arrival gaps (mean *mean_gap*);
-    each picks its key from *keys* with probability proportional to
-    ``1 / rank**skew`` (the order of *keys* is the popularity ranking), is a
-    write with probability *write_fraction* (issued by the single writer ``w``,
-    who owns every key in the SWMR model) and a read by a uniformly random
-    reader otherwise.  Written values embed the key and a per-key counter, so
-    every per-key history keeps the unique-value property the checkers rely on.
+    Writes are issued by the single writer ``w``, who owns every key in the
+    SWMR model; written values embed the key and a per-key counter, so every
+    per-key history keeps the unique-value property the checkers rely on.
     """
-    if not 0.0 <= write_fraction <= 1.0:
-        raise ValueError("write_fraction must be within [0, 1]")
-    if mean_gap <= 0:
-        raise ValueError("mean_gap must be positive")
-    rng = random.Random(seed)
-    key_list = list(keys)
-    reader_list = list(readers)
-    cum_weights = list(itertools.accumulate(zipf_weights(len(key_list), skew)))
-    values = {key: value_sequence(prefix=f"{key}:v") for key in key_list}
-    operations: List[ScheduledOperation] = []
-    now = start
-    for _ in range(num_operations):
-        now += rng.expovariate(1.0 / mean_gap)
-        (key,) = rng.choices(key_list, cum_weights=cum_weights)
-        if rng.random() < write_fraction:
-            operations.append(
-                ScheduledOperation(
-                    at=now,
-                    kind="write",
-                    client_id="w",
-                    value=next(values[key]),
-                    key=key,
-                )
-            )
-        else:
-            operations.append(
-                ScheduledOperation(
-                    at=now, kind="read", client_id=rng.choice(reader_list), key=key
-                )
-            )
+    operations = _zipf_operations(
+        num_operations,
+        keys,
+        readers,
+        writers=["w"],
+        write_fraction=write_fraction,
+        skew=skew,
+        mean_gap=mean_gap,
+        seed=seed,
+        start=start,
+        value_prefix=lambda key, writer: f"{key}:v",
+    )
     return Workload(
         operations,
         description=(
             f"keyspace x{num_operations} over {len(keys)} keys "
             f"(zipf s={skew}, writes={write_fraction:.0%})"
+        ),
+    )
+
+
+def contended_writers_workload(
+    num_operations: int,
+    keys: Sequence[str],
+    writers: Sequence[str],
+    readers: Sequence[str],
+    write_fraction: float = 0.6,
+    skew: float = 1.0,
+    mean_gap: float = 0.5,
+    seed: int = 0,
+    start: float = 0.0,
+) -> Workload:
+    """A multi-writer workload: several clients racing on Zipf-popular keys.
+
+    The MWMR stress scenario: the head keys see genuinely *contended*
+    concurrent writers, drawn uniformly from *writers* — which, on an MWMR
+    store, may be any client of the deployment, not just the configured
+    writer.  Written values embed the key, the writer and a per-(key, writer)
+    counter, so every per-key history keeps the unique-value property the
+    checkers rely on even when two writers race on one key.
+    """
+    if not writers:
+        raise ValueError("at least one writer client is required")
+    operations = _zipf_operations(
+        num_operations,
+        keys,
+        readers,
+        writers=writers,
+        write_fraction=write_fraction,
+        skew=skew,
+        mean_gap=mean_gap,
+        seed=seed,
+        start=start,
+        value_prefix=lambda key, writer: f"{key}:{writer}:v",
+    )
+    return Workload(
+        operations,
+        description=(
+            f"contended-writers x{num_operations} over {len(keys)} keys, "
+            f"{len(writers)} writers (zipf s={skew}, "
+            f"writes={write_fraction:.0%})"
         ),
     )
 
@@ -314,7 +402,9 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
     Every operation must name a key.  Deferral happens per (client, key): a
     client busy on one register can still invoke on another, so only true
     per-register conflicts are queued — the concurrency the sharded store
-    exists to unlock.  Handles record ``scheduled_at`` like
+    exists to unlock.  Writes are issued by the client the operation names
+    (any client may write an MWMR key; generators targeting SWMR keys name
+    the configured writer).  Handles record ``scheduled_at`` like
     :func:`run_workload`.
     """
     handles: List[OperationHandle] = []
@@ -325,14 +415,14 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
             raise ValueError(f"store workloads need a key on every operation: {op}")
         if op.at > cluster.now:
             cluster.run_for(op.at - cluster.now, max_events=budget)
-        client_id = cluster.config.writer_id if op.kind == "write" else op.client_id
+        client_id = op.client_id
         if store.client_busy(client_id, op.key):
             cluster.run(
                 until=lambda c=client_id, k=op.key: not store.client_busy(c, k),
                 max_events=budget,
             )
         if op.kind == "write":
-            handle = store.start_write(op.key, op.value)
+            handle = store.start_write(op.key, op.value, client_id=client_id)
         else:
             handle = store.start_read(op.key, op.client_id)
         handle.scheduled_at = op.at

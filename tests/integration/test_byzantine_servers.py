@@ -21,7 +21,7 @@ from repro.sim.cluster import SimCluster
 from repro.sim.latency import FixedDelay
 from repro.core.types import TimestampValue, is_bottom
 from repro.verify.atomicity import check_atomicity
-from repro.workload.generator import contended_workload, lucky_workload, run_workload
+from repro.workload.generator import contended_workload, run_workload
 
 
 def build(config, byzantine, **kwargs):

@@ -1,7 +1,6 @@
 """Integration tests for contention handling, write-backs and the freezing
 mechanism (Theorems 1 and 2)."""
 
-import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.protocol import LuckyAtomicProtocol

@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.baselines.abd import ABDProtocol
 from repro.core.config import SystemConfig

@@ -14,7 +14,7 @@ import pytest
 from repro.core.config import SystemConfig
 from repro.core.protocol import LuckyAtomicProtocol
 from repro.runtime.cluster import ShardedAsyncCluster, sharded_tcp_cluster
-from repro.sim.byzantine import ForgeHighTimestampStrategy, StaleReplayStrategy
+from repro.sim.byzantine import StaleReplayStrategy
 from repro.sim.latency import FixedDelay
 from repro.store.bench import run_store_throughput, zipf_store_scenario
 from repro.store.sim import ShardedSimStore

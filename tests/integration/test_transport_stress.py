@@ -11,7 +11,6 @@ These tests pin down the two historical transport bugs:
 
 import asyncio
 import gc
-import warnings
 
 import pytest
 

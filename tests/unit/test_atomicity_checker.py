@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.types import BOTTOM
-from repro.verify.atomicity import AtomicityChecker, check_atomicity
+from repro.verify.atomicity import check_atomicity
 from repro.verify.history import History, OperationRecord
 from repro.verify.regularity import check_regularity
 
@@ -143,3 +143,217 @@ class TestResultObject:
     def test_incomplete_reads_are_not_checked(self):
         history = History([write("a", 0, 1), OperationRecord("r1", "read", "phantom", 2, None)])
         assert check_atomicity(history).ok
+
+
+def mwrite(value, start, end, client, ts, register="k"):
+    return OperationRecord(
+        client,
+        "write",
+        value,
+        start,
+        end,
+        metadata={"mwmr": True, "writer_id": client, "ts": ts, "register_id": register},
+    )
+
+
+def mread(value, start, end, client="r1", ts=None, writer=None, register="k"):
+    metadata = {"register_id": register}
+    if ts is not None:
+        metadata["ts"] = ts
+        metadata["writer_id"] = writer
+    return OperationRecord(client, "read", value, start, end, metadata=metadata)
+
+
+class TestPerRegisterWellFormednessWarning:
+    def test_overlapping_writes_on_different_registers_do_not_warn(self):
+        history = History(
+            [
+                OperationRecord("w", "write", "a", 0, 10, metadata={"register_id": "k1"}),
+                OperationRecord("w", "write", "b", 2, 3, metadata={"register_id": "k2"}),
+            ]
+        )
+        result = check_atomicity(history)
+        assert not result.warnings
+
+    def test_overlapping_writes_on_one_swmr_register_warn_with_its_name(self):
+        history = History(
+            [
+                OperationRecord("w", "write", "a", 0, 10, metadata={"register_id": "k1"}),
+                OperationRecord("w", "write", "b", 2, 3, metadata={"register_id": "k1"}),
+            ]
+        )
+        result = check_atomicity(history)
+        assert any("'k1'" in warning for warning in result.warnings)
+
+    def test_mwmr_register_skips_the_swmr_overlap_warning(self):
+        history = History(
+            [
+                mwrite("a", 0, 10, "w", ts=1),
+                mwrite("b", 2, 3, "r1", ts=2),
+            ]
+        )
+        result = check_atomicity(history)
+        assert not result.warnings
+
+    def test_mwmr_register_still_warns_on_per_client_overlap(self):
+        history = History(
+            [
+                mwrite("a", 0, 10, "w", ts=1),
+                mwrite("b", 2, 3, "w", ts=2),
+            ]
+        )
+        result = check_atomicity(history)
+        assert any("per-client" in warning for warning in result.warnings)
+
+
+class TestMultiWriterChecker:
+    def test_dispatch_detects_mwmr_from_metadata(self):
+        history = History([mwrite("a", 0, 1, "w", ts=1)])
+        assert check_atomicity(history).consistency == "mwmr-atomicity"
+        assert check_atomicity(history, mwmr=False).consistency == "atomicity"
+
+    def test_dominated_pair_after_both_writes_is_flagged(self):
+        history = History(
+            [
+                mwrite("a", 0, 5, "w", ts=1),
+                mwrite("b", 1, 6, "r1", ts=1),  # concurrent, tie on ts
+                mread("b", 7, 8, ts=1, writer="r1"),
+            ]
+        )
+        # Both writes completed before the read; (1, "r1") < (1, "w"), so
+        # returning "b" ignores the dominating completed pair.
+        result = check_atomicity(history)
+        assert not result.ok
+        assert result.violations[0].property_name == "read-after-write"
+
+    def test_read_of_dominating_pair_is_fine(self):
+        history = History(
+            [
+                mwrite("a", 0, 5, "w", ts=1),
+                mwrite("b", 1, 6, "r1", ts=1),
+                mread("a", 7, 8, ts=1, writer="w"),
+            ]
+        )
+        result = check_atomicity(history)
+        assert result.ok, result.violations
+
+    def test_write_order_violation_is_flagged(self):
+        history = History(
+            [
+                mwrite("a", 0, 1, "w", ts=5),
+                mwrite("b", 2, 3, "r1", ts=4),  # later write, smaller pair
+            ]
+        )
+        result = check_atomicity(history)
+        assert any(v.property_name == "write-order" for v in result.violations)
+
+    def test_pair_reuse_is_flagged(self):
+        history = History(
+            [
+                mwrite("a", 0, 1, "w", ts=3),
+                mwrite("b", 2, 3, "w", ts=3),
+            ]
+        )
+        result = check_atomicity(history)
+        assert any(v.property_name == "pair-reuse" for v in result.violations)
+
+    def test_no_creation_still_applies(self):
+        history = History([mwrite("a", 0, 1, "w", ts=1), mread("phantom", 2, 3)])
+        result = check_atomicity(history)
+        assert any(v.property_name == "no-creation" for v in result.violations)
+
+    def test_no_future_read_still_applies(self):
+        history = History([mread("b", 0, 1), mwrite("b", 2, 3, "w", ts=1)])
+        result = check_atomicity(history)
+        assert any(v.property_name == "no-future-read" for v in result.violations)
+
+    def test_read_hierarchy_uses_pair_order(self):
+        history = History(
+            [
+                mwrite("a", 0, 20, "w", ts=1),
+                mwrite("b", 0, 20, "r1", ts=2),
+                mread("b", 2, 3, client="r2", ts=2, writer="r1"),
+                mread("a", 4, 5, client="r3", ts=1, writer="w"),
+            ]
+        )
+        result = check_atomicity(history)
+        assert any(v.property_name == "read-hierarchy" for v in result.violations)
+
+    def test_pair_mismatch_between_read_and_write_is_flagged(self):
+        history = History(
+            [
+                mwrite("a", 0, 1, "w", ts=1),
+                mread("a", 2, 3, ts=7, writer="forger"),
+            ]
+        )
+        result = check_atomicity(history)
+        assert any(v.property_name == "pair-mismatch" for v in result.violations)
+
+    def test_reading_bottom_before_any_write_is_fine(self):
+        history = History([mread(BOTTOM, 0, 1)])
+        assert check_atomicity(history, mwmr=True).ok
+
+    def test_missing_metadata_degrades_with_warning(self):
+        history = History(
+            [
+                OperationRecord(
+                    "w", "write", "a", 0, 1, metadata={"mwmr": True, "register_id": "k"}
+                ),
+                mread("a", 2, 3),
+            ]
+        )
+        result = check_atomicity(history)
+        assert result.ok
+        assert any("lack (ts, writer_id) metadata" in w for w in result.warnings)
+
+
+class TestMultiWriterCheckerAcrossRegisters:
+    """Regression: combined multi-key histories must be checked per register."""
+
+    def test_same_pair_on_different_registers_is_not_pair_reuse(self):
+        # Each register counts timestamps from scratch, so the first write to
+        # k1 and to k2 both legitimately carry (1, "w").
+        history = History(
+            [
+                mwrite("k1:w:v1", 0, 1, "w", ts=1, register="k1"),
+                mwrite("k2:w:v1", 2, 3, "w", ts=1, register="k2"),
+            ]
+        )
+        result = check_atomicity(history)
+        assert result.ok, result.violations
+
+    def test_cross_register_write_order_is_not_enforced(self):
+        history = History(
+            [
+                mwrite("k1:w:v1", 0, 1, "w", ts=5, register="k1"),
+                mwrite("k2:w:v1", 2, 3, "w", ts=1, register="k2"),
+            ]
+        )
+        assert check_atomicity(history).ok
+
+    def test_violations_in_a_combined_history_name_their_register(self):
+        history = History(
+            [
+                mwrite("a", 0, 1, "w", ts=3, register="k1"),
+                mwrite("b", 2, 3, "w", ts=3, register="k1"),
+                mwrite("c", 0, 1, "w", ts=1, register="k2"),
+            ]
+        )
+        result = check_atomicity(history)
+        assert not result.ok
+        assert all("'k1'" in str(v) for v in result.violations)
+
+    def test_read_without_writer_id_metadata_is_not_a_mismatch(self):
+        # Reads of SWMR-written pairs carry no writer_id; the reading client's
+        # id must not be mistaken for the pair's writer.
+        history = History(
+            [
+                mwrite("a", 0, 1, "w", ts=1),
+                OperationRecord(
+                    "r1", "read", "a", 2, 3,
+                    metadata={"ts": 1, "register_id": "k"},
+                ),
+            ]
+        )
+        result = check_atomicity(history)
+        assert result.ok, result.violations

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.types import BOTTOM, is_bottom
 from repro.verify.history import History, OperationRecord

@@ -175,9 +175,8 @@ class TestFrozenPath:
         reader.read()
         reader.on_timer(round1_timer(reader))
         stale_frozen = FrozenEntry(V1, read_ts=0)
-        effects = None
         for index in range(1, config.round_quorum + 1):
-            effects = reader.handle_message(ack(f"s{index}", INITIAL_PAIR, frozen=stale_frozen))
+            reader.handle_message(ack(f"s{index}", INITIAL_PAIR, frozen=stale_frozen))
         # Nothing is safe (only the initial value is live, which is safe) —
         # actually the initial pair is live at every responder, so it is the
         # candidate; the frozen pair for the *previous* read must not be.

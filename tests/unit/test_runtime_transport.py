@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.core.automaton import Automaton, Effects
 from repro.core.config import SystemConfig
@@ -69,7 +68,6 @@ class TestInMemoryTransport:
         async def scenario():
             loop = asyncio.get_running_loop()
             transport = InMemoryTransport(constant_delay(0.05))
-            recorder = _Recorder()
             arrival = {}
 
             async def timed_handler(source, message):

@@ -206,3 +206,74 @@ class TestShardedSimStore:
         store = self._store()
         store.write("k1", "a")
         assert store.throughput() > 0
+
+
+class TestRegisterIdValidation:
+    """Malformed ids must fail fast, not as silently misrouted timers."""
+
+    def test_rejects_empty_register_id(self, config):
+        base = LuckyAtomicProtocol(config)
+        with pytest.raises(ValueError, match="non-empty"):
+            ShardedProtocol(base, ["k1", ""])
+
+    def test_rejects_non_string_register_id(self, config):
+        base = LuckyAtomicProtocol(config)
+        with pytest.raises(ValueError, match="must be a string"):
+            ShardedProtocol(base, ["k1", 7])
+
+    def test_rejects_separator_anywhere_in_the_id(self, config):
+        base = LuckyAtomicProtocol(config)
+        for bad in ("a::b", "::b", "a::", "::"):
+            with pytest.raises(ValueError, match="must not contain"):
+                ShardedProtocol(base, [bad])
+
+
+class TestMwmrDeclaration:
+    def test_mwmr_true_marks_every_register(self, config):
+        suite = ShardedProtocol(LuckyAtomicProtocol(config), ["k1", "k2"], mwmr=True)
+        assert suite.mwmr_registers == {"k1", "k2"}
+
+    def test_mwmr_subset_marks_only_named_registers(self, config):
+        suite = ShardedProtocol(
+            LuckyAtomicProtocol(config), ["k1", "k2"], mwmr=["k2"]
+        )
+        assert suite.mwmr_registers == {"k2"}
+        assert suite.describe()["mwmr_registers"] == ["k2"]
+
+    def test_mwmr_unknown_register_rejected(self, config):
+        with pytest.raises(ValueError, match="mwmr ids are not registers"):
+            ShardedProtocol(LuckyAtomicProtocol(config), ["k1"], mwmr=["nope"])
+
+    def test_reader_clients_get_composite_automata_on_mwmr_keys(self, config):
+        suite = ShardedProtocol(
+            LuckyAtomicProtocol(config), ["k1", "k2"], mwmr=["k2"]
+        )
+        reader = suite.create_reader("r1")
+        assert not hasattr(reader.registers["k1"], "write")
+        assert hasattr(reader.registers["k2"], "write")
+        effects = reader.write("k2", "v")
+        assert effects.sends  # query round went out, tagged with the register
+        assert all(send.message.register_id == "k2" for send in effects.sends)
+
+    def test_writing_a_swmr_key_from_a_reader_raises(self, config):
+        suite = ShardedProtocol(
+            LuckyAtomicProtocol(config), ["k1", "k2"], mwmr=["k2"]
+        )
+        reader = suite.create_reader("r1")
+        with pytest.raises(TypeError, match="single-writer"):
+            reader.write("k1", "v")
+
+    def test_reading_a_swmr_key_from_the_writer_raises(self, config):
+        suite = ShardedProtocol(
+            LuckyAtomicProtocol(config), ["k1", "k2"], mwmr=["k2"]
+        )
+        writer = suite.create_writer()
+        with pytest.raises(TypeError, match="never reads"):
+            writer.read("k1")
+        assert writer.read("k2").sends  # the MWMR key gives the writer a reader
+
+    def test_mwmr_bare_string_means_one_register(self, config):
+        suite = ShardedProtocol(
+            LuckyAtomicProtocol(config), ["hot", "cold"], mwmr="hot"
+        )
+        assert suite.mwmr_registers == {"hot"}

@@ -127,3 +127,29 @@ class TestAsDict:
         encoded = as_dict(report)
         assert encoded["reader_id"] == "r2"
         assert encoded["read_ts"] == 11
+
+
+class TestLexicographicOrdering:
+    """MWMR ordering: pairs compare by the lexicographic (ts, writer_id)."""
+
+    def test_default_writer_id_keeps_swmr_semantics(self):
+        # Pairs without a writer id order exactly as before: by timestamp.
+        assert TimestampValue(2, "a").newer_than(TimestampValue(1, "z"))
+        assert TimestampValue(1, "a").order_key == (1, "")
+
+    def test_equal_ts_orders_by_writer_id(self):
+        loser = TimestampValue(3, "x", writer_id="r1")
+        winner = TimestampValue(3, "y", writer_id="w")
+        assert winner.newer_than(loser)
+        assert freshest(loser, winner) is winner
+
+    def test_equality_includes_writer_id(self):
+        assert TimestampValue(3, "x", writer_id="w") != TimestampValue(3, "x")
+
+    def test_as_dict_round_trips_writer_id(self):
+        encoded = as_dict(TimestampValue(3, "v", writer_id="r2"))
+        assert encoded["writer_id"] == "r2"
+
+    def test_pickle_round_trip_preserves_writer_id(self):
+        pair = TimestampValue(9, "v", writer_id="r7")
+        assert pickle.loads(pickle.dumps(pair)) == pair

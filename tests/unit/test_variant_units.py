@@ -1,9 +1,8 @@
 """Unit tests for variant-specific behaviours (server/writer/reader deltas)."""
 
-import pytest
 
 from repro.core.config import SystemConfig
-from repro.core.messages import PreWriteAck, Read, Write, WriteAck
+from repro.core.messages import PreWriteAck, Write, WriteAck
 from repro.core.types import FreezeDirective, TimestampValue
 from repro.variants.regular import (
     MaliciousWritebackReader,

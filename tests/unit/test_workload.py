@@ -10,6 +10,7 @@ from repro.verify.atomicity import check_atomicity
 from repro.workload.generator import (
     consecutive_read_workload,
     contended_workload,
+    contended_writers_workload,
     keyspace_workload,
     lucky_workload,
     poisson_workload,
@@ -176,3 +177,58 @@ class TestExecution:
             handle.invoked_at == pytest.approx(handle.scheduled_at)
             for handle in handles
         )
+
+
+class TestContendedWritersWorkload:
+    def test_writes_come_from_several_clients(self):
+        workload = contended_writers_workload(
+            200, ["k1", "k2"], writers=["w", "r1", "r2"], readers=["r1", "r2"], seed=1
+        )
+        writer_ids = {op.client_id for op in workload.writes()}
+        assert writer_ids == {"w", "r1", "r2"}
+
+    def test_values_unique_even_across_racing_writers(self):
+        workload = contended_writers_workload(
+            300, ["k1", "k2"], writers=["w", "r1"], readers=["r1"], seed=2
+        )
+        values = [op.value for op in workload.writes()]
+        assert len(values) == len(set(values))
+
+    def test_values_embed_key_and_writer(self):
+        workload = contended_writers_workload(
+            50, ["k1"], writers=["w", "r1"], readers=["r1"], seed=3
+        )
+        for op in workload.writes():
+            key, writer, _ = op.value.split(":")
+            assert key == op.key
+            assert writer == op.client_id
+
+    def test_zipf_skew_concentrates_on_head_keys(self):
+        keys = [f"k{i}" for i in range(1, 9)]
+        workload = contended_writers_workload(
+            800, keys, writers=["w"], readers=["r1"], skew=1.5, seed=4
+        )
+        counts = {key: 0 for key in keys}
+        for op in workload.operations:
+            counts[op.key] += 1
+        assert counts["k1"] > counts["k8"]
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(keys=["k1", "k2"], writers=["w", "r1"], readers=["r1", "r2"])
+        first = contended_writers_workload(100, seed=9, **kwargs)
+        second = contended_writers_workload(100, seed=9, **kwargs)
+        assert first.operations == second.operations
+
+    def test_rejects_empty_writer_list(self):
+        with pytest.raises(ValueError, match="writer"):
+            contended_writers_workload(10, ["k1"], writers=[], readers=["r1"])
+
+    def test_rejects_empty_reader_list_when_reads_possible(self):
+        with pytest.raises(ValueError, match="reader"):
+            contended_writers_workload(10, ["k1"], writers=["w"], readers=[])
+
+    def test_write_only_workload_needs_no_readers(self):
+        workload = contended_writers_workload(
+            10, ["k1"], writers=["w", "r1"], readers=[], write_fraction=1.0
+        )
+        assert len(workload.writes()) == 10
