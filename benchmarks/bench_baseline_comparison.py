@@ -30,7 +30,9 @@ def _cycle(suite):
         ("lucky", lambda: LuckyAtomicProtocol(SystemConfig.balanced(2, 1, num_readers=1))),
         (
             "slow-robust",
-            lambda: SlowRobustProtocol(SystemConfig(t=2, b=1, num_readers=1, enforce_tradeoff=False)),
+            lambda: SlowRobustProtocol(
+                SystemConfig(t=2, b=1, num_readers=1, enforce_tradeoff=False)
+            ),
         ),
         ("abd", lambda: ABDProtocol(SystemConfig.crash_only(2, num_readers=1))),
     ],

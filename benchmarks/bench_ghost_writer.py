@@ -13,7 +13,10 @@ def test_e9_ghost_writer_disruption_is_bounded(benchmark):
 
 def test_e9_recovery_is_immediate_after_one_slow_read(benchmark):
     table = benchmark.pedantic(
-        experiment_ghost_writer, kwargs={"t": 2, "b": 1, "reads_after_crash": 8}, rounds=1, iterations=1
+        experiment_ghost_writer,
+        kwargs={"t": 2, "b": 1, "reads_after_crash": 8},
+        rounds=1,
+        iterations=1,
     )
     # Once some read has written the ghost (or committed) value back, every
     # later read is fast again: the first fast read appears early.

@@ -1,0 +1,60 @@
+"""S4 — durable store: crash/recovery trajectory and WAL overhead.
+
+Durable servers write-ahead log every ``pw/w/vw`` change and recover from the
+log after a crash, so a schedule may crash more *total* servers than the
+resilience bound ``t`` as long as at most ``t`` are down simultaneously.  The
+sweep reports the throughput dip while the fast-path quorum is unreachable,
+the catch-up after recovery, and the wall-clock cost of the WAL bookkeeping.
+"""
+
+import pytest
+
+from repro.sim.failures import CrashRecoverySchedule
+from repro.store.bench import recovery_sweep, run_recovery_throughput
+
+
+def test_s4_recovery_sweep_shows_dip_and_catchup(benchmark):
+    table = benchmark.pedantic(
+        recovery_sweep,
+        kwargs={"num_shards": 4, "num_operations": 96, "t": 2},
+        rounds=1,
+        iterations=1,
+    )
+    rows = {(row["scenario"], row["phase"]): row for row in table.rows}
+    # Outage-affected operations lose the fast path and pay extra rounds...
+    assert rows[("crash-recover", "outage")]["fast_fraction"] < 1.0
+    assert (
+        rows[("crash-recover", "outage")]["mean_latency"]
+        > rows[("wal-on", "steady")]["mean_latency"]
+    )
+    # ... and the store catches back up to all-fast operation afterwards.
+    assert rows[("crash-recover", "recovered")]["fast_fraction"] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("durable", [False, True])
+def test_wal_bookkeeping_cost(benchmark, durable):
+    """Wall-clock cost of the dense workload with and without the WAL."""
+    store, _ = benchmark(
+        run_recovery_throughput, num_shards=4, num_operations=48, t=1, durable=durable
+    )
+    assert len(store.completed_operations()) == 48
+    assert (store.wal_records > 0) == durable
+
+
+def test_recovery_replay_cost(benchmark):
+    """Wall-clock cost of a run that includes two recoveries with WAL replay."""
+
+    def scenario():
+        schedule = (
+            CrashRecoverySchedule()
+            .crash("s1", at=4.0, recover_at=10.0)
+            .crash("s2", at=14.0, recover_at=20.0)
+        )
+        store, _ = run_recovery_throughput(
+            num_shards=4, num_operations=48, t=1, durable=True, failures=schedule
+        )
+        return store
+
+    store = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert store.incarnation("s1") == 1
+    assert store.incarnation("s2") == 1

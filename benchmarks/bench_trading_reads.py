@@ -10,7 +10,10 @@ from repro.bench.experiments import experiment_trading_reads
 
 def test_e6_sequence_contains_at_most_one_slow_read(benchmark):
     table = benchmark.pedantic(
-        experiment_trading_reads, kwargs={"t": 2, "b": 0, "sequence_length": 6}, rounds=1, iterations=1
+        experiment_trading_reads,
+        kwargs={"t": 2, "b": 0, "sequence_length": 6},
+        rounds=1,
+        iterations=1,
     )
     assert all(row["max_slow_per_sequence"] <= 1 for row in table.rows)
     assert all(row["atomic"] for row in table.rows)
@@ -20,7 +23,10 @@ def test_e6_sequence_contains_at_most_one_slow_read(benchmark):
 
 def test_e6_with_byzantine_budget(benchmark):
     table = benchmark.pedantic(
-        experiment_trading_reads, kwargs={"t": 2, "b": 1, "sequence_length": 5}, rounds=1, iterations=1
+        experiment_trading_reads,
+        kwargs={"t": 2, "b": 1, "sequence_length": 5},
+        rounds=1,
+        iterations=1,
     )
     assert all(row["max_slow_per_sequence"] <= 1 for row in table.rows)
     assert all(row["atomic"] for row in table.rows)

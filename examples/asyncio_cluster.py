@@ -65,10 +65,14 @@ async def main() -> None:
 
     print("=== localhost TCP cluster ===")
     write, read = await tcp_session()
-    print(f"  WRITE('over-tcp'): fast={write.fast} "
-          f"latency={write.metadata['latency_s'] * 1000:.2f} ms")
-    print(f"  READ() -> {read.value!r}: fast={read.fast} "
-          f"latency={read.metadata['latency_s'] * 1000:.2f} ms")
+    print(
+        f"  WRITE('over-tcp'): fast={write.fast} "
+        f"latency={write.metadata['latency_s'] * 1000:.2f} ms"
+    )
+    print(
+        f"  READ() -> {read.value!r}: fast={read.fast} "
+        f"latency={read.metadata['latency_s'] * 1000:.2f} ms"
+    )
 
 
 if __name__ == "__main__":

@@ -16,10 +16,21 @@ Usage::
     python examples/byzantine_attacks.py
 """
 
-from repro import FixedDelay, LuckyAtomicProtocol, SimCluster, SystemConfig, check_atomicity, check_regularity
+from repro import (
+    FixedDelay,
+    LuckyAtomicProtocol,
+    SimCluster,
+    SystemConfig,
+    check_atomicity,
+    check_regularity,
+)
 from repro.bench.adversary import ForgeQueryReplyStrategy, NaiveFastProtocol
 from repro.core.types import TimestampValue
-from repro.sim.byzantine import EquivocationStrategy, ForgeHighTimestampStrategy, StaleReplayStrategy
+from repro.sim.byzantine import (
+    EquivocationStrategy,
+    ForgeHighTimestampStrategy,
+    StaleReplayStrategy,
+)
 from repro.variants.regular import MaliciousWritebackReader, RegularStorageProtocol
 
 
@@ -35,8 +46,10 @@ def scene_one_malicious_servers() -> None:
         cluster.write("genuine")
         read = cluster.read("r1")
         verdict = check_atomicity(cluster.history())
-        print(f"  s1 plays {strategy.name:<22} -> READ returned {read.value!r:12} "
-              f"({verdict.summary()})")
+        print(
+            f"  s1 plays {strategy.name:<22} -> READ returned {read.value!r:12} "
+            f"({verdict.summary()})"
+        )
     print()
 
 
@@ -62,8 +75,10 @@ def scene_two_overeager_protocol() -> None:
     )
     paper.write("legit")
     read = paper.read("r1")
-    print(f"  paper's algorithm:   READ returned {read.value!r} -> "
-          f"{check_atomicity(paper.history()).summary()}")
+    print(
+        f"  paper's algorithm:   READ returned {read.value!r} -> "
+        f"{check_atomicity(paper.history()).summary()}"
+    )
     print()
 
 
@@ -78,8 +93,10 @@ def scene_three_malicious_reader() -> None:
     atomic_cluster._apply_effects("r-mal", attacker.read())
     atomic_cluster.run_for(5.0)
     read = atomic_cluster.read("r1")
-    print(f"  atomic algorithm: honest READ returned {read.value!r} -> "
-          f"{check_atomicity(atomic_cluster.history()).summary()}")
+    print(
+        f"  atomic algorithm: honest READ returned {read.value!r} -> "
+        f"{check_atomicity(atomic_cluster.history()).summary()}"
+    )
 
     regular_suite = RegularStorageProtocol.for_parameters(t=2, b=1, num_readers=2)
     regular_cluster = SimCluster(regular_suite, delay_model=FixedDelay(1.0))
@@ -88,11 +105,15 @@ def scene_three_malicious_reader() -> None:
     regular_cluster._apply_effects("r-mal", attacker.read())
     regular_cluster.run_for(5.0)
     read = regular_cluster.read("r1")
-    print(f"  regular variant:  honest READ returned {read.value!r} -> "
-          f"{check_regularity(regular_cluster.history()).summary()}")
+    print(
+        f"  regular variant:  honest READ returned {read.value!r} -> "
+        f"{check_regularity(regular_cluster.history()).summary()}"
+    )
     print()
-    print("Take-away: write-backs are the atomicity/malicious-reader trade-off the "
-          "paper discusses in Section 5 and resolves with the Appendix D variant.")
+    print(
+        "Take-away: write-backs are the atomicity/malicious-reader trade-off the "
+        "paper discusses in Section 5 and resolves with the Appendix D variant."
+    )
 
 
 def main() -> None:

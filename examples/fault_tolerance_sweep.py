@@ -20,8 +20,10 @@ from repro.sim.failures import FailureSchedule
 
 
 def sweep(t: int, b: int) -> None:
-    print(f"t={t} faulty servers tolerated, b={b} of them possibly malicious, "
-          f"S={2 * t + b + 1} servers, frontier fw+fr={t - b}")
+    print(
+        f"t={t} faulty servers tolerated, b={b} of them possibly malicious, "
+        f"S={2 * t + b + 1} servers, frontier fw+fr={t - b}"
+    )
     header = f"{'fw':>3} {'fr':>3} {'failures':>9} {'write':>12} {'read':>12} {'atomic':>7}"
     print(header)
     print("-" * len(header))
@@ -65,11 +67,15 @@ def sweep(t: int, b: int) -> None:
             )
             write_label = "fast" if write.fast else f"slow({write.rounds}r)"
             read_label = "fast" if read.fast else f"slow({read.rounds}r)"
-            print(f"{fw:>3} {fr:>3} {failures:>9} {write_label:>12} {read_label:>12} "
-                  f"{'yes' if atomic else 'NO':>7}")
+            print(
+                f"{fw:>3} {fr:>3} {failures:>9} {write_label:>12} {read_label:>12} "
+                f"{'yes' if atomic else 'NO':>7}"
+            )
     print()
-    print("Expected shape (Propositions 1 and 2): write fast iff failures <= fw, "
-          "read fast iff failures <= fr, atomic everywhere.")
+    print(
+        "Expected shape (Propositions 1 and 2): write fast iff failures <= fw, "
+        "read fast iff failures <= fr, atomic everywhere."
+    )
 
 
 def main() -> None:

@@ -32,8 +32,10 @@ def main() -> None:
 
     print("=== lucky operations (synchronous, contention-free) ===")
     write = cluster.write("hello-world")
-    print(f"WRITE('hello-world'): rounds={write.rounds}  fast={write.fast}  "
-          f"virtual latency={write.latency:.2f}")
+    print(
+        f"WRITE('hello-world'): rounds={write.rounds}  fast={write.fast}  "
+        f"virtual latency={write.latency:.2f}"
+    )
 
     read = cluster.read("r1")
     print(f"READ() by r1 -> {read.value!r}: rounds={read.rounds}  fast={read.fast}")
@@ -42,8 +44,10 @@ def main() -> None:
     cluster.crash("s6")
     write2 = cluster.write("still-fast")
     read2 = cluster.read("r2")
-    print(f"after crashing s6: WRITE rounds={write2.rounds} fast={write2.fast}; "
-          f"READ -> {read2.value!r} fast={read2.fast}")
+    print(
+        f"after crashing s6: WRITE rounds={write2.rounds} fast={write2.fast}; "
+        f"READ -> {read2.value!r} fast={read2.fast}"
+    )
     print()
 
     print("=== consistency ===")

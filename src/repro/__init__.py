@@ -38,6 +38,7 @@ from .runtime import (
     tcp_cluster,
 )
 from .sim import (
+    CrashRecoverySchedule,
     FailureSchedule,
     FixedDelay,
     LogNormalDelay,
@@ -75,6 +76,7 @@ __all__ = [
     "ShardedSimStore",
     "sharded_tcp_cluster",
     "tcp_cluster",
+    "CrashRecoverySchedule",
     "FailureSchedule",
     "FixedDelay",
     "LogNormalDelay",

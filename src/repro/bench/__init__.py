@@ -2,7 +2,13 @@
 
 from .adversary import ForgeQueryReplyStrategy, NaiveFastProtocol
 from .experiments import ALL_EXPERIMENTS, run_all_experiments, run_experiment
-from .harness import ExperimentTable, OperationStats, build_cluster, lucky_write_read_cycle, summarize
+from .harness import (
+    ExperimentTable,
+    OperationStats,
+    build_cluster,
+    lucky_write_read_cycle,
+    summarize,
+)
 from .report import format_markdown_report, format_report, generate_report
 
 __all__ = [

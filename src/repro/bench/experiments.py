@@ -630,7 +630,13 @@ def experiment_baseline_comparison(t: int = 2, b: int = 1, cycles: int = 6) -> E
     )
     suites = [
         ("lucky", lambda: LuckyAtomicProtocol(SystemConfig.balanced(t, b, num_readers=2)), True),
-        ("slow", lambda: SlowRobustProtocol(SystemConfig(t=t, b=b, num_readers=2, enforce_tradeoff=False)), True),
+        (
+            "slow",
+            lambda: SlowRobustProtocol(
+                SystemConfig(t=t, b=b, num_readers=2, enforce_tradeoff=False)
+            ),
+            True,
+        ),
         ("abd", lambda: ABDProtocol(SystemConfig.crash_only(t, num_readers=2)), False),
     ]
     delay_scenarios = {

@@ -113,6 +113,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Zipf skew of the --mwmr sweep's key popularity",
     )
     store_parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help=(
+            "also run the S4 crash-recovery sweep: WAL-on vs WAL-off, plus a "
+            "schedule with more total crashes than t where durable servers "
+            "recover from their write-ahead logs"
+        ),
+    )
+    store_parser.add_argument(
+        "--recovery-t",
+        type=int,
+        default=2,
+        help="resilience bound t of the --recovery sweep (2t servers crash in total)",
+    )
+    store_parser.add_argument(
         "--json-out",
         metavar="PATH",
         default=None,
@@ -141,14 +156,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .bench.harness import build_cluster
 
     cluster = build_cluster(LuckyAtomicProtocol(config), crash_servers=args.failures)
-    print(f"servers={config.num_servers} t={config.t} b={config.b} "
-          f"fw={config.fw} fr={config.fr} crashed={args.failures}")
+    print(
+        f"servers={config.num_servers} t={config.t} b={config.b} "
+        f"fw={config.fw} fr={config.fr} crashed={args.failures}"
+    )
     write = cluster.write("hello-world")
-    print(f"WRITE('hello-world'): rounds={write.rounds} fast={write.fast} "
-          f"latency={write.latency:.2f}")
+    print(
+        f"WRITE('hello-world'): rounds={write.rounds} fast={write.fast} "
+        f"latency={write.latency:.2f}"
+    )
     read = cluster.read("r1")
-    print(f"READ() -> {read.value!r}: rounds={read.rounds} fast={read.fast} "
-          f"latency={read.latency:.2f}")
+    print(
+        f"READ() -> {read.value!r}: rounds={read.rounds} fast={read.fast} "
+        f"latency={read.latency:.2f}"
+    )
     print(check_atomicity(cluster.history()).summary())
     return 0
 
@@ -157,6 +178,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
     from .store.bench import (
         batching_sweep,
         mwmr_sweep,
+        recovery_sweep,
         sharded_throughput_sweep,
         zipf_store_scenario,
     )
@@ -202,6 +224,19 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
         tables.append(contended)
         print()
         print(contended.to_markdown() if args.markdown else contended.format())
+    if args.recovery:
+        # S4: durable servers under a crash/recovery schedule whose total
+        # crashes exceed t while at most t servers are ever down at once.
+        recovery = recovery_sweep(
+            num_shards=min(4, args.max_shards),
+            num_operations=args.ops,
+            t=args.recovery_t,
+            b=args.b,
+            batching=args.batch,
+        )
+        tables.append(recovery)
+        print()
+        print(recovery.to_markdown() if args.markdown else recovery.format())
     if args.json_out:
         import json
 
@@ -219,6 +254,8 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
                         "mwmr": args.mwmr,
                         "mwmr_writers": args.mwmr_writers,
                         "mwmr_skew": args.mwmr_skew,
+                        "recovery": args.recovery,
+                        "recovery_t": args.recovery_t,
                     },
                     "experiments": [table.to_dict() for table in tables],
                 },

@@ -23,10 +23,23 @@ class Message:
     ``register_id`` multiplexes many independent register instances over one
     server fleet and transport (the sharded store of :mod:`repro.store`); the
     single-register deployments of the paper leave it at the default ``""``.
+
+    ``epoch`` is the sender's *incarnation number*: durable servers bump it on
+    every crash-recovery and stamp it on their outgoing messages, so a client
+    with an operation pending across the crash can reject acknowledgements the
+    pre-crash incarnation sent before the WAL made the acked state durable.
+    Processes that never recover keep the default ``0``.
     """
 
     sender: str
     register_id: str = ""
+    epoch: int = 0
+
+    def with_epoch(self, epoch: int) -> "Message":
+        """A copy of this message stamped with the sender incarnation *epoch*."""
+        if self.epoch == epoch:
+            return self
+        return replace(self, epoch=epoch)
 
     @property
     def kind(self) -> str:

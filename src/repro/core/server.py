@@ -189,6 +189,40 @@ class StorageServer(Automaton):
         is a no-op here; the Appendix C variant overrides it.
         """
 
+    # ------------------------------------------------------------ durability
+    def export_state(self) -> dict:
+        """Snapshot of the durable register state (for the persistence layer).
+
+        The three timestamp-value registers plus the per-reader read/freeze
+        bookkeeping: everything a recovering replica needs to rejoin with its
+        pre-crash knowledge instead of eroding the quorum margin.
+        """
+        return {
+            "pw": self.pw,
+            "w": self.w,
+            "vw": self.vw,
+            "read_ts": dict(self.read_ts),
+            "frozen": dict(self.frozen),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a state snapshot produced by :meth:`export_state`.
+
+        Restoration is monotone over the pairs (the ``update`` rule), so
+        restoring a snapshot and then replaying a WAL suffix — in any order,
+        any number of times — converges to the same state.
+        """
+        for field in ("pw", "w", "vw"):
+            if field in state:
+                setattr(self, field, self._update(getattr(self, field), state[field]))
+        for reader_id, read_ts in state.get("read_ts", {}).items():
+            self._ensure_reader(reader_id)
+            self.read_ts[reader_id] = max(self.read_ts[reader_id], read_ts)
+        for reader_id, frozen in state.get("frozen", {}).items():
+            self._ensure_reader(reader_id)
+            if frozen.read_ts >= self.frozen[reader_id].read_ts:
+                self.frozen[reader_id] = frozen
+
     # ------------------------------------------------------------ inspection
     def describe(self) -> dict:
         return {

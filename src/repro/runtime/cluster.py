@@ -46,12 +46,25 @@ class AsyncCluster:
         time_scale: float = 0.001,
         crashed_servers: Iterable[str] = (),
         timer_delay: Optional[float] = None,
+        durable: bool = False,
+        wal_dir: Optional[str] = None,
+        compact_every: int = 512,
     ) -> None:
         self.suite = suite
         self.config = suite.config
         self.time_scale = time_scale
         self.transport = transport or InMemoryTransport(constant_delay(message_delay_s))
         self._crashed = set(crashed_servers)
+        #: Durability: server nodes write-ahead log their state under
+        #: ``wal_dir`` (one WAL + snapshot + incarnation sidecar per server)
+        #: and recover from those files on restart — within one cluster via
+        #: :meth:`restart_server`, or across cluster lifetimes by building a
+        #: new cluster over the same ``wal_dir``.
+        if durable and wal_dir is None:
+            raise ValueError("a durable cluster needs a wal_dir for its WAL files")
+        self.durable = durable
+        self.wal_dir = wal_dir
+        self.compact_every = compact_every
         if timer_delay is None:
             # Cover one round-trip of injected delay (expressed in the client's
             # abstract time units, which nodes scale by ``time_scale``), plus a
@@ -70,13 +83,9 @@ class AsyncCluster:
 
     def _build_nodes(self) -> None:
         for server_id in self.config.server_ids():
-            node = AutomatonNode(
-                self.suite.create_server(server_id),
-                self.transport,
-                time_scale=self.time_scale,
-                crashed=server_id in self._crashed,
+            self.server_nodes[server_id] = self._build_server_node(
+                server_id, crashed=server_id in self._crashed
             )
-            self.server_nodes[server_id] = node
         writer = self.suite.create_writer()
         writer.timer_delay = self.timer_delay
         self.client_nodes[self.config.writer_id] = self.CLIENT_NODE_CLASS(
@@ -111,10 +120,40 @@ class AsyncCluster:
     async def __aexit__(self, *exc_info) -> None:
         await self.stop()
 
+    def _build_server_node(self, server_id: str, crashed: bool = False) -> AutomatonNode:
+        return AutomatonNode(
+            self.suite.create_server(server_id),
+            self.transport,
+            time_scale=self.time_scale,
+            crashed=crashed,
+            durable=self.durable,
+            wal_dir=self.wal_dir,
+            compact_every=self.compact_every,
+        )
+
     # ----------------------------------------------------------------- failures
     def crash_server(self, server_id: str) -> None:
         """Crash a server at runtime (it stops reacting to messages)."""
         self.server_nodes[server_id].crash()
+
+    async def restart_server(self, server_id: str) -> AutomatonNode:
+        """Replace *server_id* with a fresh node recovered from its WAL files.
+
+        Requires a durable cluster: the replacement node replays the crashed
+        incarnation's snapshot + WAL suffix and rejoins under a bumped
+        incarnation.  Both transports re-register the process id in place
+        (delivery dispatches through the handler table); recovery also works
+        across cluster lifetimes — build a new cluster over the same
+        ``wal_dir``.
+        """
+        if not self.durable:
+            raise ValueError("restart_server requires a durable cluster (durable=True)")
+        await self.server_nodes[server_id].stop()
+        node = self._build_server_node(server_id)
+        self.server_nodes[server_id] = node
+        if self._started:
+            await node.start()
+        return node
 
     # ---------------------------------------------------------------- operations
     async def write(self, value: Any) -> OperationComplete:

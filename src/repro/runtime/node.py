@@ -10,14 +10,63 @@ operation.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
 from ..core.messages import Message, iter_unbatched, make_envelope
+from ..persist.durable import DurableServer, recover_server
+from ..persist.snapshot import FileSnapshot, SnapshotManager, write_file_atomically
+from ..persist.wal import WriteAheadLog
 from ..verify.history import OperationRecord
 from .transport import Transport
+
+
+def make_durable(
+    automaton: Automaton, wal_dir: str, compact_every: int = 512
+) -> DurableServer:
+    """Wrap a freshly built server automaton in file-backed durability.
+
+    The WAL, snapshot and incarnation sidecar live under *wal_dir*, named
+    after the process id.  When those files already hold state from a previous
+    incarnation (a crashed or stopped node), the automaton is *recovered* —
+    snapshot restored, WAL suffix replayed, torn tail truncated — and rejoins
+    under a bumped incarnation; otherwise this is the first incarnation and
+    the files are created empty.
+    """
+    os.makedirs(wal_dir, exist_ok=True)
+    process_id = automaton.process_id
+    wal_path = os.path.join(wal_dir, f"{process_id}.wal")
+    epoch_path = os.path.join(wal_dir, f"{process_id}.epoch")
+    snapshot_store = FileSnapshot(os.path.join(wal_dir, f"{process_id}.snapshot"))
+    restarting = os.path.exists(epoch_path)
+    wal = WriteAheadLog(wal_path)
+    if restarting:
+        # The sidecar is written atomically below, so its content is either a
+        # previous incarnation number or the file does not exist at all —
+        # never a torn write that would regress the epoch and make peers'
+        # monotone fencing reject the recovered node forever.
+        with open(epoch_path, "r", encoding="utf-8") as fh:
+            incarnation = int(fh.read().strip()) + 1
+        node_server = recover_server(
+            automaton,
+            wal,
+            snapshot_store=snapshot_store,
+            incarnation=incarnation,
+            compact_every=compact_every,
+        )
+    else:
+        incarnation = 0
+        node_server = DurableServer(
+            automaton,
+            wal,
+            incarnation=0,
+            snapshots=SnapshotManager(snapshot_store, wal, compact_every=compact_every),
+        )
+    write_file_atomically(epoch_path, str(incarnation).encode("utf-8"))
+    return node_server
 
 
 class AutomatonNode:
@@ -38,7 +87,14 @@ class AutomatonNode:
         transport: Transport,
         time_scale: float = 0.001,
         crashed: bool = False,
+        durable: bool = False,
+        wal_dir: Optional[str] = None,
+        compact_every: int = 512,
     ) -> None:
+        if durable:
+            if wal_dir is None:
+                raise ValueError("a durable node needs a wal_dir for its WAL files")
+            automaton = make_durable(automaton, wal_dir, compact_every=compact_every)
         self.automaton = automaton
         self.transport = transport
         #: Conversion factor from automaton time units to wall-clock seconds
@@ -49,6 +105,8 @@ class AutomatonNode:
         self._mailbox: asyncio.Queue = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self._timer_handles: list = []
+        # Monotone incarnation fencing: highest Message.epoch seen per sender.
+        self._peer_epochs: Dict[str, int] = {}
         self._outbox: Dict[str, list] = {}
         self._flush_scheduled = False
         self._flush_lock = asyncio.Lock()
@@ -80,6 +138,8 @@ class AutomatonNode:
             except asyncio.CancelledError:
                 pass
             self._task = None
+        if isinstance(self.automaton, DurableServer):
+            self.automaton.wal.close()
 
     def crash(self) -> None:
         """Stop reacting to anything (crash failure)."""
@@ -103,11 +163,43 @@ class AutomatonNode:
                 # applying effects never awaits (sends only fill the outbox),
                 # so every reply the batch provokes lands in the same flush —
                 # the batch boundary survives the hop.
-                for message in iter_unbatched(payload):
-                    await self.apply_effects(self.automaton.handle_message(message))
+                messages = [m for m in iter_unbatched(payload) if self._admit(m)]
+                if (
+                    len(messages) > 1
+                    and self.batching
+                    and isinstance(self.automaton, DurableServer)
+                ):
+                    # One WAL append (= one fsync) for the whole batch; the
+                    # replies sit in the outbox until the next flush, so the
+                    # log is durable before they reach the transport.
+                    with self.automaton.append_batch():
+                        for message in messages:
+                            await self.apply_effects(
+                                self.automaton.handle_message(message)
+                            )
+                else:
+                    for message in messages:
+                        await self.apply_effects(self.automaton.handle_message(message))
                 continue
             effects = self.automaton.on_timer(payload)
             await self.apply_effects(effects)
+
+    def _admit(self, message: Message) -> bool:
+        """Monotone incarnation fencing against recovered senders.
+
+        Once a message from incarnation ``n`` of a peer has been seen, any
+        straggler from an earlier incarnation is rejected: the pre-crash
+        incarnation may have acknowledged state its torn WAL tail lost, so a
+        pending operation must not count it into a quorum.  Dropping is
+        indistinguishable from a message lost to the crash — the sender's new
+        incarnation re-acknowledges under its own epoch.
+        """
+        last = self._peer_epochs.get(message.sender, 0)
+        if message.epoch < last:
+            return False
+        if message.epoch > last:
+            self._peer_epochs[message.sender] = message.epoch
+        return True
 
     # ---------------------------------------------------------------- effects
     async def apply_effects(self, effects: Effects) -> None:
@@ -155,7 +247,9 @@ class AutomatonNode:
         """Server automata never complete operations; clients override this."""
 
 
-def _record_completion(node, completion: OperationComplete, started: float, pending_value: Any) -> None:
+def _record_completion(
+    node, completion: OperationComplete, started: float, pending_value: Any
+) -> None:
     """Stamp wall-clock latency on *completion* and append a history record.
 
     Shared by :class:`ClientNode` and :class:`ShardedClientNode`; *node* needs

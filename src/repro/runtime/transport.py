@@ -184,9 +184,9 @@ class TcpTransport(Transport):
         self._handlers[process_id] = handler
 
     async def start(self) -> None:
-        for process_id, handler in self._handlers.items():
+        for process_id in self._handlers:
             server = await asyncio.start_server(
-                lambda reader, writer, h=handler: self._serve(reader, writer, h),
+                lambda reader, writer, pid=process_id: self._serve(reader, writer, pid),
                 host=self.host,
                 port=0,
             )
@@ -197,7 +197,7 @@ class TcpTransport(Transport):
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
-        handler: Callable[[str, Message], Awaitable[None]],
+        process_id: str,
     ) -> None:
         task = asyncio.current_task()
         if task is not None:
@@ -208,6 +208,13 @@ class TcpTransport(Transport):
                 if frame is None:
                     break
                 source, _destination, message = frame
+                # Resolve the handler per frame: a restarted node re-registers
+                # its process id, and the listener — whose socket and port
+                # survive the restart — must dispatch to the *current* node,
+                # not the one that was registered when the server started.
+                handler = self._handlers.get(process_id)
+                if handler is None:
+                    continue
                 await handler(source, message)
         except asyncio.CancelledError:
             # Normal teardown path: the cluster is shutting down while this

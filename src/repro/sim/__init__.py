@@ -14,7 +14,7 @@ from .byzantine import (
 )
 from .cluster import DROP, OperationHandle, SimCluster, SimulationError
 from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
-from .failures import FailureSchedule
+from .failures import CrashRecoverySchedule, FailureSchedule
 from .latency import (
     AsynchronousWindows,
     DelayModel,
@@ -45,6 +45,7 @@ __all__ = [
     "EventQueue",
     "InvocationEvent",
     "TimerEvent",
+    "CrashRecoverySchedule",
     "FailureSchedule",
     "AsynchronousWindows",
     "DelayModel",

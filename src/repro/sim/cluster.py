@@ -32,6 +32,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
 from ..core.messages import Batch, Message, iter_unbatched, make_envelope
 from ..core.protocol import ProtocolSuite
+from ..persist.durable import DurableServer, recover_server
+from ..persist.snapshot import MemorySnapshot, SnapshotManager
+from ..persist.wal import MemoryWAL
 from ..verify.history import History, OperationRecord
 from .byzantine import ByzantineStrategy, MaliciousServer
 from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
@@ -153,6 +156,8 @@ class SimCluster:
         timer_margin: float = 0.5,
         max_events_per_run: int = 500_000,
         frame_overhead: float = 0.0,
+        durable: bool = False,
+        compact_every: Optional[int] = None,
     ) -> None:
         self.suite = suite
         self.config = suite.config
@@ -168,6 +173,16 @@ class SimCluster:
         #: per-message overhead that batching amortises (a batch is one frame).
         #: The default of 0 reproduces the classical charge-per-message model.
         self.frame_overhead = frame_overhead
+        #: Durability: with ``durable=True`` every server is wrapped in a
+        #: :class:`~repro.persist.durable.DurableServer` logging its state to
+        #: an in-memory WAL, which is what lets a crashed server *recover*
+        #: (see :meth:`recover_server`) instead of counting against ``t``
+        #: forever.  ``compact_every`` additionally snapshots + truncates the
+        #: log once it holds that many records.
+        self.durable = durable
+        self.compact_every = compact_every
+        self.wals: Dict[str, MemoryWAL] = {}
+        self.snapshot_stores: Dict[str, MemorySnapshot] = {}
 
         self.now: float = 0.0
         self.queue = EventQueue()
@@ -204,30 +219,86 @@ class SimCluster:
             raise ValueError(
                 f"{len(self.byzantine)} Byzantine servers exceed the model bound b={self.config.b}"
             )
-        total_faulty = len(
-            set(self.byzantine)
-            | {
-                pid
-                for pid in self.failures.crash_times
-                if pid in set(self.config.server_ids())
-            }
+        # With recovery in the schedule, the model bound applies to servers
+        # down *simultaneously*: a durable server that recovered from its WAL
+        # no longer counts against t, so the total number of distinct crashes
+        # over the run may legitimately exceed it.
+        peak_faulty = self.failures.max_simultaneous_faulty(
+            self.config.server_ids(), always_faulty=set(self.byzantine)
         )
-        if total_faulty > self.config.t:
+        if peak_faulty > self.config.t:
             raise ValueError(
-                f"{total_faulty} faulty servers exceed the model bound t={self.config.t}"
+                f"{peak_faulty} simultaneously faulty servers exceed the model "
+                f"bound t={self.config.t}"
             )
+        self._schedule_recoveries()
 
     # ----------------------------------------------------------------- build
     def _build_processes(self) -> None:
         for server_id in self.config.server_ids():
-            server = self.suite.create_server(server_id)
-            strategy = self.byzantine.get(server_id)
-            if strategy is not None:
-                server = MaliciousServer(server, strategy)  # type: ignore[arg-type]
+            server = self._build_server(server_id)
+            if self.durable:
+                wal = MemoryWAL()
+                snapshot_store = MemorySnapshot()
+                self.wals[server_id] = wal
+                self.snapshot_stores[server_id] = snapshot_store
+                snapshots = (
+                    SnapshotManager(snapshot_store, wal, compact_every=self.compact_every)
+                    if self.compact_every is not None
+                    else None
+                )
+                server = DurableServer(server, wal, incarnation=0, snapshots=snapshots)
             self.processes[server_id] = server
         self.processes[self.config.writer_id] = self.suite.create_writer()
         for reader_id in self.config.reader_ids():
             self.processes[reader_id] = self.suite.create_reader(reader_id)
+
+    def _build_server(self, server_id: str) -> Automaton:
+        """A fresh (initial-state) server automaton, Byzantine-wrapped if set."""
+        server = self.suite.create_server(server_id)
+        strategy = self.byzantine.get(server_id)
+        if strategy is not None:
+            server = MaliciousServer(server, strategy)  # type: ignore[arg-type]
+        return server
+
+    def _schedule_recoveries(self) -> None:
+        recoveries = self.failures.recovery_events()
+        if not recoveries:
+            return
+        if not self.durable:
+            raise ValueError(
+                "the failure schedule recovers servers but the cluster is not "
+                "durable; build it with durable=True so crashed servers have a "
+                "WAL to recover from"
+            )
+        server_set = set(self.config.server_ids())
+        for event in recoveries:
+            if event.process_id not in server_set:
+                raise ValueError(
+                    f"only servers can recover from a WAL; {event.process_id!r} "
+                    "is a client"
+                )
+            self.queue.push(
+                event.at,
+                InvocationEvent(
+                    label=f"recover:{event.process_id}",
+                    action=lambda e=event: self._scheduled_recovery(e),
+                ),
+            )
+
+    def _scheduled_recovery(self, event) -> None:
+        """Fire a schedule-driven recovery unless its window was closed early.
+
+        A manual :meth:`recover_server` call rewrites the crash window to end
+        at the manual recovery time; the originally queued event is then stale
+        and must not fire — it would drop the *live* incarnation's WAL tail
+        (records whose acks were already quorum-counted) and bump the
+        incarnation a second time.
+        """
+        windows = getattr(self.failures, "windows", {}).get(event.process_id, ())
+        if not any(window.recover_at == event.at for window in windows):
+            return
+        self.recover_server(event.process_id, lose_tail=event.lose_tail)
 
     # ------------------------------------------------------------ inspection
     @property
@@ -241,8 +312,13 @@ class SimCluster:
         return self.processes[server_id]
 
     def correct_servers(self) -> List[str]:
-        """Servers that are neither Byzantine nor (eventually) crashed."""
-        crashed = set(self.failures.crash_times)
+        """Servers that are neither Byzantine nor crashed-forever.
+
+        A server that crashes but *recovers* (a durable cluster under a
+        :class:`~repro.sim.failures.CrashRecoverySchedule`) counts as correct:
+        it rejoins with its WAL state and serves quorums again.
+        """
+        crashed = self.failures.permanently_crashed()
         return [
             sid
             for sid in self.config.server_ids()
@@ -256,6 +332,42 @@ class SimCluster:
 
     def is_crashed(self, process_id: str) -> bool:
         return self.failures.is_crashed(process_id, self.now)
+
+    def incarnation(self, server_id: str) -> int:
+        """The current incarnation (recovery count) of *server_id*."""
+        return getattr(self.processes[server_id], "incarnation", 0)
+
+    def recover_server(self, server_id: str, lose_tail: int = 0) -> None:
+        """Rebuild *server_id* from its WAL (snapshot + suffix replay), now.
+
+        The fresh automaton replaces the crashed one under a bumped
+        incarnation, so in-flight acknowledgements of the pre-crash
+        incarnation — whose state the lost tail may not cover — are rejected
+        on delivery rather than counted into pending quorums.
+        """
+        if not self.durable:
+            raise ValueError(
+                "recover_server requires a durable cluster (durable=True)"
+            )
+        if self.failures.is_crashed(server_id, self.now) and not self.failures.mark_recovered(
+            server_id, self.now
+        ):
+            raise ValueError(
+                f"{server_id!r} is crashed under a schedule that cannot express "
+                "recovery; crash servers you intend to recover through a "
+                "CrashRecoverySchedule"
+            )
+        wal = self.wals[server_id]
+        if lose_tail:
+            wal.drop_tail(lose_tail)
+        incarnation = getattr(self.processes[server_id], "incarnation", 0) + 1
+        self.processes[server_id] = recover_server(
+            self._build_server(server_id),
+            wal,
+            snapshot_store=self.snapshot_stores[server_id],
+            incarnation=incarnation,
+            compact_every=self.compact_every,
+        )
 
     # ------------------------------------------------------------ invocation
     def start_write(self, value: Any) -> OperationHandle:
@@ -486,12 +598,38 @@ class SimCluster:
                     event.source, event.destination, message, event.send_time, "unknown"
                 )
             return
+        if len(payload) > 1 and isinstance(process, DurableServer):
+            # One WAL append (batch-grouped, one fsync on a file log) covers
+            # every state change the whole frame provokes.
+            with process.append_batch():
+                self._deliver_messages(event, payload, process)
+        else:
+            self._deliver_messages(event, payload, process)
+
+    def _deliver_messages(self, event: DeliveryEvent, payload, process) -> None:
         for message in payload:
+            if self._stale_epoch(message):
+                # The sender recovered since this acknowledgement was sent;
+                # the recovered state may not cover what it acknowledged (a
+                # torn WAL tail), so a pending operation must not count it
+                # towards a quorum.  Dropping is indistinguishable from a
+                # message lost to the crash — clients retry and the new
+                # incarnation re-acknowledges under its own epoch.
+                self.trace.record_drop(
+                    event.source, event.destination, message, event.send_time, "stale-epoch"
+                )
+                continue
             self.trace.record_delivery(
                 event.source, event.destination, message, event.send_time, self.now
             )
             effects = process.handle_message(message)
             self._apply_effects(event.destination, effects)
+
+    def _stale_epoch(self, message: Message) -> bool:
+        """Whether *message* was sent by a sender incarnation that has since
+        recovered (its epoch is below the sender's current incarnation)."""
+        sender = self.processes.get(message.sender)
+        return message.epoch < getattr(sender, "incarnation", 0)
 
     def _fire_timer(self, event: TimerEvent) -> None:
         if self.failures.is_crashed(event.process_id, self.now):

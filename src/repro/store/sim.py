@@ -81,6 +81,24 @@ class ShardedSimStore:
     def read(self, key: str, reader_id: Optional[str] = None) -> OperationHandle:
         return self.cluster.store_read(key, reader_id)
 
+    # --------------------------------------------------------------- failures
+    def crash(self, server_id: str, at: Optional[float] = None) -> None:
+        """Crash *server_id* at time *at* (default: now)."""
+        self.cluster.crash(server_id, at)
+
+    def recover_server(self, server_id: str, lose_tail: int = 0) -> None:
+        """Recover *server_id* from its WAL now (requires ``durable=True``)."""
+        self.cluster.recover_server(server_id, lose_tail=lose_tail)
+
+    def incarnation(self, server_id: str) -> int:
+        """The current incarnation (recovery count) of *server_id*."""
+        return self.cluster.incarnation(server_id)
+
+    @property
+    def wal_records(self) -> int:
+        """Records appended across every server WAL (0 for non-durable stores)."""
+        return sum(wal.records_appended for wal in self.cluster.wals.values())
+
     # --------------------------------------------------------------- run loop
     def run(self, **kwargs: Any) -> None:
         self.cluster.run(**kwargs)

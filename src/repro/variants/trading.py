@@ -42,7 +42,9 @@ class TradingReadsProtocol(LuckyAtomicProtocol):
 
     @classmethod
     def for_parameters(cls, t: int, b: int, num_readers: int = 2, timer_delay: float = 10.0):
-        return cls(SystemConfig.trading_reads(t, b, num_readers=num_readers), timer_delay=timer_delay)
+        return cls(
+            SystemConfig.trading_reads(t, b, num_readers=num_readers), timer_delay=timer_delay
+        )
 
 
 class TradingWritesProtocol(ProtocolSuite):

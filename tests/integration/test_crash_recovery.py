@@ -1,0 +1,322 @@
+"""Crash-recovery integration: durable servers rejoin from their WALs.
+
+The headline scenario the paper's fault model cannot express: a run whose
+*total* number of distinct server crashes exceeds the resilience bound ``t``,
+yet at most ``t`` servers are ever down simultaneously because crashed servers
+recover from their write-ahead logs between outages — and the register stays
+atomic throughout.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.persist.durable import storage_registers
+from repro.sim.cluster import SimCluster
+from repro.sim.failures import CrashRecoverySchedule, FailureSchedule
+from repro.sim.latency import FixedDelay
+from repro.store.bench import recovery_sweep, run_recovery_throughput
+from repro.store.sim import ShardedSimStore
+from repro.verify.atomicity import check_atomicity
+from repro.workload.generator import keyspace_workload, run_store_workload
+
+
+CONFIG = SystemConfig(t=1, b=0, fw=1, fr=0)
+
+
+def rolling_schedule():
+    """Three outages, one per server: 3 total crashes > t=1, never 2 at once."""
+    return (
+        CrashRecoverySchedule()
+        .crash("s1", at=5.0, recover_at=15.0)
+        .crash("s2", at=25.0, recover_at=35.0)
+        .crash("s3", at=45.0, recover_at=55.0)
+    )
+
+
+class TestAtomicityAcrossRecoveries:
+    def test_more_total_crashes_than_t_stays_atomic(self):
+        """The acceptance scenario: > t distinct crashes, <= t simultaneous."""
+        schedule = rolling_schedule()
+        assert schedule.total_crashes(CONFIG.server_ids()) > CONFIG.t
+        assert schedule.max_simultaneous_faulty(CONFIG.server_ids()) <= CONFIG.t
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        for index in range(12):
+            write = cluster.write(f"v{index}")
+            assert write.done
+            read = cluster.read("r1")
+            assert read.value == f"v{index}"
+        cluster.run_until_quiescent()
+        result = check_atomicity(cluster.history())
+        assert result.ok, result.violations
+        assert all(cluster.incarnation(sid) == 1 for sid in CONFIG.server_ids())
+
+    def test_recovered_server_rejoins_with_pre_crash_state(self):
+        schedule = CrashRecoverySchedule().crash("s1", at=5.0, recover_at=30.0)
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        write = cluster.write("before-crash")  # completes well before t=5
+        assert write.done
+        cluster.run_for(10.0)  # the crash happens; s1 is down
+        pre_crash_pw = storage_registers(cluster.server("s1"))[""].pw
+        cluster.run_for(25.0)  # past the recovery
+        recovered_pw = storage_registers(cluster.server("s1"))[""].pw
+        assert recovered_pw == pre_crash_pw
+        assert recovered_pw.val == "before-crash"
+        assert cluster.incarnation("s1") == 1
+        # And the recovered replica participates in quorums again.
+        cluster.write("after-recovery")
+        assert cluster.read("r1").value == "after-recovery"
+        assert check_atomicity(cluster.history()).ok
+
+    def test_writes_progress_during_each_outage(self):
+        """Operations invoked while a server is down still complete (S - t quorum)."""
+        schedule = rolling_schedule()
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        for start in (6.0, 26.0, 46.0):  # inside each outage window
+            if start > cluster.now:
+                cluster.run_for(start - cluster.now)
+            write = cluster.write(f"during-{start}")
+            assert write.done
+        cluster.run_until_quiescent()
+        assert check_atomicity(cluster.history()).ok
+
+    def test_manual_crash_then_recover_revives_the_server(self):
+        """cluster.crash() + recover_server() must actually end the outage."""
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=CrashRecoverySchedule(),
+            durable=True,
+        )
+        cluster.write("v0")
+        cluster.crash("s1")
+        cluster.write("v1")  # completes on the s2+s3 quorum
+        assert cluster.is_crashed("s1")
+        cluster.recover_server("s1")
+        assert not cluster.is_crashed("s1")
+        recovery_time = cluster.now
+        cluster.write("v2")
+        cluster.run_until_quiescent()
+        # The revived server receives traffic again and its state advances.
+        delivered = [
+            e
+            for e in cluster.trace.delivered()
+            if e.destination == "s1" and e.send_time >= recovery_time
+        ]
+        assert delivered, "no message reached s1 after its manual recovery"
+        assert storage_registers(cluster.server("s1"))[""].pw.val == "v2"
+        assert cluster.incarnation("s1") == 1
+        assert check_atomicity(cluster.history()).ok
+
+    def test_manual_recovery_cancels_the_scheduled_one(self):
+        """A window closed early must not fire its original recovery event.
+
+        The stale event would drop the *live* incarnation's WAL tail (records
+        whose acks were already quorum-counted) and bump the incarnation a
+        second time."""
+        schedule = CrashRecoverySchedule().crash(
+            "s1", at=5.0, recover_at=40.0, lose_tail=2
+        )
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        cluster.write("v1")
+        cluster.run_for(10.0)  # the crash at t=5 has happened
+        cluster.recover_server("s1")  # manual recovery, well before t=40
+        assert cluster.incarnation("s1") == 1
+        cluster.write("v2")
+        records_after_manual = cluster.wals["s1"].record_count
+        cluster.run_for(60.0)  # past the originally scheduled recovery at t=40
+        assert cluster.incarnation("s1") == 1  # the stale event did not fire
+        assert cluster.wals["s1"].record_count >= records_after_manual
+        assert cluster.wals["s1"].records_dropped == 0
+        cluster.write("v3")
+        cluster.run_until_quiescent()
+        assert storage_registers(cluster.server("s1"))[""].pw.val == "v3"
+        assert check_atomicity(cluster.history()).ok
+
+    def test_recover_after_inexpressible_crash_raises(self):
+        """A plain FailureSchedule cannot recover: crashes are final there."""
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG), delay_model=FixedDelay(1.0), durable=True
+        )
+        cluster.write("v0")
+        cluster.crash("s1")
+        with pytest.raises(ValueError, match="CrashRecoverySchedule"):
+            cluster.recover_server("s1")
+
+    def test_snapshot_compaction_mid_run(self):
+        schedule = CrashRecoverySchedule().crash("s1", at=40.0, recover_at=50.0)
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+            compact_every=4,
+        )
+        for index in range(10):
+            cluster.write(f"v{index}")
+        cluster.run_for(60.0)
+        assert cluster.snapshot_stores["s1"].saves > 0
+        # Recovery went through snapshot + suffix replay, not just the log.
+        assert cluster.incarnation("s1") == 1
+        cluster.write("final")
+        assert cluster.read("r1").value == "final"
+        assert check_atomicity(cluster.history()).ok
+
+
+class TestStaleEpochRejection:
+    def test_pre_crash_acks_are_dropped_after_recovery(self):
+        """An ack in flight across its sender's crash+recovery must not be
+        counted by a pending operation: the recovered state (torn tail) may
+        not cover what was acknowledged."""
+        schedule = CrashRecoverySchedule().crash(
+            "s1", at=1.5, recover_at=1.8, lose_tail=10
+        )
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        # PW arrives at the servers at t=1; their acks (sent at t=1, epoch 0)
+        # arrive at t=2 — after s1 recovered at t=1.8 under incarnation 1.
+        write = cluster.start_write("v1")
+        cluster.run(until=lambda: write.done)
+        stale = [e for e in cluster.trace.dropped() if e.drop_reason == "stale-epoch"]
+        assert stale, "the pre-crash incarnation's ack should have been dropped"
+        assert all(entry.source == "s1" for entry in stale)
+        # The write completed on the other servers' quorum regardless.
+        assert write.done
+        # s1's recovered state was rewound by the lost tail: it must not claim
+        # the pre-write it acknowledged before crashing.
+        assert storage_registers(cluster.server("s1"))[""].pw.val != "v1"
+        cluster.run_until_quiescent()
+        assert check_atomicity(cluster.history()).ok
+
+    def test_new_incarnation_acks_are_accepted(self):
+        schedule = CrashRecoverySchedule().crash("s1", at=2.0, recover_at=6.0)
+        cluster = SimCluster(
+            LuckyAtomicProtocol(CONFIG),
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        cluster.run_for(8.0)
+        cluster.write("post-recovery")
+        delivered_from_s1 = [
+            e for e in cluster.trace.delivered() if e.source == "s1" and e.send_time > 6.0
+        ]
+        assert delivered_from_s1, "the recovered incarnation's replies must flow"
+
+
+class TestShardedDurableStore:
+    def test_keyspace_workload_across_recoveries(self):
+        config = SystemConfig(t=1, b=0, fw=1, fr=0, num_readers=2)
+        schedule = (
+            CrashRecoverySchedule()
+            .crash("s1", at=10.0, recover_at=30.0)
+            .crash("s2", at=50.0, recover_at=70.0)
+        )
+        store = ShardedSimStore(
+            LuckyAtomicProtocol(config),
+            ["k1", "k2", "k3"],
+            delay_model=FixedDelay(1.0),
+            failures=schedule,
+            durable=True,
+        )
+        workload = keyspace_workload(
+            80, store.keys, config.reader_ids(), mean_gap=1.5, seed=7
+        )
+        run_store_workload(store, workload)
+        assert store.verify_atomic()
+        assert schedule.total_crashes(config.server_ids()) > config.t
+        assert store.incarnation("s1") == 1
+        assert store.incarnation("s2") == 1
+        assert store.wal_records > 0
+
+
+class TestRecoverySweep:
+    def test_s4_phases_and_overhead(self):
+        table = recovery_sweep(num_shards=3, num_operations=72, t=2)
+        rows = {(row["scenario"], row["phase"]): row for row in table.rows}
+        assert set(rows) == {
+            ("wal-off", "steady"),
+            ("wal-on", "steady"),
+            ("crash-recover", "healthy"),
+            ("crash-recover", "outage"),
+            ("crash-recover", "recovered"),
+        }
+        # Virtual-time throughput is durability-blind: WAL on == WAL off.
+        assert rows[("wal-on", "steady")]["throughput"] == pytest.approx(
+            rows[("wal-off", "steady")]["throughput"]
+        )
+        # During an outage of t servers the fast-write quorum S - fw is
+        # unreachable, so some operations fall back to slow rounds.
+        assert rows[("crash-recover", "outage")]["fast_fraction"] < 1.0
+        assert (
+            rows[("crash-recover", "outage")]["mean_latency"]
+            > rows[("wal-on", "steady")]["mean_latency"]
+        )
+        # After the last recovery the store catches back up to fast operation.
+        assert rows[("crash-recover", "recovered")]["fast_fraction"] == pytest.approx(1.0)
+        total_ops = sum(
+            rows[("crash-recover", phase)]["operations"]
+            for phase in ("healthy", "outage", "recovered")
+        )
+        assert total_ops == 72
+        assert table.to_dict()["experiment_id"] == "S4"
+
+    def test_run_recovery_throughput_verifies_histories(self):
+        store, wall_seconds = run_recovery_throughput(
+            num_shards=2, num_operations=24, t=1, durable=True
+        )
+        assert wall_seconds > 0
+        assert len(store.completed_operations()) == 24
+        assert store.wal_records > 0
+
+
+class TestRecoveryGuards:
+    def test_recovery_schedule_requires_durable_cluster(self):
+        schedule = CrashRecoverySchedule().crash("s1", at=1.0, recover_at=2.0)
+        with pytest.raises(ValueError, match="durable"):
+            SimCluster(LuckyAtomicProtocol(CONFIG), failures=schedule)
+
+    def test_client_recovery_is_rejected(self):
+        schedule = CrashRecoverySchedule().crash("r1", at=1.0, recover_at=2.0)
+        with pytest.raises(ValueError, match="client"):
+            SimCluster(LuckyAtomicProtocol(CONFIG), failures=schedule, durable=True)
+
+    def test_manual_recover_requires_durable(self):
+        cluster = SimCluster(LuckyAtomicProtocol(CONFIG))
+        with pytest.raises(ValueError, match="durable"):
+            cluster.recover_server("s1")
+
+    def test_permanent_crashes_still_bounded_by_t(self):
+        # Two *permanent* crashes exceed t=1 even under a recovery schedule.
+        schedule = CrashRecoverySchedule().crash("s1", at=1.0).crash("s2", at=2.0)
+        with pytest.raises(ValueError, match="simultaneously"):
+            SimCluster(LuckyAtomicProtocol(CONFIG), failures=schedule, durable=True)
+
+    def test_plain_schedule_validation_unchanged(self):
+        failures = FailureSchedule().crash("s1", at=0.0).crash("s2", at=0.0)
+        with pytest.raises(ValueError):
+            SimCluster(LuckyAtomicProtocol(CONFIG), failures=failures)

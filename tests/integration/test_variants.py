@@ -139,7 +139,9 @@ class TestRegularVariant:
         cluster = build(LuckyAtomicProtocol(config))
         cluster.write("genuine")
         cluster.run_for(5.0)
-        attacker = MaliciousWritebackReader("r-mal", config, forged_pair=TimestampValue(99, "POISON"))
+        attacker = MaliciousWritebackReader(
+            "r-mal", config, forged_pair=TimestampValue(99, "POISON")
+        )
         cluster._apply_effects("r-mal", attacker.read())
         cluster.run_for(5.0)
         read = cluster.read("r1")

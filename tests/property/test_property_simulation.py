@@ -23,7 +23,12 @@ from repro.variants.regular import RegularStorageProtocol
 from repro.variants.two_round import TwoRoundWriteProtocol
 from repro.verify.atomicity import check_atomicity
 from repro.verify.regularity import check_regularity
-from repro.workload.generator import contended_workload, lucky_workload, poisson_workload, run_workload
+from repro.workload.generator import (
+    contended_workload,
+    lucky_workload,
+    poisson_workload,
+    run_workload,
+)
 
 STRATEGY_FACTORIES = [
     MuteStrategy,
@@ -118,7 +123,9 @@ def test_regular_variant_is_regular_under_random_faults(scenario):
         failures=failures,
         seed=seed,
     )
-    handles = run_workload(cluster, contended_workload(2, regular_config.reader_ids(), write_gap=12.0))
+    handles = run_workload(
+        cluster, contended_workload(2, regular_config.reader_ids(), write_gap=12.0)
+    )
     assert all(handle.done for handle in handles)
     check_regularity(cluster.history()).raise_if_violated()
 
@@ -135,7 +142,9 @@ def test_two_round_variant_is_atomic_under_random_faults(t, b, fr, seed):
     fr = min(fr, t)
     suite = TwoRoundWriteProtocol.for_parameters(t, b, fr, num_readers=2)
     cluster = SimCluster(suite, delay_model=FixedDelay(1.0), seed=seed)
-    handles = run_workload(cluster, contended_workload(2, suite.config.reader_ids(), write_gap=12.0))
+    handles = run_workload(
+        cluster, contended_workload(2, suite.config.reader_ids(), write_gap=12.0)
+    )
     assert all(handle.done for handle in handles)
     assert all(
         handle.rounds <= 2 for handle in handles if handle.kind == "write"

@@ -51,7 +51,9 @@ class TestReadAfterWrite:
         assert check_atomicity(history).ok
 
     def test_incomplete_write_does_not_force_new_value(self):
-        history = History([write("a", 0, 1), OperationRecord("w", "write", "b", 2, None), read("a", 3, 4)])
+        history = History(
+            [write("a", 0, 1), OperationRecord("w", "write", "b", 2, None), read("a", 3, 4)]
+        )
         assert check_atomicity(history).ok
 
 

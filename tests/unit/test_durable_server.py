@@ -1,0 +1,219 @@
+"""Unit tests of the durability wrapper and server state export/restore."""
+
+from repro.core.config import SystemConfig
+from repro.core.messages import PreWrite, Read, TimestampQuery, Write
+from repro.core.server import StorageServer
+from repro.core.types import INITIAL_PAIR, TimestampValue
+from repro.persist.durable import (
+    DurableServer,
+    export_server_state,
+    recover_server,
+    replay_records,
+    restore_server_state,
+    storage_registers,
+)
+from repro.persist.snapshot import MemorySnapshot, SnapshotManager
+from repro.persist.wal import MemoryWAL, WalRecord
+from repro.store.sharding import ShardedProtocol
+from repro.core.protocol import LuckyAtomicProtocol
+
+
+CONFIG = SystemConfig(t=1, b=0, fw=1, fr=0)
+
+
+def pair(ts, value=None, writer_id=""):
+    return TimestampValue(ts, f"v{ts}" if value is None else value, writer_id)
+
+
+class TestExportRestore:
+    def test_round_trip(self):
+        server = StorageServer("s1", CONFIG)
+        server.handle_message(PreWrite(sender="w", ts=2, pw=pair(2), w=pair(1)))
+        server.handle_message(Read(sender="r1", read_ts=3, round=2))
+        state = server.export_state()
+        restored = StorageServer("s1", CONFIG)
+        restored.restore_state(state)
+        assert restored.pw == server.pw
+        assert restored.w == server.w
+        assert restored.vw == server.vw
+        assert restored.read_ts == server.read_ts
+        assert restored.frozen == server.frozen
+
+    def test_restore_is_monotone(self):
+        server = StorageServer("s1", CONFIG)
+        server.handle_message(Write(sender="w", round=3, ts=5, pair=pair(5)))
+        old_state = {"pw": pair(1), "w": pair(1), "vw": pair(1)}
+        server.restore_state(old_state)
+        # A stale snapshot never regresses fresher state.
+        assert server.pw == pair(5)
+        assert server.vw == pair(5)
+
+    def test_restore_is_idempotent(self):
+        state = {"pw": pair(3), "w": pair(2), "vw": pair(1)}
+        server = StorageServer("s1", CONFIG)
+        server.restore_state(state)
+        snapshot = server.export_state()
+        server.restore_state(state)
+        assert server.export_state() == snapshot
+
+
+class TestStorageRegisters:
+    def test_single_register_server(self):
+        server = StorageServer("s1", CONFIG)
+        assert storage_registers(server) == {"": server}
+
+    def test_sharded_server_expands_per_register(self):
+        suite = ShardedProtocol(LuckyAtomicProtocol(CONFIG), ["k1", "k2"])
+        server = suite.create_server("s1")
+        registers = storage_registers(server)
+        assert sorted(registers) == ["k1", "k2"]
+        assert all(isinstance(inner, StorageServer) for inner in registers.values())
+
+    def test_sharded_export_restore_round_trip(self):
+        suite = ShardedProtocol(LuckyAtomicProtocol(CONFIG), ["k1", "k2"])
+        server = suite.create_server("s1")
+        server.handle_message(
+            Write(sender="w", register_id="k2", round=2, ts=4, pair=pair(4))
+        )
+        state = export_server_state(server)
+        fresh = suite.create_server("s1")
+        restore_server_state(fresh, state)
+        assert storage_registers(fresh)["k2"].pw == pair(4)
+        assert storage_registers(fresh)["k1"].pw == INITIAL_PAIR
+
+
+class TestDurableServer:
+    def test_prewrite_logs_changed_fields(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        durable.handle_message(PreWrite(sender="w", ts=1, pw=pair(1), w=INITIAL_PAIR))
+        records = wal.replay()
+        assert [(r.field, r.ts) for r in records] == [("pw", 1)]
+
+    def test_write_round3_logs_all_three_fields(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        durable.handle_message(Write(sender="w", round=3, ts=2, pair=pair(2)))
+        assert sorted(r.field for r in wal.replay()) == ["pw", "vw", "w"]
+        # One message = one batch-grouped append (= one fsync on a file WAL).
+        assert wal.batches_appended == 1
+
+    def test_reads_and_queries_log_nothing(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        durable.handle_message(Read(sender="r1", read_ts=1, round=1))
+        durable.handle_message(TimestampQuery(sender="w", op_id=1))
+        assert wal.record_count == 0
+
+    def test_stale_update_logs_nothing(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        durable.handle_message(Write(sender="w", round=2, ts=5, pair=pair(5)))
+        appended = wal.record_count
+        durable.handle_message(Write(sender="w", round=2, ts=3, pair=pair(3)))
+        assert wal.record_count == appended
+
+    def test_effects_pass_through_unstamped_at_incarnation_zero(self):
+        durable = DurableServer(StorageServer("s1", CONFIG), MemoryWAL())
+        effects = durable.handle_message(Read(sender="r1", read_ts=1, round=1))
+        assert effects.sends[0].message.epoch == 0
+
+    def test_recovered_incarnation_stamps_epochs(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        durable.handle_message(Write(sender="w", round=2, ts=2, pair=pair(2)))
+        recovered = recover_server(StorageServer("s1", CONFIG), wal, incarnation=1)
+        effects = recovered.handle_message(Read(sender="r1", read_ts=1, round=1))
+        ack = effects.sends[0].message
+        assert ack.epoch == 1
+        assert ack.pw == pair(2)  # the replayed pre-crash state
+
+    def test_sharded_durable_tags_records_with_register(self):
+        suite = ShardedProtocol(LuckyAtomicProtocol(CONFIG), ["k1", "k2"])
+        wal = MemoryWAL()
+        durable = DurableServer(suite.create_server("s1"), wal)
+        durable.handle_message(
+            Write(sender="w", register_id="k2", round=2, ts=1, pair=pair(1))
+        )
+        assert {r.register_id for r in wal.replay()} == {"k2"}
+        assert durable.batching  # sharded processes batch; the wrapper forwards it
+
+    def test_append_batch_groups_records_into_one_fsync(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        with durable.append_batch():
+            durable.handle_message(Write(sender="w", round=2, ts=1, pair=pair(1)))
+            durable.handle_message(Write(sender="w", round=2, ts=2, pair=pair(2)))
+            assert wal.record_count == 0  # nothing durable until the scope closes
+        # Two messages, four records (pw + w each), ONE batch-grouped append.
+        assert wal.batches_appended == 1
+        assert wal.record_count == 4
+
+    def test_append_batch_nests_flat(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        with durable.append_batch():
+            with durable.append_batch():
+                durable.handle_message(Write(sender="w", round=2, ts=1, pair=pair(1)))
+            assert wal.record_count == 0  # inner scope defers to the outer one
+        assert wal.batches_appended == 1
+
+    def test_compaction_through_snapshot_manager(self):
+        wal = MemoryWAL()
+        store = MemorySnapshot()
+        inner = StorageServer("s1", CONFIG)
+        durable = DurableServer(
+            inner, wal, snapshots=SnapshotManager(store, wal, compact_every=4)
+        )
+        for ts in range(1, 6):
+            durable.handle_message(Write(sender="w", round=3, ts=ts, pair=pair(ts)))
+        assert store.load() is not None
+        # Snapshot + suffix replay reproduces the live state.
+        fresh = StorageServer("s1", CONFIG)
+        restore_server_state(fresh, store.load())
+        replay_records(fresh, wal.replay())
+        assert (fresh.pw, fresh.w, fresh.vw) == (inner.pw, inner.w, inner.vw)
+
+    def test_recovery_after_lost_tail_rewinds_state(self):
+        wal = MemoryWAL()
+        durable = DurableServer(StorageServer("s1", CONFIG), wal)
+        durable.handle_message(Write(sender="w", round=2, ts=1, pair=pair(1)))
+        durable.handle_message(Write(sender="w", round=2, ts=2, pair=pair(2)))
+        wal.drop_tail(2)  # the ts=2 batch (pw + w records) never reached its fsync
+        recovered = recover_server(StorageServer("s1", CONFIG), wal, incarnation=1)
+        assert storage_registers(recovered)[""].pw == pair(1)
+
+
+class TestRecoverServer:
+    def test_snapshot_plus_suffix(self):
+        wal = MemoryWAL()
+        store = MemorySnapshot()
+        store.save({"": {"pw": pair(3), "w": pair(3), "vw": pair(3)}})
+        wal.append(
+            [
+                # A record *older* than the snapshot (replayed harmlessly) and
+                # a newer one (the suffix that must win).
+                WalRecord(register_id="", field="pw", ts=2, writer_id="", value="v2"),
+                WalRecord(register_id="", field="pw", ts=5, writer_id="", value="v5"),
+            ]
+        )
+        recovered = recover_server(
+            StorageServer("s1", CONFIG), wal, snapshot_store=store, incarnation=2
+        )
+        inner = storage_registers(recovered)[""]
+        assert inner.pw == pair(5)
+        assert inner.w == pair(3)
+        assert recovered.incarnation == 2
+
+    def test_without_snapshot_store(self):
+        wal = MemoryWAL()
+        recovered = recover_server(StorageServer("s1", CONFIG), wal)
+        assert recovered.incarnation == 1
+        assert storage_registers(recovered)[""].pw == INITIAL_PAIR
+
+
+def test_message_with_epoch_helper():
+    message = Read(sender="s1", read_ts=1, round=1)
+    stamped = message.with_epoch(3)
+    assert stamped.epoch == 3 and message.epoch == 0
+    assert stamped.with_epoch(3) is stamped

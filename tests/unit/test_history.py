@@ -8,11 +8,15 @@ from repro.verify.history import History, OperationRecord
 
 
 def write(value, start, end, client="w"):
-    return OperationRecord(client_id=client, kind="write", value=value, invoked_at=start, completed_at=end)
+    return OperationRecord(
+        client_id=client, kind="write", value=value, invoked_at=start, completed_at=end
+    )
 
 
 def read(value, start, end, client="r1"):
-    return OperationRecord(client_id=client, kind="read", value=value, invoked_at=start, completed_at=end)
+    return OperationRecord(
+        client_id=client, kind="read", value=value, invoked_at=start, completed_at=end
+    )
 
 
 class TestOperationRecord:

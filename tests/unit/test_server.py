@@ -46,14 +46,18 @@ class TestPreWrite:
 
     def test_freeze_directive_adopted_when_not_stale(self, server):
         directive = FreezeDirective(reader_id="r1", pair=V1, read_ts=4)
-        server.handle_message(PreWrite(sender="w", ts=1, pw=V1, w=INITIAL_PAIR, frozen=(directive,)))
+        server.handle_message(
+            PreWrite(sender="w", ts=1, pw=V1, w=INITIAL_PAIR, frozen=(directive,))
+        )
         assert server.frozen["r1"].pair == V1
         assert server.frozen["r1"].read_ts == 4
 
     def test_freeze_directive_ignored_when_stale(self, server):
         server.read_ts["r1"] = 9
         directive = FreezeDirective(reader_id="r1", pair=V1, read_ts=4)
-        server.handle_message(PreWrite(sender="w", ts=1, pw=V1, w=INITIAL_PAIR, frozen=(directive,)))
+        server.handle_message(
+            PreWrite(sender="w", ts=1, pw=V1, w=INITIAL_PAIR, frozen=(directive,))
+        )
         assert server.frozen["r1"].pair == INITIAL_PAIR
 
     def test_newread_reports_unfrozen_slow_reads(self, server):
@@ -118,7 +122,9 @@ class TestWritePhases:
         assert server.vw == V1
 
     def test_write_ack_echoes_round_and_ts(self, server):
-        effects = server.handle_message(Write(sender="r1", round=2, ts=9, pair=V1, from_writer=False))
+        effects = server.handle_message(
+            Write(sender="r1", round=2, ts=9, pair=V1, from_writer=False)
+        )
         ack = effects.sends[0].message
         assert isinstance(ack, WriteAck)
         assert ack.round == 2

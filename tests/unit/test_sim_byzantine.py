@@ -94,7 +94,9 @@ class TestForgedState:
 
     def test_w_and_vw_forged_only_when_asked(self, config):
         pair = TimestampValue(7, "phantom")
-        server = wrap(config, ForgedStateStrategy(forged_pair=pair, include_w=True, include_vw=True))
+        server = wrap(
+            config, ForgedStateStrategy(forged_pair=pair, include_w=True, include_vw=True)
+        )
         reply = server.handle_message(READ).sends[0].message
         assert reply.w == pair and reply.vw == pair
 

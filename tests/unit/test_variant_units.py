@@ -140,7 +140,9 @@ class TestTwoRoundVariantUnits:
 
 class TestSequenceAnalysis:
     def _read(self, value, start, end, fast, client="r1"):
-        return OperationRecord(client, "read", value, start, end, rounds=1 if fast else 4, fast=fast)
+        return OperationRecord(
+            client, "read", value, start, end, rounds=1 if fast else 4, fast=fast
+        )
 
     def _write(self, value, start, end):
         return OperationRecord("w", "write", value, start, end)
