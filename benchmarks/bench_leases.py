@@ -1,0 +1,39 @@
+"""S5 — read leases: zero-round hot-key reads vs the 1-round fast path.
+
+A reader holding a per-register read lease serves contention-free reads
+locally, in zero rounds, from its cached ``(ts, writer_id, value)`` pair; a
+write to the register revokes outstanding leases before its acknowledgements
+complete, so atomicity is untouched.  The sweep runs the same read-heavy Zipf
+arrivals with leases off (every read the paper's lucky one-round fast path)
+and on, and compares the hot key's read throughput and latency.
+"""
+
+import pytest
+
+from repro.store.bench import lease_sweep, run_lease_throughput
+
+
+def test_s5_lease_sweep_beats_the_fast_path(benchmark):
+    table = benchmark.pedantic(
+        lease_sweep,
+        kwargs={"num_keys": 4, "num_operations": 160},
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["scenario"]: row for row in table.rows}
+    assert rows["leased"]["lease_fraction"] > 0.5
+    assert (
+        rows["leased"]["hot_read_throughput"]
+        > 1.5 * rows["no-lease"]["hot_read_throughput"]
+    )
+    assert rows["leased"]["hot_read_latency"] < rows["no-lease"]["hot_read_latency"]
+
+
+@pytest.mark.parametrize("leases", [False, True])
+def test_lease_workload_cost(benchmark, leases):
+    """Wall-clock cost of the read-heavy workload with and without leases."""
+    store = benchmark(
+        run_lease_throughput, num_keys=4, num_operations=96, leases=leases
+    )
+    assert len(store.completed_operations()) == 96
+    assert (store.lease_reads() > 0) == leases

@@ -113,6 +113,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Zipf skew of the --mwmr sweep's key popularity",
     )
     store_parser.add_argument(
+        "--leases",
+        action="store_true",
+        help=(
+            "also run the S5 read-lease sweep: a read-heavy Zipf workload "
+            "whose hot-key reads are served from per-register read leases in "
+            "zero rounds, leases off vs on"
+        ),
+    )
+    store_parser.add_argument(
+        "--lease-duration",
+        type=float,
+        default=400.0,
+        help="lease validity window (virtual time units) of the --leases sweep",
+    )
+    store_parser.add_argument(
         "--recovery",
         action="store_true",
         help=(
@@ -177,6 +192,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_store_bench(args: argparse.Namespace) -> int:
     from .store.bench import (
         batching_sweep,
+        lease_sweep,
         mwmr_sweep,
         recovery_sweep,
         sharded_throughput_sweep,
@@ -224,6 +240,20 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
         tables.append(contended)
         print()
         print(contended.to_markdown() if args.markdown else contended.format())
+    if args.leases:
+        # S5: read-heavy Zipf workload with hot-key reads served from read
+        # leases in zero rounds, leases off vs on over the same arrivals.
+        leased = lease_sweep(
+            num_keys=min(4, args.max_shards),
+            num_operations=args.ops,
+            t=args.t,
+            b=args.b,
+            lease_duration=args.lease_duration,
+            batching=args.batch,
+        )
+        tables.append(leased)
+        print()
+        print(leased.to_markdown() if args.markdown else leased.format())
     if args.recovery:
         # S4: durable servers under a crash/recovery schedule whose total
         # crashes exceed t while at most t servers are ever down at once.
@@ -254,6 +284,8 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
                         "mwmr": args.mwmr,
                         "mwmr_writers": args.mwmr_writers,
                         "mwmr_skew": args.mwmr_skew,
+                        "leases": args.leases,
+                        "lease_duration": args.lease_duration,
                         "recovery": args.recovery,
                         "recovery_t": args.recovery_t,
                     },

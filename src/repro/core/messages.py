@@ -153,6 +153,66 @@ class ReadAck(Message):
 
 
 # --------------------------------------------------------------------------- #
+# Read-lease messages (the zero-round read extension, :mod:`repro.lease`)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LeaseRenew(Message):
+    """``LEASE_RENEW <lease, dur>`` — acquire or renew a per-register read lease.
+
+    Sent by a reader to every server, either alongside the round-1 ``READ`` of
+    a fallback read (initial acquisition) or on its own (renewal of a held
+    lease).  ``lease_id`` is a reader-local sequence number identifying this
+    lease instance; ``duration`` is the validity window in protocol time
+    units, measured by the *reader* from the moment the request is sent and by
+    the *server* from the moment it grants — the reader's window is therefore
+    always the shorter one, which is what makes local expiry safe.
+    """
+
+    lease_id: int = 0
+    duration: float = 0.0
+
+
+@dataclass(frozen=True)
+class LeaseGrant(Message):
+    """``LEASE_GRANT <lease, dur, observed>`` — a server's lease promise.
+
+    By granting, the server promises to *withhold* every acknowledgement that
+    could complete a newer write (or expose newer state to another reader's
+    fast path) until the holder confirmed revocation or the lease expired.
+    ``observed`` is the highest ``(ts, writer_id)`` pair the server currently
+    stores: the reader counts a grant towards its lease quorum only when
+    ``observed`` does not exceed the pair it caches, so a grant issued *after*
+    a newer write touched the server can never vouch for stale state.
+    """
+
+    lease_id: int = 0
+    duration: float = 0.0
+    observed: TimestampValue = TimestampValue(0)
+
+
+@dataclass(frozen=True)
+class LeaseRevoke(Message):
+    """``LEASE_REVOKE <lease>`` — server tells a holder its lease is void.
+
+    Sent when a write reaches a server with active leases; the server keeps
+    the write's acknowledgement withheld until the holder answers with a
+    :class:`LeaseRevokeAck` (or the lease expires), so the write cannot
+    complete while anyone still serves reads from the revoked lease.
+    """
+
+    lease_id: int = 0
+
+
+@dataclass(frozen=True)
+class LeaseRevokeAck(Message):
+    """``LEASE_REVOKE_ACK <lease>`` — holder confirms it stopped serving."""
+
+    lease_id: int = 0
+
+
+# --------------------------------------------------------------------------- #
 # Transport-level envelope
 # --------------------------------------------------------------------------- #
 
@@ -240,6 +300,10 @@ ALL_MESSAGE_TYPES = (
     TimestampQueryAck,
     Read,
     ReadAck,
+    LeaseRenew,
+    LeaseGrant,
+    LeaseRevoke,
+    LeaseRevokeAck,
     Batch,
     BaselineQuery,
     BaselineQueryReply,

@@ -53,6 +53,19 @@ class ProtocolSuite:
             f"protocol {self.name!r} does not support multi-writer registers"
         )
 
+    def create_leased_reader(
+        self, reader_id: str, lease_duration: float
+    ) -> ClientAutomaton:
+        """A reader serving zero-round reads from a quorum read lease.
+
+        Only protocols whose reader understands the lease handshake provide
+        this; the sharded store calls it for every reader of a register
+        declared ``leases`` (see :mod:`repro.lease`).
+        """
+        raise NotImplementedError(
+            f"protocol {self.name!r} does not support read leases"
+        )
+
     # -- convenience ----------------------------------------------------------
     def create_all(self) -> Dict[str, Automaton]:
         """Instantiate every process of the deployment keyed by process id."""
@@ -116,6 +129,19 @@ class LuckyAtomicProtocol(ProtocolSuite):
         return MultiWriterClient(
             client_id,
             self.config,
+            timer_delay=self.timer_delay,
+            count_unresponsive=self.count_unresponsive,
+        )
+
+    def create_leased_reader(
+        self, reader_id: str, lease_duration: float
+    ) -> "LeasedReader":
+        from .reader import LeasedReader
+
+        return LeasedReader(
+            reader_id,
+            self.config,
+            lease_duration=lease_duration,
             timer_delay=self.timer_delay,
             count_unresponsive=self.count_unresponsive,
         )

@@ -22,11 +22,21 @@ unbounded number of concurrent WRITEs (Theorem 2, case b).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from .automaton import ClientAutomaton, Effects, OperationComplete
 from .config import SystemConfig
-from .messages import Message, Read, ReadAck, Write, WriteAck
+from .messages import (
+    LeaseGrant,
+    LeaseRenew,
+    LeaseRevoke,
+    LeaseRevokeAck,
+    Message,
+    Read,
+    ReadAck,
+    Write,
+    WriteAck,
+)
 from .predicates import ViewTable
 from .types import INITIAL_READ_TIMESTAMP, TimestampValue, is_bottom
 
@@ -108,10 +118,19 @@ class AtomicReader(ClientAutomaton):
         attempt = self._attempt
         if attempt is None or attempt.phase != "read":
             return Effects()
-        if timer_id != self._timer_id(attempt.op_id, "read-round-1"):
+        # Timer identifiers are scoped per (operation, round): a stale timer
+        # from an earlier round — or any round-1 timer when the reader never
+        # arms one (``wait_for_timer=False``) — must not flip the current
+        # round's ``timer_expired`` flag or re-evaluate the round early.
+        if not self.wait_for_timer:
+            return Effects()
+        if timer_id != self._round_timer_id(attempt):
             return Effects()
         attempt.timer_expired = True
         return self._maybe_finish_round()
+
+    def _round_timer_id(self, attempt: _ReadAttempt) -> str:
+        return self._timer_id(attempt.op_id, f"read-round-{attempt.round}")
 
     # ------------------------------------------------------------ read rounds
     def _start_read_round(self) -> Effects:
@@ -123,9 +142,7 @@ class AtomicReader(ClientAutomaton):
         effects = Effects()
         if attempt.round == 1:
             if self.wait_for_timer:
-                effects.start_timer(
-                    self._timer_id(attempt.op_id, "read-round-1"), self.timer_delay
-                )
+                effects.start_timer(self._round_timer_id(attempt), self.timer_delay)
             else:
                 attempt.timer_expired = True
         message = Read(
@@ -257,3 +274,286 @@ class AtomicReader(ClientAutomaton):
             "read_ts": self.read_ts,
             "busy": self.busy,
         }
+
+
+@dataclass
+class _LeaseState:
+    """One lease instance: an acquisition in flight, or the held lease.
+
+    ``grants`` maps each granting server to the ``(observed, epoch)`` pair of
+    its :class:`~repro.core.messages.LeaseGrant`; ``cached`` is the value the
+    lease vouches for (the selection of the fallback READ the acquisition rode
+    on, or the previous lease's value for a renewal).
+    """
+
+    lease_id: int
+    duration: float
+    cached: Optional[TimestampValue] = None
+    grants: Dict[str, Tuple[TimestampValue, int]] = field(default_factory=dict)
+    active: bool = False
+
+
+class LeasedReader(AtomicReader):
+    """A reader serving contention-free reads from a quorum read lease.
+
+    While the lease *holds*, ``READ()`` completes locally in **zero rounds**
+    from the cached ``(ts, writer_id, value)`` pair; on expiry, revocation or
+    incarnation-fence invalidation the reader falls back to the full Fig. 2
+    protocol, and the fallback read doubles as the next acquisition attempt
+    (the ``LEASE_RENEW`` broadcast travels with the round-1 ``READ`` — one
+    batch frame per server under the batching layer).
+
+    A lease holds when ``S - t`` servers granted it *cleanly*: a grant counts
+    only if the ``observed`` pair it carries does not exceed the cached pair,
+    so a server that processed a newer write before granting can never vouch
+    for the stale cache.  Safety then follows from quorum intersection: any
+    write (or write-back) quorum intersects the clean granters in at least
+    ``b + 1`` servers, of which one is honest and *withholds* its
+    acknowledgement until this reader confirmed revocation or the lease
+    expired — so no newer operation completes while the cache is being served.
+    Expiry is tracked with a timer armed when the request is *sent*, which
+    under both runtimes (virtual time in the simulator, scaled wall-clock in
+    asyncio) expires no later than the granting servers' own windows.
+
+    Incarnation fencing: grants record the granting server's ``epoch``.  A
+    message from a higher epoch reveals the server crashed and recovered —
+    its volatile lease table, and with it the withholding promise, is gone —
+    so that grant is discarded and the lease dropped once the clean quorum is
+    broken.  (The recovered server independently observes a full
+    lease-duration grace period before acknowledging anything, so even an
+    unfenced holder cannot be bypassed; see :class:`repro.lease.LeaseServer`.)
+    """
+
+    def __init__(
+        self,
+        reader_id: str,
+        config: SystemConfig,
+        lease_duration: float = 60.0,
+        renew_fraction: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(reader_id, config, **kwargs)
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        if not 0.0 < renew_fraction < 1.0:
+            raise ValueError("renew_fraction must be within (0, 1)")
+        self.lease_duration = lease_duration
+        self.renew_fraction = renew_fraction
+        self._lease: Optional[_LeaseState] = None
+        self._acquiring: Optional[_LeaseState] = None
+        self._lease_counter = 0
+        self._renew_due = False
+        self._server_epochs: Dict[str, int] = {}
+        #: Diagnostics: reads served locally from the lease (zero rounds).
+        self.lease_reads = 0
+
+    # ------------------------------------------------------------ invocation
+    def read(self) -> Effects:
+        lease = self._lease
+        if lease is not None and lease.active:
+            self._operation_started()
+            op_id = self._next_op_id()
+            effects = self._complete_from_lease(op_id, lease)
+            if self._renew_due and self._acquiring is None:
+                self._renew_due = False
+                effects.merge(self._start_acquisition(cached=lease.cached))
+            return effects
+        effects = super().read()
+        # The fallback read doubles as the acquisition attempt; any previous
+        # attempt is superseded (servers key leases per reader, so the fresh
+        # LEASE_RENEW simply replaces the stale one there too).
+        effects.merge(self._start_acquisition())
+        return effects
+
+    def _complete_from_lease(self, op_id: int, lease: _LeaseState) -> Effects:
+        cached = lease.cached
+        assert cached is not None
+        self._operation_finished()
+        self.lease_reads += 1
+        effects = Effects()
+        effects.complete(
+            OperationComplete(
+                op_id=op_id,
+                kind="read",
+                value=cached.val,
+                rounds=0,
+                fast=True,
+                metadata={
+                    "ts": cached.ts,
+                    "read_rounds": 0,
+                    "writeback": False,
+                    "lease": True,
+                    "is_bottom": is_bottom(cached.val),
+                    **(
+                        {"writer_id": cached.writer_id}
+                        if cached.writer_id
+                        else {}
+                    ),
+                },
+            )
+        )
+        return effects
+
+    # ----------------------------------------------------------- acquisition
+    def _start_acquisition(self, cached: Optional[TimestampValue] = None) -> Effects:
+        self._lease_counter += 1
+        state = _LeaseState(
+            lease_id=self._lease_counter,
+            duration=self.lease_duration,
+            cached=cached,
+        )
+        self._acquiring = state
+        effects = Effects()
+        effects.broadcast(
+            self.config.server_ids(),
+            LeaseRenew(
+                sender=self.process_id,
+                lease_id=state.lease_id,
+                duration=state.duration,
+            ),
+        )
+        # Expiry is measured from *now* (the send), a strict lower bound on
+        # every server's grant time, so the reader always stops serving before
+        # any granter releases a withheld acknowledgement.
+        effects.start_timer(self._lease_timer_id(state.lease_id, "expire"), state.duration)
+        effects.start_timer(
+            self._lease_timer_id(state.lease_id, "renew"),
+            state.duration * self.renew_fraction,
+        )
+        return effects
+
+    def _lease_timer_id(self, lease_id: int, label: str) -> str:
+        return f"{self.process_id}/lease{lease_id}/{label}"
+
+    def _clean_grant_count(self, state: _LeaseState) -> int:
+        if state.cached is None:
+            return 0
+        cached_key = state.cached.order_key
+        return sum(
+            1
+            for observed, _ in state.grants.values()
+            if observed.order_key <= cached_key
+        )
+
+    def _maybe_activate(self, state: _LeaseState) -> None:
+        if state.active or state.cached is None:
+            return
+        if self._clean_grant_count(state) < self.config.round_quorum:
+            return
+        state.active = True
+        if state is self._acquiring:
+            self._acquiring = None
+        self._lease = state
+
+    # ----------------------------------------------------------------- input
+    def handle_message(self, message: Message) -> Effects:
+        self._observe_epoch(message)
+        if isinstance(message, LeaseGrant):
+            return self._on_lease_grant(message)
+        if isinstance(message, LeaseRevoke):
+            return self._on_lease_revoke(message)
+        return super().handle_message(message)
+
+    def _observe_epoch(self, message: Message) -> None:
+        """Incarnation fencing: drop grants from servers that recovered."""
+        epoch = message.epoch
+        if epoch <= self._server_epochs.get(message.sender, 0):
+            return
+        self._server_epochs[message.sender] = epoch
+        for slot in ("_lease", "_acquiring"):
+            state = getattr(self, slot)
+            if state is None:
+                continue
+            grant = state.grants.get(message.sender)
+            if grant is not None and grant[1] < epoch:
+                del state.grants[message.sender]
+                if state.active and self._clean_grant_count(state) < self.config.round_quorum:
+                    # The recovered server forgot its withholding promise, so
+                    # the lease quorum no longer intersects every write quorum
+                    # in an honest withholding server: stop serving.
+                    setattr(self, slot, None)
+
+    def _on_lease_grant(self, grant: LeaseGrant) -> Effects:
+        for state in (self._acquiring, self._lease):
+            if state is not None and state.lease_id == grant.lease_id and not state.active:
+                state.grants[grant.sender] = (grant.observed, grant.epoch)
+                self._maybe_activate(state)
+                break
+        return Effects()
+
+    def _on_lease_revoke(self, revoke: LeaseRevoke) -> Effects:
+        # Stop serving *before* the acknowledgement leaves: the state changes
+        # here, the ack below reaches the transport only after this handler
+        # returns, so a revoking server never sees the ack while a read could
+        # still be served from the revoked lease.  A match against EITHER the
+        # active lease or the in-flight renewal drops BOTH: servers keep one
+        # lease per holder, so a renewal supersedes the active lease in their
+        # tables — acking a revoke of the renewal while still serving the
+        # superseded lease would let the write's withheld acks go free.
+        if any(
+            state is not None and state.lease_id == revoke.lease_id
+            for state in (self._lease, self._acquiring)
+        ):
+            self._lease = None
+            self._acquiring = None
+        effects = Effects()
+        effects.send(
+            revoke.sender,
+            LeaseRevokeAck(sender=self.process_id, lease_id=revoke.lease_id),
+        )
+        return effects
+
+    # ----------------------------------------------------------------- timers
+    def on_timer(self, timer_id: str) -> Effects:
+        if timer_id.startswith(f"{self.process_id}/lease"):
+            return self._on_lease_timer(timer_id)
+        return super().on_timer(timer_id)
+
+    def _on_lease_timer(self, timer_id: str) -> Effects:
+        remainder = timer_id[len(f"{self.process_id}/lease") :]
+        id_text, _, label = remainder.partition("/")
+        try:
+            lease_id = int(id_text)
+        except ValueError:
+            return Effects()
+        if label == "expire":
+            for slot in ("_lease", "_acquiring"):
+                state = getattr(self, slot)
+                if state is not None and state.lease_id == lease_id:
+                    setattr(self, slot, None)
+        elif label == "renew":
+            lease = self._lease
+            if lease is not None and lease.lease_id == lease_id and lease.active:
+                # Renew lazily, on the next lease-served read: an idle reader
+                # must not keep a timer chain alive forever (the simulator's
+                # quiescence would never be reached).
+                self._renew_due = True
+        return Effects()
+
+    # -------------------------------------------------------------- fallback
+    def _complete(self) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        selected = attempt.selected
+        effects = super()._complete()
+        acquiring = self._acquiring
+        if acquiring is not None and acquiring.cached is None:
+            acquiring.cached = selected
+            self._maybe_activate(acquiring)
+        return effects
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def lease_held(self) -> bool:
+        """Whether a read lease is currently active."""
+        return self._lease is not None and self._lease.active
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["lease"] = {
+            "held": self.lease_held,
+            "duration": self.lease_duration,
+            "lease_reads": self.lease_reads,
+            "cached": self._lease.cached if self._lease else None,
+        }
+        return info

@@ -1,0 +1,262 @@
+"""Server side of the read-lease extension: grant, revoke, withhold.
+
+:class:`LeaseServer` wraps one storage automaton (a
+:class:`~repro.core.server.StorageServer` or any variant server) and adds the
+per-register lease table.  The contract a grant establishes is *withholding*:
+once the wrapped server's durable pair state advances while leases are
+outstanding, every acknowledgement the server would send — the write's own
+ack, but also READ_ACKs that would expose the advanced state to other
+readers' fast paths — is parked until each holder confirmed revocation (a
+:class:`~repro.core.messages.LeaseRevokeAck`) or its lease expired.  Combined
+with the reader-side clean-grant rule this closes the intersection argument:
+any quorum that completes a newer operation contains an honest granter whose
+acknowledgement waited for the lease to die first.
+
+Crash recovery (the incarnation fence, second half): the lease table is
+volatile, so a crashed-and-recovered server has *forgotten* its promises.
+:meth:`notify_recovered` therefore puts the wrapper into a **grace period** —
+from the first post-recovery input, the server stays silent (all
+acknowledgements withheld) for one full lease duration, the longest any
+forgotten pre-crash lease could still be alive.  Holders additionally fence
+the recovered server out by its bumped ``Message.epoch`` (see
+:class:`~repro.core.reader.LeasedReader`), so the pre-crash lease is rejected
+from both ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..core.automaton import Automaton, Effects, Send
+from ..core.messages import (
+    LeaseGrant,
+    LeaseRenew,
+    LeaseRevoke,
+    LeaseRevokeAck,
+    Message,
+)
+from ..core.types import INITIAL_PAIR, TimestampValue, freshest
+
+#: Timer id of the post-recovery grace window.
+GRACE_TIMER_ID = "lease/grace"
+
+#: Prefix of per-lease expiry timers: ``lease/expire/<reader>/<lease_id>``.
+EXPIRE_TIMER_PREFIX = "lease/expire/"
+
+#: Fields of the wrapped server whose advance triggers revocation.
+_OBSERVED_FIELDS = ("pw", "w", "vw")
+
+
+@dataclass
+class _GrantedLease:
+    """One outstanding grant: the holder's current lease instance."""
+
+    lease_id: int
+    duration: float
+
+
+class LeaseServer(Automaton):
+    """A storage automaton wrapper granting and enforcing read leases."""
+
+    def __init__(self, inner: Automaton, lease_duration: float = 60.0) -> None:
+        super().__init__(inner.process_id)
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        self.inner = inner
+        #: Upper bound assumed for forgotten pre-crash leases: the grace
+        #: window after a recovery lasts exactly this long.  Readers of the
+        #: same deployment request this duration, so the bound is tight.
+        self.lease_duration = lease_duration
+        self._leases: Dict[str, _GrantedLease] = {}
+        self._withheld: List[Send] = []
+        self._revoking = False
+        self._revoke_waiting: Set[str] = set()
+        self._grace = False
+        self._grace_timer_started = False
+        #: Diagnostics: completed withhold-then-release cycles.
+        self.revocations = 0
+
+    # ------------------------------------------------- strategy/driver proxies
+    # Byzantine strategies (and debugging code) read the storage fields off
+    # whatever automaton the malicious wrapper holds; proxy them through.
+    @property
+    def pw(self) -> TimestampValue:
+        return self.inner.pw  # type: ignore[attr-defined]
+
+    @property
+    def w(self) -> TimestampValue:
+        return self.inner.w  # type: ignore[attr-defined]
+
+    @property
+    def vw(self) -> TimestampValue:
+        return self.inner.vw  # type: ignore[attr-defined]
+
+    @property
+    def frozen(self):
+        return self.inner.frozen  # type: ignore[attr-defined]
+
+    @property
+    def read_ts(self):
+        return self.inner.read_ts  # type: ignore[attr-defined]
+
+    # ---------------------------------------------------------------- recovery
+    def notify_recovered(self) -> None:
+        """Enter the post-recovery grace period (the lease table is gone)."""
+        self._leases.clear()
+        self._revoke_waiting.clear()
+        self._grace = True
+        self._grace_timer_started = False
+
+    @property
+    def in_grace(self) -> bool:
+        """Whether the post-recovery grace period is still pending or active."""
+        return self._grace
+
+    # -------------------------------------------------------------- dispatch
+    def handle_message(self, message: Message) -> Effects:
+        # The grace window opens with the first post-recovery input of any
+        # kind — a recovered server that only ever hears lease requests must
+        # still leave the grace period eventually.
+        effects = self._arm_grace_timer()
+        if isinstance(message, LeaseRenew):
+            return effects.merge(self._on_lease_renew(message))
+        if isinstance(message, LeaseRevokeAck):
+            return effects.merge(self._on_revoke_ack(message))
+        before = self._observed_state()
+        inner_effects = self.inner.handle_message(message)
+        changed = self._observed_state() != before
+        return effects.merge(self._guard(inner_effects, changed))
+
+    def _arm_grace_timer(self) -> Effects:
+        effects = Effects()
+        if self._grace and not self._grace_timer_started:
+            self._grace_timer_started = True
+            effects.start_timer(GRACE_TIMER_ID, self.lease_duration)
+        return effects
+
+    def _observed_state(self) -> tuple:
+        return tuple(
+            getattr(self.inner, field, None) for field in _OBSERVED_FIELDS
+        )
+
+    def highest_pair(self) -> TimestampValue:
+        """The freshest pair the wrapped server stores (grant ``observed``)."""
+        pairs = [
+            pair
+            for pair in self._observed_state()
+            if isinstance(pair, TimestampValue)
+        ]
+        return freshest(*pairs) if pairs else INITIAL_PAIR
+
+    def _guard(self, inner_effects: Effects, changed: bool) -> Effects:
+        """Withhold *inner_effects*' sends while leases demand silence."""
+        out = Effects()
+        if not self._revoking and (self._grace or (changed and self._leases)):
+            # Enter revocation: notify every holder.  (During the recovery
+            # grace the lease table is empty — the window itself stands in
+            # for the forgotten pre-crash holders.)
+            self._revoking = True
+            self._revoke_waiting = set(self._leases)
+            for reader_id in sorted(self._leases):
+                out.send(
+                    reader_id,
+                    LeaseRevoke(
+                        sender=self.process_id,
+                        lease_id=self._leases[reader_id].lease_id,
+                    ),
+                )
+        if self._revoking:
+            self._withheld.extend(inner_effects.sends)
+            out.timers.extend(inner_effects.timers)
+            out.completions.extend(inner_effects.completions)
+            return out
+        return inner_effects
+
+    # ----------------------------------------------------------------- leases
+    def _on_lease_renew(self, message: LeaseRenew) -> Effects:
+        if self._revoking or self._grace:
+            # No promises while a revocation round or the recovery grace is
+            # pending: the requester simply never reaches its grant quorum
+            # and keeps reading through the full protocol.
+            return Effects()
+        if not 0 < message.duration <= self.lease_duration:
+            # Reject out-of-bounds windows instead of clamping: a clamped
+            # grant would expire server-side before the holder's own timer,
+            # and a longer-than-configured grant would outlive both the
+            # recovery grace window and the documented bound on how long a
+            # silent holder can stall a write's acknowledgements.
+            return Effects()
+        lease = _GrantedLease(lease_id=message.lease_id, duration=message.duration)
+        self._leases[message.sender] = lease
+        effects = Effects()
+        effects.send(
+            message.sender,
+            LeaseGrant(
+                sender=self.process_id,
+                lease_id=lease.lease_id,
+                duration=lease.duration,
+                observed=self.highest_pair(),
+            ),
+        )
+        effects.start_timer(
+            self._expire_timer_id(message.sender, lease.lease_id), lease.duration
+        )
+        return effects
+
+    def _on_revoke_ack(self, message: LeaseRevokeAck) -> Effects:
+        lease = self._leases.get(message.sender)
+        if lease is None or lease.lease_id != message.lease_id:
+            return Effects()  # stale ack for a superseded lease
+        del self._leases[message.sender]
+        self._revoke_waiting.discard(message.sender)
+        return self._maybe_release()
+
+    def _maybe_release(self) -> Effects:
+        if not self._revoking or self._revoke_waiting or self._grace:
+            return Effects()
+        self._revoking = False
+        self.revocations += 1
+        effects = Effects()
+        effects.sends.extend(self._withheld)
+        self._withheld = []
+        return effects
+
+    # ----------------------------------------------------------------- timers
+    def _expire_timer_id(self, reader_id: str, lease_id: int) -> str:
+        return f"{EXPIRE_TIMER_PREFIX}{reader_id}/{lease_id}"
+
+    def on_timer(self, timer_id: str) -> Effects:
+        if timer_id == GRACE_TIMER_ID:
+            self._grace = False
+            return self._maybe_release()
+        if timer_id.startswith(EXPIRE_TIMER_PREFIX):
+            return self._on_expire_timer(timer_id)
+        effects = self.inner.on_timer(timer_id)
+        return self._guard(effects, changed=False)
+
+    def _on_expire_timer(self, timer_id: str) -> Effects:
+        remainder = timer_id[len(EXPIRE_TIMER_PREFIX) :]
+        reader_id, _, id_text = remainder.rpartition("/")
+        try:
+            lease_id = int(id_text)
+        except ValueError:
+            return Effects()
+        lease = self._leases.get(reader_id)
+        if lease is None or lease.lease_id != lease_id:
+            return Effects()  # the lease was renewed or already revoked
+        del self._leases[reader_id]
+        self._revoke_waiting.discard(reader_id)
+        return self._maybe_release()
+
+    # ------------------------------------------------------------ inspection
+    def describe(self) -> dict:
+        info = self.inner.describe()
+        info["leases"] = {
+            "holders": sorted(self._leases),
+            "revoking": self._revoking,
+            "withheld": len(self._withheld),
+            "grace": self._grace,
+            "revocations": self.revocations,
+        }
+        return info

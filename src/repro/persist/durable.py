@@ -67,6 +67,30 @@ def _unwrap(automaton: Automaton) -> Automaton:
     return automaton
 
 
+def notify_recovered(server: Automaton) -> None:
+    """Tell every wrapper layer of *server* it is a recovered incarnation.
+
+    Walks the whole automaton tree (wrapper ``inner`` chains and sharded
+    ``registers`` maps) and invokes ``notify_recovered()`` wherever a layer
+    defines it.  The lease layer uses this to open its post-recovery grace
+    period: its volatile lease table died with the crash, so the recovered
+    server must stay silent for one lease duration instead of acknowledging
+    writes its forgotten holders still guard against.
+    """
+    stack = [server]
+    while stack:
+        automaton = stack.pop()
+        hook = getattr(automaton, "notify_recovered", None)
+        if callable(hook):
+            hook()
+        inner = getattr(automaton, "inner", None)
+        if inner is not None:
+            stack.append(inner)
+        registers = getattr(automaton, "registers", None)
+        if registers:
+            stack.extend(registers.values())
+
+
 def export_server_state(server: Automaton) -> Dict[str, dict]:
     """Snapshot every register's durable state: register id → state dict."""
     return {
@@ -247,6 +271,7 @@ def recover_server(
         if state is not None:
             restore_server_state(fresh, state)
     replay_records(fresh, wal.replay())
+    notify_recovered(fresh)
     snapshots = None
     if snapshot_store is not None and compact_every is not None:
         snapshots = SnapshotManager(snapshot_store, wal, compact_every=compact_every)

@@ -222,10 +222,18 @@ class ShardedAsyncCluster(AsyncCluster):
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
         batching: bool = True,
         mwmr: Any = (),
+        leases: Any = (),
+        lease_duration: float = 60.0,
         **kwargs: Any,
     ) -> None:
         suite = ShardedProtocol(
-            base, list(keys), byzantine=byzantine, batching=batching, mwmr=mwmr
+            base,
+            list(keys),
+            byzantine=byzantine,
+            batching=batching,
+            mwmr=mwmr,
+            leases=leases,
+            lease_duration=lease_duration,
         )
         super().__init__(suite, **kwargs)
 
@@ -237,6 +245,11 @@ class ShardedAsyncCluster(AsyncCluster):
     def mwmr_keys(self) -> List[str]:
         """The keys declared multi-writer (every client node may write them)."""
         return sorted(self.suite.mwmr_registers)
+
+    @property
+    def leased_keys(self) -> List[str]:
+        """The keys with read leases (zero-round contention-free reads)."""
+        return sorted(self.suite.leased_registers)
 
     # ---------------------------------------------------------------- operations
     async def write(  # type: ignore[override]

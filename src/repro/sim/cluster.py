@@ -334,8 +334,21 @@ class SimCluster:
         return self.failures.is_crashed(process_id, self.now)
 
     def incarnation(self, server_id: str) -> int:
-        """The current incarnation (recovery count) of *server_id*."""
-        return getattr(self.processes[server_id], "incarnation", 0)
+        """The current incarnation (recovery count) of *server_id*.
+
+        Unknown process ids raise :class:`KeyError` — a typo must not be
+        indistinguishable from a live server that simply never recovered.
+        The ``0`` default is reserved for *existing* processes without an
+        incarnation counter (live non-durable servers, clients).
+        """
+        try:
+            process = self.processes[server_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown process {server_id!r}; known processes: "
+                f"{sorted(self.processes)}"
+            ) from None
+        return getattr(process, "incarnation", 0)
 
     def recover_server(self, server_id: str, lose_tail: int = 0) -> None:
         """Rebuild *server_id* from its WAL (snapshot + suffix replay), now.
@@ -720,7 +733,11 @@ class SimCluster:
         of the arrival time, bypassing batching and the frame-overhead
         serialization (the message still counts as its own frame)."""
         self.frames_sent += 1
-        self.messages_sent += 1
+        # Count the protocol messages the frame carries, exactly like
+        # ``_transmit``: a Batch pushed through the explicit-delay path is one
+        # frame but ``len(batch)`` messages, so the two counters stay mutually
+        # consistent regardless of which send path a frame took.
+        self.messages_sent += len(message) if isinstance(message, Batch) else 1
         self.queue.push(
             self.now + delay,
             DeliveryEvent(

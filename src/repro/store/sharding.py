@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects
 from ..core.protocol import ProtocolSuite
+from ..lease.server import LeaseServer
 from ..sim.byzantine import ByzantineStrategy, MaliciousServer
 
 #: Separator between the register id and the inner timer id in namespaced
@@ -230,6 +231,17 @@ class ShardedProtocol(ProtocolSuite):
     a WRITE runs the ``(ts, writer_id)`` query-then-write protocol, and
     concurrent writers order their pairs lexicographically.  SWMR registers
     are untouched: their lone writer keeps the paper's one-round lucky WRITE.
+
+    ``leases`` enables **read leases** key by key (``True`` for all keys, or a
+    collection of register ids): the named registers' server automata are
+    wrapped in a :class:`~repro.lease.server.LeaseServer` and their readers
+    become :class:`~repro.core.reader.LeasedReader` instances serving
+    contention-free reads locally in zero rounds (``lease_duration`` sets the
+    validity window in protocol time units).  A write to a leased register
+    revokes outstanding leases before its acknowledgements complete, so
+    atomicity is untouched; sibling registers pay nothing.  Leases and
+    ``mwmr`` are mutually exclusive per key — hot multi-writer keys want
+    *writer* leases (a different follow-on), not read leases.
     """
 
     def __init__(
@@ -239,6 +251,8 @@ class ShardedProtocol(ProtocolSuite):
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
         batching: bool = True,
         mwmr: Union[bool, Sequence[str]] = (),
+        leases: Union[bool, Sequence[str]] = (),
+        lease_duration: float = 60.0,
     ) -> None:
         super().__init__(base.config, timer_delay=base.timer_delay)
         if not register_ids:
@@ -280,6 +294,28 @@ class ShardedProtocol(ProtocolSuite):
                 raise ValueError(
                     f"mwmr ids are not registers: {sorted(unknown_mwmr)}"
                 )
+        if isinstance(leases, str):
+            leases = [leases]
+        if leases is True:
+            self.leased_registers = frozenset(self.register_ids)
+        elif leases is False:
+            self.leased_registers = frozenset()
+        else:
+            self.leased_registers = frozenset(leases)
+            unknown_leases = self.leased_registers - set(self.register_ids)
+            if unknown_leases:
+                raise ValueError(
+                    f"lease ids are not registers: {sorted(unknown_leases)}"
+                )
+        conflicted = self.leased_registers & self.mwmr_registers
+        if conflicted:
+            raise ValueError(
+                "read leases and mwmr are mutually exclusive per key; both "
+                f"requested for: {sorted(conflicted)}"
+            )
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        self.lease_duration = lease_duration
         self.name = f"sharded-{base.name}"
         self.consistency = base.consistency
         self.batching = bool(batching)
@@ -299,7 +335,12 @@ class ShardedProtocol(ProtocolSuite):
         registers: Dict[str, Automaton] = {}
         for register_id in self.register_ids:
             server = self.base.create_server(server_id)
+            if register_id in self.leased_registers:
+                server = LeaseServer(server, lease_duration=self.lease_duration)
             if strategy_factory is not None:
+                # The malicious wrapper goes outside the lease layer: a faulty
+                # machine does not honour the withholding contract, which is
+                # exactly what the b-bounded quorum arithmetic tolerates.
                 server = MaliciousServer(server, strategy_factory())  # type: ignore[arg-type]
             registers[register_id] = server
         sharded = ShardedServer(server_id, registers)
@@ -326,16 +367,21 @@ class ShardedProtocol(ProtocolSuite):
         client = ShardedClient(
             reader_id,
             {
-                register_id: (
-                    self.base.create_mwmr_client(reader_id)
-                    if register_id in self.mwmr_registers
-                    else self.base.create_reader(reader_id)
-                )
+                register_id: self._create_reader_for(register_id, reader_id)
                 for register_id in self.register_ids
             },
         )
         client.batching = self.batching
         return client
+
+    def _create_reader_for(self, register_id: str, reader_id: str) -> ClientAutomaton:
+        if register_id in self.mwmr_registers:
+            return self.base.create_mwmr_client(reader_id)
+        if register_id in self.leased_registers:
+            return self.base.create_leased_reader(
+                reader_id, lease_duration=self.lease_duration
+            )
+        return self.base.create_reader(reader_id)
 
     def describe(self) -> dict:
         info = super().describe()
@@ -343,4 +389,5 @@ class ShardedProtocol(ProtocolSuite):
         info["base"] = self.base.name
         info["batching"] = self.batching
         info["mwmr_registers"] = sorted(self.mwmr_registers)
+        info["leased_registers"] = sorted(self.leased_registers)
         return info

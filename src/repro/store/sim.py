@@ -35,10 +35,18 @@ class ShardedSimStore:
         byzantine: Optional[Dict[str, StrategyFactory]] = None,
         batching: bool = True,
         mwmr: Any = (),
+        leases: Any = (),
+        lease_duration: float = 60.0,
         **cluster_kwargs: Any,
     ) -> None:
         self.suite = ShardedProtocol(
-            base, keys, byzantine=byzantine, batching=batching, mwmr=mwmr
+            base,
+            keys,
+            byzantine=byzantine,
+            batching=batching,
+            mwmr=mwmr,
+            leases=leases,
+            lease_duration=lease_duration,
         )
         self.cluster = SimCluster(self.suite, **cluster_kwargs)
 
@@ -51,6 +59,27 @@ class ShardedSimStore:
     def mwmr_keys(self) -> List[str]:
         """The keys declared multi-writer (every client may write them)."""
         return sorted(self.suite.mwmr_registers)
+
+    @property
+    def leased_keys(self) -> List[str]:
+        """The keys with read leases (zero-round contention-free reads)."""
+        return sorted(self.suite.leased_registers)
+
+    def lease_reads(self, reader_id: Optional[str] = None) -> int:
+        """Reads served locally from a lease, summed over readers (or one).
+
+        Counts every leased register of the named reader (default: all
+        readers of the deployment).
+        """
+        reader_ids = (
+            [reader_id] if reader_id is not None else self.config.reader_ids()
+        )
+        total = 0
+        for rid in reader_ids:
+            client = self.cluster.processes[rid]
+            for register in getattr(client, "registers", {}).values():
+                total += getattr(register, "lease_reads", 0)
+        return total
 
     @property
     def config(self):

@@ -124,6 +124,45 @@ class TestReadRounds:
         assert effects.empty
 
 
+class TestTimerScoping:
+    """Regression tests: timer identifiers are scoped per (operation, round)."""
+
+    def test_stale_round_one_timer_ignored_in_round_two(self, reader, config):
+        reader.read()
+        reader.on_timer(round1_timer(reader))
+        # Force C = ∅ after round 1 so the reader enters round 2 (same shape
+        # as test_empty_candidate_set_starts_next_round above).
+        reader.handle_message(ack("s1", V2))
+        for index in range(2, config.round_quorum + 1):
+            reader.handle_message(ack(f"s{index}", V1))
+        attempt = reader._attempt
+        assert attempt.round == 2
+        responders_before = set(attempt.round_responders)
+        # A stale round-1 timer (duplicate delivery, forged id) fires now: it
+        # must neither re-evaluate the round nor emit anything.
+        effects = reader.on_timer(round1_timer(reader))
+        assert effects.empty
+        assert attempt.round == 2
+        assert attempt.round_responders == responders_before
+
+    def test_round_one_timer_ignored_without_timer_wait(self, config):
+        reader = AtomicReader("r1", config, timer_delay=5.0, wait_for_timer=False)
+        reader.read()
+        attempt = reader._attempt
+        assert attempt.timer_expired  # set eagerly, no timer was armed
+        reader.handle_message(ack("s1", V1))
+        # No timer exists in this mode, so a round-1 timer id reaching the
+        # automaton is stale by definition and must be a no-op.
+        effects = reader.on_timer(round1_timer(reader))
+        assert effects.empty
+        assert attempt.round == 1
+        assert not reader._attempt.phase == "done"
+
+    def test_round_one_timer_id_is_round_scoped(self, reader):
+        effects = reader.read()
+        assert effects.timers[0].timer_id.endswith("read-round-1")
+
+
 class TestWriteback:
     def _reach_writeback(self, reader, config):
         reader.read()

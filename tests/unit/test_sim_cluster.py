@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import SystemConfig
-from repro.core.messages import PreWrite
+from repro.core.messages import Batch, PreWrite
 from repro.core.protocol import LuckyAtomicProtocol
 from repro.sim.byzantine import MuteStrategy
 from repro.sim.cluster import DROP, SimCluster, SimulationError
@@ -176,3 +176,38 @@ class TestTrace:
         summary = cluster.trace.summary()
         assert summary["delivered"] > 0
         assert summary["dropped"] > 0
+
+
+class TestCounterConsistency:
+    """Regression: frames_sent/messages_sent agree on Batch envelopes."""
+
+    def test_transmit_counts_batch_payload(self, config):
+        cluster = build(config)
+        batch = Batch(sender="w", messages=(PreWrite(sender="w", ts=1), PreWrite(sender="w", ts=2)))
+        cluster._transmit("w", "s1", batch)
+        assert cluster.frames_sent == 1
+        assert cluster.messages_sent == 2
+
+    def test_explicit_delay_counts_batch_payload(self, config):
+        # The filter-chosen-delay path must unbatch for the message counter
+        # exactly like the normal transmit path: one frame, len(batch)
+        # messages.
+        cluster = build(config)
+        batch = Batch(sender="w", messages=(PreWrite(sender="w", ts=1), PreWrite(sender="w", ts=2)))
+        cluster._push_explicit("w", "s1", batch, delay=1.0)
+        assert cluster.frames_sent == 1
+        assert cluster.messages_sent == 2
+        cluster._push_explicit("w", "s2", PreWrite(sender="w", ts=3), delay=1.0)
+        assert cluster.frames_sent == 2
+        assert cluster.messages_sent == 3
+
+
+class TestIncarnationLookup:
+    def test_unknown_process_raises_key_error(self, config):
+        cluster = build(config)
+        with pytest.raises(KeyError, match="unknown process"):
+            cluster.incarnation("s99")
+
+    def test_live_non_durable_server_is_incarnation_zero(self, config):
+        cluster = build(config)
+        assert cluster.incarnation("s1") == 0
