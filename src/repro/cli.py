@@ -143,6 +143,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resilience bound t of the --recovery sweep (2t servers crash in total)",
     )
     store_parser.add_argument(
+        "--codec",
+        choices=["binary", "pickle"],
+        default="binary",
+        help=(
+            "wire codec the sweeps measure (and, with byte costs, charge) "
+            "frames under; pickle is the one-release escape hatch"
+        ),
+    )
+    store_parser.add_argument(
+        "--codec-bench",
+        action="store_true",
+        help=(
+            "also run the S6 codec micro-benchmark: encode/decode ops/sec "
+            "and bytes per representative frame, binary vs pickle"
+        ),
+    )
+    store_parser.add_argument(
         "--json-out",
         metavar="PATH",
         default=None,
@@ -206,6 +223,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
         t=args.t,
         b=args.b,
         batching=args.batch,
+        codec=args.codec,
     )
     tables.append(table)
     print(table.to_markdown() if args.markdown else table.format())
@@ -219,6 +237,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
             t=args.t,
             b=args.b,
             frame_overhead=args.frame_overhead,
+            codec=args.codec,
         )
         tables.append(comparison)
         print()
@@ -236,6 +255,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
             num_writers=args.mwmr_writers,
             skew=args.mwmr_skew,
             batching=args.batch,
+            codec=args.codec,
         )
         tables.append(contended)
         print()
@@ -250,6 +270,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
             b=args.b,
             lease_duration=args.lease_duration,
             batching=args.batch,
+            codec=args.codec,
         )
         tables.append(leased)
         print()
@@ -263,10 +284,20 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
             t=args.recovery_t,
             b=args.b,
             batching=args.batch,
+            codec=args.codec,
         )
         tables.append(recovery)
         print()
         print(recovery.to_markdown() if args.markdown else recovery.format())
+    if args.codec_bench:
+        # S6: the codec in isolation — encode/decode rate and bytes per
+        # representative frame, binary vs pickle side by side.
+        from .wire.bench import codec_microbench
+
+        micro = codec_microbench()
+        tables.append(micro)
+        print()
+        print(micro.to_markdown() if args.markdown else micro.format())
     if args.json_out:
         import json
 
@@ -288,6 +319,8 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
                         "lease_duration": args.lease_duration,
                         "recovery": args.recovery,
                         "recovery_t": args.recovery_t,
+                        "codec": args.codec,
+                        "codec_bench": args.codec_bench,
                     },
                     "experiments": [table.to_dict() for table in tables],
                 },

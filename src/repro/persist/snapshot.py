@@ -17,26 +17,47 @@ snapshot file reads as "no snapshot", falling back to full-log replay.
 from __future__ import annotations
 
 import os
-import pickle
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
-from .wal import frame_payload, unframe_payload
+from ..wire import Codec, get_codec
+from ..wire.codec import MAGIC
+from .wal import _PICKLE_PROTO, frame_payload, unframe_payload
 
 
-def encode_snapshot(state: Any) -> bytes:
-    """One checksummed frame (the WAL's framing) holding the pickled *state*."""
-    return frame_payload(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+def encode_snapshot(state: Any, codec: Union[str, Codec, None] = None) -> bytes:
+    """One checksummed frame (the WAL's framing) holding the encoded *state*.
+
+    The payload is the versioned binary wire encoding unless a codec overrides
+    it (``codec="pickle"`` is the one-release escape hatch).
+    """
+    return frame_payload(get_codec(codec).encode_value(state))
 
 
 def decode_snapshot(data: bytes) -> Optional[Any]:
-    """The state held by *data*, or ``None`` if the frame is torn or corrupt."""
+    """The state held by *data*, or ``None`` if the frame is torn or corrupt.
+
+    Codec-agnostic like the WAL reader: the payload declares its dialect
+    (wire magic vs the legacy pickle ``0x80`` opcode), so snapshots written
+    before the wire codec keep restoring after the upgrade.
+    """
     frame = unframe_payload(data)
     if frame is None:
         return None
-    try:
-        return pickle.loads(frame[0])
-    except Exception:
-        return None
+    payload = frame[0]
+    if payload[:2] == MAGIC:
+        try:
+            return get_codec("binary").decode_value(payload)
+        except Exception:
+            return None
+    if payload[:1] == bytes([_PICKLE_PROTO]):
+        # Legacy dialect (pre-codec snapshots or the escape hatch).
+        import pickle
+
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return None
+    return None
 
 
 def write_file_atomically(path: str, data: bytes) -> None:
@@ -63,14 +84,15 @@ def write_file_atomically(path: str, data: bytes) -> None:
 class FileSnapshot:
     """Atomic, checksummed snapshot storage backed by one file."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, codec: Union[str, Codec, None] = None) -> None:
         self.path = path
+        self.codec = get_codec(codec)
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
 
     def save(self, state: Any) -> None:
-        write_file_atomically(self.path, encode_snapshot(state))
+        write_file_atomically(self.path, encode_snapshot(state, self.codec))
 
     def load(self) -> Optional[Any]:
         try:

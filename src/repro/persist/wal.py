@@ -6,8 +6,15 @@ with ``field ∈ {pw, w, vw}``.  Records are framed on disk as::
 
     [4-byte little-endian payload length][4-byte CRC32 of payload][payload]
 
-where the payload is the pickled record (the same trusted-environment codec
-the TCP transport uses).  The log is strictly append-only; appends are
+where the payload is the versioned binary encoding of the record (the same
+wire codec the transports speak, :mod:`repro.wire`) — magic + version byte
+first, so the reader knows exactly which dialect each frame uses.  Logs
+written by the previous pickle framing still replay: a pickle payload opens
+with the ``0x80`` PROTO opcode, unambiguous against the wire magic, and
+:func:`decode_frames` falls back to the legacy decoder per frame.  New frames
+are always written with the configured codec (binary unless the
+``codec="pickle"`` escape hatch was selected).  The log is strictly
+append-only; appends are
 *batch-grouped*: one :meth:`WriteAheadLog.append` call writes any number of
 records and ends in a single ``flush`` + ``fsync`` — the durability point.
 The batching layer of PR 2 is what makes this cheap: a server handles a whole
@@ -29,16 +36,22 @@ to *model* a torn tail (records a crash caught before their fsync).
 from __future__ import annotations
 
 import os
-import pickle
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Any, BinaryIO, List, Optional, Sequence
+from typing import Any, BinaryIO, List, Optional, Sequence, Union
+
+from ..wire import Codec, get_codec, register_struct
+from ..wire.codec import MAGIC
 
 #: Fields of a server a WAL record may target.
 WAL_FIELDS = ("pw", "w", "vw")
 
 _HEADER = struct.Struct("<II")
+
+#: First byte of a pickle protocol >= 2 payload (the PROTO opcode) — how the
+#: reader recognises frames written before the wire codec existed.
+_PICKLE_PROTO = 0x80
 
 
 @dataclass(frozen=True)
@@ -56,6 +69,11 @@ class WalRecord:
             raise ValueError(
                 f"WAL field must be one of {WAL_FIELDS}, not {self.field!r}"
             )
+
+
+# Wire-format struct tag of WalRecord (permanent; 0x10-0x13 are the core
+# types, registered in repro.wire.values).
+register_struct(0x18, WalRecord)
 
 
 def frame_payload(payload: bytes) -> bytes:
@@ -79,9 +97,37 @@ def unframe_payload(data: bytes, offset: int = 0) -> Optional[tuple]:
     return payload, end
 
 
-def encode_frame(record: WalRecord) -> bytes:
-    """Frame one record: length + CRC32 header followed by the pickled payload."""
-    return frame_payload(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+def encode_frame(record: WalRecord, codec: Union[str, Codec, None] = None) -> bytes:
+    """Frame one record: length + CRC32 header followed by the encoded payload
+    (the versioned binary wire encoding unless a codec overrides it)."""
+    return frame_payload(get_codec(codec).encode_value(record))
+
+
+def decode_record_payload(payload: bytes) -> Optional[WalRecord]:
+    """Decode one frame payload, whichever dialect wrote it, or ``None``.
+
+    Wire-magic payloads go through the binary codec; ``0x80``-opening payloads
+    are legacy pickle frames (logs written before the wire codec, or under the
+    escape hatch) and replay through the legacy decoder so existing logs stay
+    readable across the migration.
+    """
+    if payload[:2] == MAGIC:
+        try:
+            record = get_codec("binary").decode_value(payload)
+        except Exception:
+            return None
+    elif payload[:1] == bytes([_PICKLE_PROTO]):
+        # Legacy dialect: not reachable from any default write path (new
+        # frames are binary), only from pre-codec logs and the escape hatch.
+        import pickle
+
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            return None
+    else:
+        return None
+    return record if isinstance(record, WalRecord) else None
 
 
 def decode_frames(data: bytes) -> tuple:
@@ -98,11 +144,8 @@ def decode_frames(data: bytes) -> tuple:
         if frame is None:
             break  # torn or corrupt: everything past it is untrustworthy
         payload, end = frame
-        try:
-            record = pickle.loads(payload)
-        except Exception:
-            break
-        if not isinstance(record, WalRecord):
+        record = decode_record_payload(payload)
+        if record is None:
             break
         records.append(record)
         offset = end
@@ -110,11 +153,20 @@ def decode_frames(data: bytes) -> tuple:
 
 
 class WriteAheadLog:
-    """Append-only, checksummed, fsync-per-batch log backed by a real file."""
+    """Append-only, checksummed, fsync-per-batch log backed by a real file.
 
-    def __init__(self, path: str, fsync: bool = True) -> None:
+    ``codec`` selects the payload encoding of *newly appended* frames (binary
+    by default; ``"pickle"`` is the one-release escape hatch).  Replay is
+    codec-agnostic — each frame declares its own dialect — so a log written
+    under the old pickle framing keeps replaying after the upgrade.
+    """
+
+    def __init__(
+        self, path: str, fsync: bool = True, codec: Union[str, Codec, None] = None
+    ) -> None:
         self.path = path
         self.fsync = fsync
+        self.codec = get_codec(codec)
         #: Diagnostics: how many records / fsync'd batches this handle wrote.
         self.records_appended = 0
         self.batches_appended = 0
@@ -135,7 +187,7 @@ class WriteAheadLog:
         if self._file is None:
             raise ValueError(f"WAL {self.path} is closed")
         for record in records:
-            self._file.write(encode_frame(record))
+            self._file.write(encode_frame(record, self.codec))
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())

@@ -18,7 +18,7 @@ or synchronously via :meth:`AsyncCluster.run_scenario`.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional
+from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional, Union
 
 __all__ = [
     "AsyncCluster",
@@ -31,6 +31,7 @@ from ..core.automaton import OperationComplete
 from ..core.protocol import ProtocolSuite
 from ..store.sharding import ShardedProtocol, StrategyFactory
 from ..verify.history import History
+from ..wire import Codec
 from .node import AutomatonNode, ClientNode, ShardedClientNode
 from .transport import InMemoryTransport, TcpTransport, Transport, constant_delay
 
@@ -49,11 +50,18 @@ class AsyncCluster:
         durable: bool = False,
         wal_dir: Optional[str] = None,
         compact_every: int = 512,
+        codec: Union[str, Codec, None] = None,
     ) -> None:
         self.suite = suite
         self.config = suite.config
         self.time_scale = time_scale
-        self.transport = transport or InMemoryTransport(constant_delay(message_delay_s))
+        #: Wire codec for the default transport and the durable files (binary
+        #: unless the ``"pickle"`` escape hatch is selected).  An explicitly
+        #: passed *transport* keeps its own codec.
+        self.codec = codec
+        self.transport = transport or InMemoryTransport(
+            constant_delay(message_delay_s), codec=codec
+        )
         self._crashed = set(crashed_servers)
         #: Durability: server nodes write-ahead log their state under
         #: ``wal_dir`` (one WAL + snapshot + incarnation sidecar per server)
@@ -129,6 +137,7 @@ class AsyncCluster:
             durable=self.durable,
             wal_dir=self.wal_dir,
             compact_every=self.compact_every,
+            codec=self.codec,
         )
 
     # ----------------------------------------------------------------- failures
@@ -191,9 +200,11 @@ class AsyncCluster:
         return asyncio.run(_main())
 
 
-def tcp_cluster(suite: ProtocolSuite, **kwargs: Any) -> AsyncCluster:
+def tcp_cluster(
+    suite: ProtocolSuite, codec: Union[str, Codec, None] = None, **kwargs: Any
+) -> AsyncCluster:
     """Build an :class:`AsyncCluster` communicating over localhost TCP sockets."""
-    return AsyncCluster(suite, transport=TcpTransport(), **kwargs)
+    return AsyncCluster(suite, transport=TcpTransport(codec=codec), codec=codec, **kwargs)
 
 
 class ShardedAsyncCluster(AsyncCluster):
@@ -285,7 +296,12 @@ class ShardedAsyncCluster(AsyncCluster):
 
 
 def sharded_tcp_cluster(
-    base: ProtocolSuite, keys: Iterable[str], **kwargs: Any
+    base: ProtocolSuite,
+    keys: Iterable[str],
+    codec: Union[str, Codec, None] = None,
+    **kwargs: Any,
 ) -> ShardedAsyncCluster:
     """Build a :class:`ShardedAsyncCluster` over localhost TCP sockets."""
-    return ShardedAsyncCluster(base, keys, transport=TcpTransport(), **kwargs)
+    return ShardedAsyncCluster(
+        base, keys, transport=TcpTransport(codec=codec), codec=codec, **kwargs
+    )

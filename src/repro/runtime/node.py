@@ -13,7 +13,7 @@ import asyncio
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
 from ..core.messages import Message, iter_unbatched, make_envelope
@@ -21,11 +21,15 @@ from ..persist.durable import DurableServer, recover_server
 from ..persist.snapshot import FileSnapshot, SnapshotManager, write_file_atomically
 from ..persist.wal import WriteAheadLog
 from ..verify.history import OperationRecord
+from ..wire import Codec
 from .transport import Transport
 
 
 def make_durable(
-    automaton: Automaton, wal_dir: str, compact_every: int = 512
+    automaton: Automaton,
+    wal_dir: str,
+    compact_every: int = 512,
+    codec: Union[str, Codec, None] = None,
 ) -> DurableServer:
     """Wrap a freshly built server automaton in file-backed durability.
 
@@ -35,14 +39,20 @@ def make_durable(
     snapshot restored, WAL suffix replayed, torn tail truncated — and rejoins
     under a bumped incarnation; otherwise this is the first incarnation and
     the files are created empty.
+
+    *codec* selects the payload encoding of new WAL frames and snapshots
+    (binary by default); replay is codec-agnostic, so recovery works across a
+    codec change.
     """
     os.makedirs(wal_dir, exist_ok=True)
     process_id = automaton.process_id
     wal_path = os.path.join(wal_dir, f"{process_id}.wal")
     epoch_path = os.path.join(wal_dir, f"{process_id}.epoch")
-    snapshot_store = FileSnapshot(os.path.join(wal_dir, f"{process_id}.snapshot"))
+    snapshot_store = FileSnapshot(
+        os.path.join(wal_dir, f"{process_id}.snapshot"), codec=codec
+    )
     restarting = os.path.exists(epoch_path)
-    wal = WriteAheadLog(wal_path)
+    wal = WriteAheadLog(wal_path, codec=codec)
     if restarting:
         # The sidecar is written atomically below, so its content is either a
         # previous incarnation number or the file does not exist at all —
@@ -90,11 +100,14 @@ class AutomatonNode:
         durable: bool = False,
         wal_dir: Optional[str] = None,
         compact_every: int = 512,
+        codec: Union[str, Codec, None] = None,
     ) -> None:
         if durable:
             if wal_dir is None:
                 raise ValueError("a durable node needs a wal_dir for its WAL files")
-            automaton = make_durable(automaton, wal_dir, compact_every=compact_every)
+            automaton = make_durable(
+                automaton, wal_dir, compact_every=compact_every, codec=codec
+            )
         self.automaton = automaton
         self.transport = transport
         #: Conversion factor from automaton time units to wall-clock seconds

@@ -7,9 +7,13 @@ Two transports are provided:
   the wall-clock latency benchmarks: it exercises the real asyncio scheduling
   and timer machinery without depending on the loopback TCP stack.
 * :class:`TcpTransport` — every server/client is reachable over a localhost TCP
-  socket with length-prefixed pickle framing.  This is used by the
-  ``examples/asyncio_cluster.py`` example and by integration tests to show that
-  the very same automata run over real sockets.
+  socket with length-prefixed binary wire frames (:mod:`repro.wire`).  This is
+  used by the ``examples/asyncio_cluster.py`` example and by integration tests
+  to show that the very same automata run over real sockets.
+
+Both take a ``codec`` ("binary" by default; ``"pickle"`` keeps the previous
+serializer selectable for one release) and count ``bytes_sent`` next to
+``frames_sent``, so bytes-on-wire is an observable, not a guess.
 
 Both enforce the paper's channel model: a message is delivered to exactly the
 addressed process and carries the genuine sender identity (a malicious server
@@ -19,11 +23,11 @@ can lie inside the payload but cannot write into other processes' channels).
 from __future__ import annotations
 
 import asyncio
-import pickle
 import struct
-from typing import Awaitable, Callable, Dict, Optional, Tuple
+from typing import Awaitable, Callable, Dict, Optional, Tuple, Union
 
 from ..core.messages import Message
+from ..wire import Codec, get_codec
 
 #: Delay function: (source, destination) -> seconds of artificial latency.
 DelayFunction = Callable[[str, str], float]
@@ -49,10 +53,13 @@ class Transport:
     reaches the wire).  A :class:`~repro.core.messages.Batch` envelope is one
     frame however many protocol messages it carries, which is what makes the
     counter the observable for the batching layer's one-frame-per-batch
-    guarantee.
+    guarantee.  ``bytes_sent`` is its twin: the encoded frame bytes those
+    sends put on the wire (length prefix included), under the transport's
+    configured codec.
     """
 
     frames_sent: int = 0
+    bytes_sent: int = 0
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
         """Register *handler* as the inbound message callback of *process_id*."""
@@ -69,14 +76,26 @@ class Transport:
 
 
 class InMemoryTransport(Transport):
-    """Queue-based transport with injectable per-message latency."""
+    """Queue-based transport with injectable per-message latency.
 
-    def __init__(self, delay: Optional[DelayFunction] = None) -> None:
+    Messages are handed over as objects (no socket), but every send is still
+    *measured* through the codec: ``bytes_sent`` advances by the frame the TCP
+    transport would have written, so byte accounting is identical across
+    transports and the sim.
+    """
+
+    def __init__(
+        self,
+        delay: Optional[DelayFunction] = None,
+        codec: Union[str, Codec, None] = None,
+    ) -> None:
         self._handlers: Dict[str, Callable[[str, Message], Awaitable[None]]] = {}
         self._delay = delay or no_delay
         self._pending: set = set()
         self._closed = False
+        self.codec = get_codec(codec)
         self.frames_sent = 0
+        self.bytes_sent = 0
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
         self._handlers[process_id] = handler
@@ -88,6 +107,7 @@ class InMemoryTransport(Transport):
         if handler is None:
             return
         self.frames_sent += 1
+        self.bytes_sent += self.codec.frame_size(source, destination, message)
         delay = self._delay(source, destination)
         task = asyncio.create_task(self._deliver(handler, source, message, delay))
         self._pending.add(task)
@@ -117,12 +137,14 @@ class InMemoryTransport(Transport):
 # --------------------------------------------------------------------------- #
 
 
-def _encode_frame(source: str, destination: str, message: Message) -> bytes:
-    payload = pickle.dumps((source, destination, message), protocol=pickle.HIGHEST_PROTOCOL)
+def _encode_frame(source: str, destination: str, message: Message, codec: Codec) -> bytes:
+    payload = codec.encode_envelope(source, destination, message)
     return struct.pack("!I", len(payload)) + payload
 
 
-async def _read_frame(reader: asyncio.StreamReader) -> Optional[Tuple[str, str, Message]]:
+async def _read_frame(
+    reader: asyncio.StreamReader, codec: Codec
+) -> Optional[Tuple[str, str, Message]]:
     try:
         header = await reader.readexactly(4)
     except (asyncio.IncompleteReadError, ConnectionResetError):
@@ -132,7 +154,7 @@ async def _read_frame(reader: asyncio.StreamReader) -> Optional[Tuple[str, str, 
         payload = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
-    return pickle.loads(payload)
+    return codec.decode_envelope(payload)
 
 
 async def _close_writer(writer: asyncio.StreamWriter) -> None:
@@ -153,9 +175,10 @@ class TcpTransport(Transport):
 
     Each registered process binds an ephemeral port on ``127.0.0.1``; sends
     open (and cache) one outgoing connection per destination.  Message framing
-    is a 4-byte length prefix followed by a pickled ``(source, destination,
-    message)`` tuple — adequate for a trusted benchmarking environment (the
-    paper's model has no network-level adversary, only faulty *processes*).
+    is a 4-byte length prefix followed by the codec's ``(source, destination,
+    message)`` envelope (versioned binary by default) — adequate for a trusted
+    benchmarking environment (the paper's model has no network-level
+    adversary, only faulty *processes*).
 
     Concurrent senders share the cached connection of their ``(source,
     destination)`` pair, so each connection is guarded by an
@@ -167,8 +190,9 @@ class TcpTransport(Transport):
     must not lose messages just because a kernel buffer was recycled.
     """
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    def __init__(self, host: str = "127.0.0.1", codec: Union[str, Codec, None] = None) -> None:
         self.host = host
+        self.codec = get_codec(codec)
         self._handlers: Dict[str, Callable[[str, Message], Awaitable[None]]] = {}
         self._servers: Dict[str, asyncio.AbstractServer] = {}
         self._ports: Dict[str, int] = {}
@@ -179,6 +203,7 @@ class TcpTransport(Transport):
         self._serve_tasks: set = set()
         self._closed = False
         self.frames_sent = 0
+        self.bytes_sent = 0
 
     def register(self, process_id: str, handler: Callable[[str, Message], Awaitable[None]]) -> None:
         self._handlers[process_id] = handler
@@ -204,7 +229,7 @@ class TcpTransport(Transport):
             self._serve_tasks.add(task)
         try:
             while not self._closed:
-                frame = await _read_frame(reader)
+                frame = await _read_frame(reader, self.codec)
                 if frame is None:
                     break
                 source, _destination, message = frame
@@ -250,7 +275,7 @@ class TcpTransport(Transport):
         # setdefault is atomic here: asyncio is single-threaded and there is
         # no await between the lookup and the insertion.
         lock = self._connection_locks.setdefault(key, asyncio.Lock())
-        frame = _encode_frame(source, destination, message)
+        frame = _encode_frame(source, destination, message, self.codec)
         async with lock:
             # One reconnect + retry: the first attempt may fail (or be known
             # stale) because the peer recycled the cached connection; a fresh
@@ -280,6 +305,7 @@ class TcpTransport(Transport):
                     writer.write(frame)
                     await writer.drain()
                     self.frames_sent += 1
+                    self.bytes_sent += len(frame)
                     return
                 except OSError:  # ConnectionResetError, BrokenPipeError, ...
                     await self._drop_connection(key)

@@ -36,6 +36,7 @@ from ..persist.durable import DurableServer, recover_server
 from ..persist.snapshot import MemorySnapshot, SnapshotManager
 from ..persist.wal import MemoryWAL
 from ..verify.history import History, OperationRecord
+from ..wire import Codec, get_codec
 from .byzantine import ByzantineStrategy, MaliciousServer
 from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
 from .failures import FailureSchedule
@@ -156,6 +157,8 @@ class SimCluster:
         timer_margin: float = 0.5,
         max_events_per_run: int = 500_000,
         frame_overhead: float = 0.0,
+        byte_cost: float = 0.0,
+        codec: Union[str, Codec, None] = None,
         durable: bool = False,
         compact_every: Optional[int] = None,
     ) -> None:
@@ -173,6 +176,16 @@ class SimCluster:
         #: per-message overhead that batching amortises (a batch is one frame).
         #: The default of 0 reproduces the classical charge-per-message model.
         self.frame_overhead = frame_overhead
+        #: Bandwidth term of the line model: each frame occupies the sender's
+        #: line for an *additional* ``byte_cost`` time units per encoded wire
+        #: byte, charged on the frame's real encoded size under ``codec``.
+        #: With the default of 0 the line model stays size-blind (frames cost
+        #: ``frame_overhead`` regardless of payload), but ``bytes_sent`` is
+        #: always maintained.
+        self.byte_cost = byte_cost
+        #: Wire codec frames are measured (and, with ``byte_cost``, charged)
+        #: under — the same codec objects the asyncio transports speak.
+        self.codec = get_codec(codec)
         #: Durability: with ``durable=True`` every server is wrapped in a
         #: :class:`~repro.persist.durable.DurableServer` logging its state to
         #: an in-memory WAL, which is what lets a crashed server *recover*
@@ -187,11 +200,13 @@ class SimCluster:
         self.now: float = 0.0
         self.queue = EventQueue()
         self.trace = MessageTrace()
-        #: Diagnostics: events dispatched, frames put on the wire and protocol
-        #: messages carried by them (frames < messages when batching is on).
+        #: Diagnostics: events dispatched, frames put on the wire, protocol
+        #: messages carried by them (frames < messages when batching is on)
+        #: and the encoded wire bytes of those frames under :attr:`codec`.
         self.events_processed: int = 0
         self.frames_sent: int = 0
         self.messages_sent: int = 0
+        self.bytes_sent: int = 0
         # Batching layer: per-source buffered sends awaiting their flush event,
         # plus the time each source's outgoing line is busy until.
         self._outbox: Dict[str, Dict[str, List[Message]]] = {}
@@ -726,6 +741,10 @@ class SimCluster:
             return
         self._transmit(source, destination, message)
 
+    def _frame_bytes(self, source: str, destination: str, message: Message) -> int:
+        """Encoded wire size of one frame — what a real transport would write."""
+        return self.codec.frame_size(source, destination, message)
+
     def _push_explicit(
         self, source: str, destination: str, message: Message, delay: float
     ) -> None:
@@ -733,11 +752,13 @@ class SimCluster:
         of the arrival time, bypassing batching and the frame-overhead
         serialization (the message still counts as its own frame)."""
         self.frames_sent += 1
-        # Count the protocol messages the frame carries, exactly like
-        # ``_transmit``: a Batch pushed through the explicit-delay path is one
-        # frame but ``len(batch)`` messages, so the two counters stay mutually
-        # consistent regardless of which send path a frame took.
+        # Count the protocol messages and wire bytes the frame carries,
+        # exactly like ``_transmit``: a Batch pushed through the
+        # explicit-delay path is one frame but ``len(batch)`` messages, so
+        # the counters stay mutually consistent regardless of which send path
+        # a frame took.
         self.messages_sent += len(message) if isinstance(message, Batch) else 1
+        self.bytes_sent += self._frame_bytes(source, destination, message)
         self.queue.push(
             self.now + delay,
             DeliveryEvent(
@@ -749,14 +770,23 @@ class SimCluster:
         )
 
     def _transmit(self, source: str, destination: str, message: Message) -> None:
-        """Put one frame on the wire, serializing on the source's line."""
+        """Put one frame on the wire, serializing on the source's line.
+
+        The line is occupied for ``frame_overhead + byte_cost * size`` time
+        units, where ``size`` is the frame's real encoded length under the
+        configured codec — so with ``byte_cost`` set, big frames genuinely
+        take longer to leave the sender than small ones.
+        """
+        size = self._frame_bytes(source, destination, message)
+        occupancy = self.frame_overhead + self.byte_cost * size
         departure = self.now
-        if self.frame_overhead > 0.0:
+        if occupancy > 0.0:
             departure = max(self.now, self._line_busy_until.get(source, 0.0))
-            self._line_busy_until[source] = departure + self.frame_overhead
-            departure += self.frame_overhead
+            self._line_busy_until[source] = departure + occupancy
+            departure += occupancy
         self.frames_sent += 1
         self.messages_sent += len(message) if isinstance(message, Batch) else 1
+        self.bytes_sent += size
         delay = self.delay_model.sample(source, destination, departure, self.rng)
         self.queue.push(
             departure + float(delay),

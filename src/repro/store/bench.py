@@ -39,7 +39,7 @@ Two entry points, shared by ``benchmarks/bench_sharded_store.py`` and the
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..bench.harness import ExperimentTable
 from ..core.config import SystemConfig
@@ -55,7 +55,12 @@ from ..workload.generator import (
     run_store_workload,
     value_sequence,
 )
+from ..wire import Codec
 from .sim import ShardedSimStore
+
+#: Codec selector every sweep takes: a name ("binary"/"pickle"), a Codec
+#: instance, or None for the default (binary).
+CodecArg = Union[str, Codec, None]
 
 
 def dense_store_workload(
@@ -110,6 +115,7 @@ def run_store_throughput(
     gap: float = 0.05,
     batching: bool = True,
     frame_overhead: float = 0.0,
+    codec: CodecArg = None,
 ) -> Tuple[ShardedSimStore, float]:
     """Run the dense workload on a *num_shards*-shard store; return throughput.
 
@@ -121,7 +127,8 @@ def run_store_throughput(
     ``frame_overhead`` charges each transport frame that much line time at its
     sender (frames of one process serialize); with ``batching`` every co-flushed
     message to one destination shares a single frame, which is what amortises
-    that overhead under multi-key load.
+    that overhead under multi-key load.  ``codec`` selects the wire encoding
+    the store's ``bytes_sent`` counter measures frames under.
     """
     config = SystemConfig.balanced(t, b, num_readers=num_readers)
     keys = [f"k{i}" for i in range(1, num_shards + 1)]
@@ -131,6 +138,7 @@ def run_store_throughput(
         batching=batching,
         delay_model=FixedDelay(1.0),
         frame_overhead=frame_overhead,
+        codec=codec,
     )
     workload = dense_store_workload(
         num_operations, keys, config.reader_ids(), gap=gap
@@ -147,14 +155,30 @@ def sharded_throughput_sweep(
     b: int = 0,
     num_readers: int = 2,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> ExperimentTable:
-    """Aggregate throughput of the same workload as the shard count grows."""
+    """Aggregate throughput of the same workload as the shard count grows.
+
+    Alongside throughput, each row reports the encoded wire bytes of every
+    frame the run put on the (simulated) line under the selected codec; a note
+    compares binary vs pickle bytes on one shard point, quantifying what the
+    wire format buys.
+    """
     table = ExperimentTable(
         experiment_id="S1",
         title="sharded store: aggregate throughput vs shard count",
-        columns=["shards", "operations", "makespan", "throughput", "speedup"],
+        columns=[
+            "shards",
+            "operations",
+            "makespan",
+            "throughput",
+            "speedup",
+            "bytes_on_wire",
+            "bytes_per_op",
+        ],
     )
     baseline: Optional[float] = None
+    compare_shards: Optional[int] = None
     for num_shards in shard_counts:
         store, throughput = run_store_throughput(
             num_shards,
@@ -163,6 +187,7 @@ def sharded_throughput_sweep(
             b=b,
             num_readers=num_readers,
             batching=batching,
+            codec=codec,
         )
         completed = store.completed_operations()
         makespan = max(h.completed_at for h in completed) - min(
@@ -170,17 +195,40 @@ def sharded_throughput_sweep(
         )
         if baseline is None:
             baseline = throughput
+        if compare_shards is None:
+            compare_shards = num_shards
         table.add_row(
             shards=num_shards,
             operations=len(completed),
             makespan=makespan,
             throughput=throughput,
             speedup=throughput / baseline,
+            bytes_on_wire=store.bytes_sent,
+            bytes_per_op=store.bytes_sent / len(completed),
         )
     table.add_note(
         "virtual-time throughput on the in-memory simulator; every per-key "
         "history passed the atomicity checker before being counted"
     )
+    if compare_shards is not None:
+        codec_bytes = {}
+        for name in ("binary", "pickle"):
+            comparison_store, _ = run_store_throughput(
+                compare_shards,
+                num_operations=num_operations,
+                t=t,
+                b=b,
+                num_readers=num_readers,
+                batching=batching,
+                codec=name,
+            )
+            codec_bytes[name] = comparison_store.bytes_sent
+        table.add_note(
+            f"codec comparison at {compare_shards} shard(s): binary puts "
+            f"{codec_bytes['binary']} B on the wire vs pickle "
+            f"{codec_bytes['pickle']} B "
+            f"({codec_bytes['pickle'] / codec_bytes['binary']:.1f}x smaller)"
+        )
     return table
 
 
@@ -191,6 +239,7 @@ def batching_sweep(
     b: int = 0,
     num_readers: int = 2,
     frame_overhead: float = 0.1,
+    codec: CodecArg = None,
 ) -> ExperimentTable:
     """Batched vs unbatched aggregate throughput under per-frame overhead.
 
@@ -217,11 +266,14 @@ def batching_sweep(
             "speedup",
             "frames_unbatched",
             "frames_batched",
+            "bytes_unbatched",
+            "bytes_batched",
         ],
     )
     for num_shards in shard_counts:
         results = {}
         frames = {}
+        wire_bytes = {}
         for batching in (False, True):
             store, throughput = run_store_throughput(
                 num_shards,
@@ -231,9 +283,11 @@ def batching_sweep(
                 num_readers=num_readers,
                 batching=batching,
                 frame_overhead=frame_overhead,
+                codec=codec,
             )
             results[batching] = throughput
             frames[batching] = store.frames_sent
+            wire_bytes[batching] = store.bytes_sent
         table.add_row(
             shards=num_shards,
             operations=num_operations,
@@ -242,6 +296,8 @@ def batching_sweep(
             speedup=results[True] / results[False],
             frames_unbatched=frames[False],
             frames_batched=frames[True],
+            bytes_unbatched=wire_bytes[False],
+            bytes_batched=wire_bytes[True],
         )
     table.add_note(
         "frames from one process serialize on its line for the stated "
@@ -266,6 +322,7 @@ def run_mwmr_throughput(
     mean_gap: float = 0.05,
     seed: int = 0,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> Tuple[ShardedSimStore, float]:
     """Run the contended-writers workload on an all-MWMR store; return throughput.
 
@@ -287,6 +344,7 @@ def run_mwmr_throughput(
         batching=batching,
         mwmr=True,
         delay_model=FixedDelay(1.0),
+        codec=codec,
     )
     writers = config.client_ids()[:num_writers]
     workload = contended_writers_workload(
@@ -342,6 +400,7 @@ def mwmr_sweep(
     skew: float = 0.8,
     seed: int = 0,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> ExperimentTable:
     """S3: contended multi-writer throughput as the shard count grows."""
     table = ExperimentTable(
@@ -357,6 +416,7 @@ def mwmr_sweep(
             "makespan",
             "throughput",
             "speedup",
+            "bytes_on_wire",
         ],
     )
     baseline: Optional[float] = None
@@ -370,6 +430,7 @@ def mwmr_sweep(
             skew=skew,
             seed=seed,
             batching=batching,
+            codec=codec,
         )
         completed = store.completed_operations()
         makespan = max(h.completed_at for h in completed) - min(
@@ -384,6 +445,7 @@ def mwmr_sweep(
             makespan=makespan,
             throughput=throughput,
             speedup=throughput / baseline,
+            bytes_on_wire=store.bytes_sent,
         )
     probe = swmr_fast_path_probe(t=t, b=b)
     table.add_note(
@@ -409,6 +471,7 @@ def run_recovery_throughput(
     failures: Optional[CrashRecoverySchedule] = None,
     compact_every: Optional[int] = None,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> Tuple[ShardedSimStore, float]:
     """Run the dense workload, optionally durable and under a crash schedule.
 
@@ -426,6 +489,7 @@ def run_recovery_throughput(
         durable=durable,
         failures=failures,
         compact_every=compact_every,
+        codec=codec,
     )
     workload = dense_store_workload(num_operations, keys, config.reader_ids(), gap=gap)
     started = time.perf_counter()
@@ -503,6 +567,7 @@ def recovery_sweep(
     outage_fraction: float = 0.2,
     compact_every: Optional[int] = None,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> ExperimentTable:
     """S4: throughput trajectory around crash/recovery events, and WAL overhead.
 
@@ -537,6 +602,7 @@ def recovery_sweep(
             "mean_latency",
             "fast_fraction",
             "wall_ms",
+            "bytes_on_wire",
         ],
     )
     store_off, wall_off = run_recovery_throughput(
@@ -548,6 +614,7 @@ def recovery_sweep(
         gap=gap,
         durable=False,
         batching=batching,
+        codec=codec,
     )
     completed = store_off.completed_operations()
     makespan = max(h.completed_at for h in completed) - min(h.invoked_at for h in completed)
@@ -559,6 +626,7 @@ def recovery_sweep(
         mean_latency=sum(h.latency for h in completed) / len(completed),
         fast_fraction=sum(1 for h in completed if h.fast) / len(completed),
         wall_ms=wall_off * 1000.0,
+        bytes_on_wire=store_off.bytes_sent,
     )
 
     store_on, wall_on = run_recovery_throughput(
@@ -571,6 +639,7 @@ def recovery_sweep(
         durable=True,
         compact_every=compact_every,
         batching=batching,
+        codec=codec,
     )
     completed = store_on.completed_operations()
     table.add_row(
@@ -581,6 +650,7 @@ def recovery_sweep(
         mean_latency=sum(h.latency for h in completed) / len(completed),
         fast_fraction=sum(1 for h in completed if h.fast) / len(completed),
         wall_ms=wall_on * 1000.0,
+        bytes_on_wire=store_on.bytes_sent,
     )
 
     # Two disjoint outage windows sized as a fraction of the healthy makespan,
@@ -606,6 +676,7 @@ def recovery_sweep(
         failures=schedule,
         compact_every=compact_every,
         batching=batching,
+        codec=codec,
     )
     for phase, metrics in _phase_metrics(store_crash, windows).items():
         table.add_row(
@@ -616,6 +687,7 @@ def recovery_sweep(
             mean_latency=metrics["mean_latency"],
             fast_fraction=metrics["fast_fraction"],
             wall_ms=wall_crash * 1000.0,
+            bytes_on_wire=store_crash.bytes_sent,
         )
     table.add_note(
         f"crash schedule: {schedule.total_crashes(servers)} total crashes "
@@ -644,6 +716,7 @@ def run_lease_throughput(
     leases: bool = True,
     lease_duration: float = 400.0,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> ShardedSimStore:
     """Run the read-heavy Zipf workload, with or without read leases.
 
@@ -664,6 +737,7 @@ def run_lease_throughput(
         leases=True if leases else (),
         lease_duration=lease_duration,
         delay_model=FixedDelay(1.0),
+        codec=codec,
     )
     workload = keyspace_workload(
         num_operations,
@@ -714,6 +788,7 @@ def lease_sweep(
     lease_duration: float = 400.0,
     seed: int = 0,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> ExperimentTable:
     """S5: hot-key read throughput with leases off vs on, same arrivals.
 
@@ -737,6 +812,7 @@ def lease_sweep(
             "hot_read_latency",
             "lease_fraction",
             "speedup",
+            "bytes_on_wire",
         ],
     )
     hot_key = "k1"  # rank 1 of the Zipf popularity order
@@ -755,6 +831,7 @@ def lease_sweep(
             leases=leases,
             lease_duration=lease_duration,
             batching=batching,
+            codec=codec,
         )
         metrics = _hot_key_read_metrics(store, hot_key)
         if leases:
@@ -769,6 +846,7 @@ def lease_sweep(
             hot_read_latency=metrics["mean_latency"],
             lease_fraction=metrics["lease_fraction"],
             speedup=metrics["throughput"] / baseline if baseline else 0.0,
+            bytes_on_wire=store.bytes_sent,
         )
     table.add_note(
         "identical Zipf arrivals; the no-lease run is the paper's 1-round "
@@ -790,6 +868,7 @@ def zipf_store_scenario(
     seed: int = 0,
     skew: float = 1.2,
     batching: bool = True,
+    codec: CodecArg = None,
 ) -> ShardedSimStore:
     """Run a Zipf keyspace workload; returns the store, ready for checking.
 
@@ -807,6 +886,7 @@ def zipf_store_scenario(
         byzantine=strategies,
         batching=batching,
         delay_model=FixedDelay(1.0),
+        codec=codec,
     )
     workload = keyspace_workload(
         num_operations,

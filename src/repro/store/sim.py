@@ -183,6 +183,11 @@ class ShardedSimStore:
         """Protocol messages sent (batched or not)."""
         return self.cluster.messages_sent
 
+    @property
+    def bytes_sent(self) -> int:
+        """Encoded wire bytes of every frame sent, under the cluster's codec."""
+        return self.cluster.bytes_sent
+
     def completed_operations(self) -> List[OperationHandle]:
         return self.cluster.completed_operations()
 

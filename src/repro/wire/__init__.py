@@ -1,0 +1,54 @@
+"""The wire format: one versioned binary codec for every serialized byte.
+
+Everything this system puts on a wire or a disk — TCP frames, WAL records,
+snapshots, batch envelopes — goes through this package.  The format is a
+compact, length-prefixed, *versioned* binary encoding with an explicit
+per-message-type schema (:mod:`repro.wire.codec`) over a small self-describing
+value encoding (:mod:`repro.wire.values`), so frame sizes are observable,
+non-Python clients can speak it, and any accidental format change fails the
+golden-vector tests loudly instead of silently shipping a new dialect.
+
+The previous serializer (pickle) remains selectable for one release via the
+``codec="pickle"`` escape hatch wherever a codec is accepted
+(:func:`get_codec`); it is no longer imported on any default path.
+"""
+
+from .codec import (
+    MAGIC,
+    WIRE_VERSION,
+    BinaryCodec,
+    Codec,
+    PickleCodec,
+    UnknownTagError,
+    UnknownVersionError,
+    WireDecodeError,
+    WireEncodeError,
+    WireFormatError,
+    decode_envelope,
+    decode_message,
+    encode_envelope,
+    encode_message,
+    get_codec,
+)
+from .values import decode_value, encode_value, register_struct
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "BinaryCodec",
+    "Codec",
+    "PickleCodec",
+    "UnknownTagError",
+    "UnknownVersionError",
+    "WireDecodeError",
+    "WireEncodeError",
+    "WireFormatError",
+    "decode_envelope",
+    "decode_message",
+    "decode_value",
+    "encode_envelope",
+    "encode_message",
+    "encode_value",
+    "get_codec",
+    "register_struct",
+]

@@ -1,0 +1,115 @@
+"""Codec micro-benchmark: encode/decode rate and bytes, binary vs pickle.
+
+The S6 experiment measures the wire codec in isolation — no simulator, no
+event loop — on representative frames: a minimal ``Read``, a fully populated
+``PreWrite`` (nested pairs and freeze directives), and a transport envelope
+wrapping an 8-message batch (one flush of a busy node).  For each payload and
+each codec it reports encoded size and single-thread encode/decode
+operations per second, so a codec regression shows up as a number, not a
+feeling.
+
+Used by ``store-bench --codec-bench`` (lands in ``BENCH_pr.json`` as S6) and
+by ``benchmarks/bench_codec.py`` (the pytest-benchmark twin).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+from ..bench.harness import ExperimentTable
+from ..core.messages import Batch, Message, PreWrite, Read, WriteAck
+from ..core.types import FreezeDirective, TimestampValue
+from .codec import Codec, get_codec
+
+
+def representative_payloads() -> List[Tuple[str, str, str, Message]]:
+    """``(label, source, destination, message)`` frames worth measuring."""
+    pw = TimestampValue(41, "value-41", "w")
+    w = TimestampValue(40, "value-40", "w")
+    prewrite = PreWrite(
+        sender="w",
+        register_id="k1",
+        ts=41,
+        pw=pw,
+        w=w,
+        frozen=(FreezeDirective("r1", w, 12), FreezeDirective("r2", pw, 13)),
+    )
+    batch = Batch(
+        sender="s1",
+        messages=tuple(
+            WriteAck(sender="s1", register_id=f"k{i}", round=1, ts=41)
+            for i in range(1, 9)
+        ),
+    )
+    return [
+        ("read", "r1", "s1", Read(sender="r1", read_ts=7)),
+        ("prewrite", "w", "s1", prewrite),
+        ("batch-8", "s1", "w", batch),
+    ]
+
+
+def _ops_per_second(fn: Callable[[], object], min_seconds: float = 0.05) -> float:
+    """Single-thread throughput of *fn*, timed over at least *min_seconds*."""
+    # Warm up (first-call caches, lazy imports), then scale the repetition
+    # count until the timed window is long enough to trust.
+    fn()
+    repetitions = 64
+    while True:
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            fn()
+        elapsed = time.perf_counter() - started
+        if elapsed >= min_seconds:
+            return repetitions / elapsed
+        repetitions *= 4
+
+
+def codec_microbench(
+    codecs: Tuple[str, ...] = ("binary", "pickle"), min_seconds: float = 0.05
+) -> ExperimentTable:
+    """S6: per-frame encoded size and encode/decode ops/sec per codec."""
+    table = ExperimentTable(
+        experiment_id="S6",
+        title="wire codec: encode/decode rate and bytes, binary vs pickle",
+        columns=[
+            "payload",
+            "codec",
+            "bytes",
+            "encode_ops_per_s",
+            "decode_ops_per_s",
+        ],
+    )
+    sizes: dict = {}
+    for label, source, destination, message in representative_payloads():
+        for name in codecs:
+            codec: Codec = get_codec(name)
+            encoded = codec.encode_envelope(source, destination, message)
+            decoded = codec.decode_envelope(encoded)
+            if decoded != (source, destination, message):
+                raise AssertionError(f"{name} round-trip failed for {label}")
+            sizes[(label, name)] = len(encoded)
+            table.add_row(
+                payload=label,
+                codec=name,
+                bytes=len(encoded),
+                encode_ops_per_s=_ops_per_second(
+                    lambda c=codec: c.encode_envelope(source, destination, message),
+                    min_seconds=min_seconds,
+                ),
+                decode_ops_per_s=_ops_per_second(
+                    lambda c=codec, e=encoded: c.decode_envelope(e),
+                    min_seconds=min_seconds,
+                ),
+            )
+    if {"binary", "pickle"} <= set(codecs):
+        ratios = ", ".join(
+            f"{label}: {sizes[(label, 'pickle')] / sizes[(label, 'binary')]:.1f}x"
+            for label, _, _, _ in representative_payloads()
+        )
+        table.add_note(f"pickle-to-binary size ratio per payload — {ratios}")
+    table.add_note(
+        "single-thread, in-process; every measured frame round-tripped "
+        "(decode(encode(m)) == m) before being timed"
+    )
+    return table

@@ -1,0 +1,401 @@
+"""The versioned binary message codec (and the pickle escape hatch).
+
+Frame layout
+------------
+Every encoded message starts with a four-byte header::
+
+    +--------+--------+---------+---------+----------------------------+
+    | 'L'    | 'W'    | version | tag     | type-specific field bytes  |
+    +--------+--------+---------+---------+----------------------------+
+      magic (2 bytes)   1 byte    1 byte
+
+The *tag* names the message type (one permanent number per class in
+:mod:`repro.core.messages`); the fields follow in dataclass declaration order,
+each encoded with the self-describing value encoding of
+:mod:`repro.wire.values` — except strings of the common header fields
+(``sender``, ``register_id``), which are written tagless (uvarint length +
+UTF-8), and :class:`~repro.core.messages.Batch`, whose inner messages are
+*recursively framed*: a uvarint count followed by complete encoded messages,
+header and all, so a gateway can re-split a batch without understanding every
+inner type.
+
+A transport *envelope* (tag :data:`TAG_ENVELOPE`) wraps a routed message:
+``source`` and ``destination`` strings followed by one encoded message.
+
+Unknown magic, an unknown version, or an unknown tag raise the explicit
+errors :class:`WireDecodeError`, :class:`UnknownVersionError` and
+:class:`UnknownTagError` — never a silent misparse.
+
+Codecs
+------
+:func:`get_codec` resolves a codec selection (``"binary"``, ``"pickle"``, or
+an instance) into an object with the shared surface: ``encode_message`` /
+``decode_message``, ``encode_envelope`` / ``decode_envelope``,
+``encode_value`` / ``decode_value`` and ``frame_size``.  The pickle codec is
+the one-release escape hatch for the previous wire format; nothing imports
+pickle until it is actually selected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple, Type, Union
+
+from ..core.messages import (
+    ALL_MESSAGE_TYPES,
+    BaselineQuery,
+    BaselineQueryReply,
+    BaselineStore,
+    BaselineStoreAck,
+    Batch,
+    LeaseGrant,
+    LeaseRenew,
+    LeaseRevoke,
+    LeaseRevokeAck,
+    Message,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    TimestampQuery,
+    TimestampQueryAck,
+    Write,
+    WriteAck,
+)
+from .values import (
+    WireDecodeError,
+    WireEncodeError,
+    WireFormatError,
+    read_str,
+    read_uvarint,
+    read_value,
+    write_str,
+    write_uvarint,
+    write_value,
+)
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "TAG_ENVELOPE",
+    "MESSAGE_TAGS",
+    "BinaryCodec",
+    "Codec",
+    "PickleCodec",
+    "UnknownTagError",
+    "UnknownVersionError",
+    "WireDecodeError",
+    "WireEncodeError",
+    "WireFormatError",
+    "decode_envelope",
+    "decode_message",
+    "encode_envelope",
+    "encode_message",
+    "get_codec",
+]
+
+#: Two magic bytes opening every binary frame ('L'ucky 'W'ire).  Pickle
+#: payloads of any protocol >= 2 start with 0x80, so the two wire formats are
+#: unambiguous — which is what lets the WAL reader replay pre-codec logs.
+MAGIC = b"LW"
+
+#: Version byte of the wire format.  Any change to the byte layout — new
+#: message fields, renumbered tags, different value encodings — must bump
+#: this, and the golden-vector suite fails if the bytes drift without a bump.
+WIRE_VERSION = 1
+
+#: Message type tags.  Permanent: never renumber, never reuse.
+MESSAGE_TAGS: Dict[Type[Message], int] = {
+    PreWrite: 1,
+    PreWriteAck: 2,
+    Write: 3,
+    WriteAck: 4,
+    TimestampQuery: 5,
+    TimestampQueryAck: 6,
+    Read: 7,
+    ReadAck: 8,
+    LeaseRenew: 9,
+    LeaseGrant: 10,
+    LeaseRevoke: 11,
+    LeaseRevokeAck: 12,
+    Batch: 13,
+    BaselineQuery: 14,
+    BaselineQueryReply: 15,
+    BaselineStore: 16,
+    BaselineStoreAck: 17,
+}
+
+#: Tag of the transport envelope (source + destination + message).
+TAG_ENVELOPE = 31
+
+_TYPE_BY_TAG: Dict[int, Type[Message]] = {tag: cls for cls, tag in MESSAGE_TAGS.items()}
+
+# Every message class must have a tag: adding a message type without wiring it
+# into the codec must fail at import time, not at the first send.
+_missing = [cls.__name__ for cls in ALL_MESSAGE_TYPES if cls not in MESSAGE_TAGS]
+if _missing:  # pragma: no cover - import-time guard
+    raise RuntimeError(f"message types without a wire tag: {_missing}")
+
+#: Per-class field layout beyond the Message base (sender, register_id, epoch).
+_EXTRA_FIELDS: Dict[Type[Message], Tuple[str, ...]] = {
+    cls: tuple(f.name for f in dataclasses.fields(cls))[3:] for cls in MESSAGE_TAGS
+}
+_BASE_FIELDS = tuple(f.name for f in dataclasses.fields(Message))
+if _BASE_FIELDS != ("sender", "register_id", "epoch"):  # pragma: no cover
+    raise RuntimeError(
+        f"Message base fields changed to {_BASE_FIELDS}; the wire codec's "
+        "common header must be updated (and WIRE_VERSION bumped)"
+    )
+
+
+class UnknownVersionError(WireDecodeError):
+    """A frame from a future (or alien) wire-format version."""
+
+
+class UnknownTagError(WireDecodeError):
+    """A frame whose type tag this build does not know."""
+
+
+def _write_header(out: bytearray, tag: int) -> None:
+    out += MAGIC
+    out.append(WIRE_VERSION)
+    out.append(tag)
+
+
+def _read_header(data: bytes, offset: int) -> Tuple[int, int]:
+    """Check magic + version at *offset*; return ``(tag, body_offset)``."""
+    if offset + 4 > len(data):
+        raise WireDecodeError("truncated wire header")
+    if data[offset : offset + 2] != MAGIC:
+        raise WireDecodeError(
+            f"bad magic {data[offset : offset + 2]!r} (not a binary wire frame; "
+            "a 0x80 first byte would be a legacy pickle payload)"
+        )
+    version = data[offset + 2]
+    if version != WIRE_VERSION:
+        raise UnknownVersionError(
+            f"wire version {version} is not supported (this build speaks "
+            f"version {WIRE_VERSION})"
+        )
+    return data[offset + 3], offset + 4
+
+
+def _write_message(out: bytearray, message: Message) -> None:
+    tag = MESSAGE_TAGS.get(type(message))
+    if tag is None:
+        raise WireEncodeError(
+            f"{type(message).__name__} has no wire tag; register it in "
+            "repro.wire.codec.MESSAGE_TAGS (and bump WIRE_VERSION)"
+        )
+    _write_header(out, tag)
+    write_str(out, message.sender)
+    write_str(out, message.register_id)
+    write_uvarint(out, message.epoch)
+    if type(message) is Batch:
+        # Recursive framing: each inner message is a complete frame of its
+        # own, so batches nest structurally instead of via the value codec.
+        write_uvarint(out, len(message.messages))
+        for inner in message.messages:
+            _write_message(out, inner)
+        return
+    for name in _EXTRA_FIELDS[type(message)]:
+        write_value(out, getattr(message, name))
+
+
+def _read_message(data: bytes, offset: int) -> Tuple[Message, int]:
+    tag, offset = _read_header(data, offset)
+    cls = _TYPE_BY_TAG.get(tag)
+    if cls is None:
+        raise UnknownTagError(f"unknown message tag {tag}")
+    sender, offset = read_str(data, offset)
+    register_id, offset = read_str(data, offset)
+    epoch, offset = read_uvarint(data, offset)
+    kwargs: Dict[str, Any] = {
+        "sender": sender,
+        "register_id": register_id,
+        "epoch": epoch,
+    }
+    if cls is Batch:
+        count, offset = read_uvarint(data, offset)
+        inner = []
+        for _ in range(count):
+            message, offset = _read_message(data, offset)
+            inner.append(message)
+        kwargs["messages"] = tuple(inner)
+        return Batch(**kwargs), offset
+    for name in _EXTRA_FIELDS[cls]:
+        value, offset = read_value(data, offset)
+        kwargs[name] = value
+    return cls(**kwargs), offset
+
+
+def encode_message(message: Message) -> bytes:
+    """The complete binary frame body of *message* (header + fields)."""
+    out = bytearray()
+    _write_message(out, message)
+    return bytes(out)
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode one message frame, requiring the whole buffer to be consumed."""
+    message, end = _read_message(data, 0)
+    if end != len(data):
+        raise WireDecodeError(f"{len(data) - end} trailing bytes after message")
+    return message
+
+
+def encode_envelope(source: str, destination: str, message: Message) -> bytes:
+    """One routed transport payload: header + source + destination + message."""
+    out = bytearray()
+    _write_header(out, TAG_ENVELOPE)
+    write_str(out, source)
+    write_str(out, destination)
+    _write_message(out, message)
+    return bytes(out)
+
+
+def decode_envelope(data: bytes) -> Tuple[str, str, Message]:
+    """Decode a transport payload into ``(source, destination, message)``."""
+    tag, offset = _read_header(data, 0)
+    if tag != TAG_ENVELOPE:
+        raise WireDecodeError(
+            f"expected an envelope (tag {TAG_ENVELOPE}), got tag {tag}"
+        )
+    source, offset = read_str(data, offset)
+    destination, offset = read_str(data, offset)
+    message, end = _read_message(data, offset)
+    if end != len(data):
+        raise WireDecodeError(f"{len(data) - end} trailing bytes after envelope")
+    return source, destination, message
+
+
+# --------------------------------------------------------------------------- #
+# Codec objects
+# --------------------------------------------------------------------------- #
+
+#: Bytes the transports' length prefix adds to every frame payload.
+LENGTH_PREFIX_BYTES = 4
+
+#: Tag of a bare value payload (WAL records, snapshot states).
+TAG_VALUE = 30
+
+
+class Codec:
+    """The serializer surface every layer programs against."""
+
+    name: str = "abstract"
+
+    def encode_message(self, message: Message) -> bytes:
+        raise NotImplementedError
+
+    def decode_message(self, data: bytes) -> Message:
+        raise NotImplementedError
+
+    def encode_envelope(self, source: str, destination: str, message: Message) -> bytes:
+        raise NotImplementedError
+
+    def decode_envelope(self, data: bytes) -> Tuple[str, str, Message]:
+        raise NotImplementedError
+
+    def encode_value(self, value: Any) -> bytes:
+        """Encode a non-message payload (WAL record, snapshot state)."""
+        raise NotImplementedError
+
+    def decode_value(self, data: bytes) -> Any:
+        raise NotImplementedError
+
+    def frame_size(self, source: str, destination: str, message: Message) -> int:
+        """Bytes the transports would put on the wire for this routed message
+        (length prefix included) — the observable the sim's byte-cost line
+        model and every ``bytes_sent`` counter charge."""
+        return LENGTH_PREFIX_BYTES + len(self.encode_envelope(source, destination, message))
+
+
+class BinaryCodec(Codec):
+    """The versioned binary wire format (the default everywhere)."""
+
+    name = "binary"
+
+    def encode_message(self, message: Message) -> bytes:
+        return encode_message(message)
+
+    def decode_message(self, data: bytes) -> Message:
+        return decode_message(data)
+
+    def encode_envelope(self, source: str, destination: str, message: Message) -> bytes:
+        return encode_envelope(source, destination, message)
+
+    def decode_envelope(self, data: bytes) -> Tuple[str, str, Message]:
+        return decode_envelope(data)
+
+    def encode_value(self, value: Any) -> bytes:
+        # Value payloads carry the same magic + version so on-disk frames are
+        # versioned and legacy pickle payloads (0x80...) stay distinguishable.
+        out = bytearray()
+        _write_header(out, TAG_VALUE)
+        write_value(out, value)
+        return bytes(out)
+
+    def decode_value(self, data: bytes) -> Any:
+        tag, offset = _read_header(data, 0)
+        if tag != TAG_VALUE:
+            raise WireDecodeError(f"expected a value frame (tag {TAG_VALUE}), got {tag}")
+        value, end = read_value(data, offset)
+        if end != len(data):
+            raise WireDecodeError(f"{len(data) - end} trailing bytes after value")
+        return value
+
+
+class PickleCodec(Codec):
+    """The previous wire format, selectable for one release via
+    ``codec="pickle"`` — the only path that still imports pickle."""
+
+    name = "pickle"
+
+    @staticmethod
+    def _pickle():
+        import pickle  # the escape hatch is the one legitimate importer
+
+        return pickle
+
+    def encode_message(self, message: Message) -> bytes:
+        pickle = self._pickle()
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode_message(self, data: bytes) -> Message:
+        return self._pickle().loads(data)
+
+    def encode_envelope(self, source: str, destination: str, message: Message) -> bytes:
+        pickle = self._pickle()
+        return pickle.dumps((source, destination, message), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode_envelope(self, data: bytes) -> Tuple[str, str, Message]:
+        return self._pickle().loads(data)
+
+    def encode_value(self, value: Any) -> bytes:
+        pickle = self._pickle()
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode_value(self, data: bytes) -> Any:
+        return self._pickle().loads(data)
+
+
+_BINARY = BinaryCodec()
+_PICKLE = PickleCodec()
+
+CODECS: Dict[str, Codec] = {"binary": _BINARY, "pickle": _PICKLE}
+
+
+def get_codec(codec: Union[str, Codec, None]) -> Codec:
+    """Resolve a codec selection: a name, an instance, or ``None`` (binary)."""
+    if codec is None:
+        return _BINARY
+    if isinstance(codec, Codec):
+        return codec
+    resolved = CODECS.get(codec)
+    if resolved is None:
+        raise ValueError(
+            f"unknown codec {codec!r}; choose one of {sorted(CODECS)} or pass "
+            "a Codec instance"
+        )
+    return resolved

@@ -1,0 +1,151 @@
+"""Golden vectors: the canonical byte-level samples of the wire format.
+
+:func:`message_zoo` builds one deterministic, field-exercising instance of
+*every* message type; :func:`generate_vectors` encodes them (plus a transport
+envelope and a framed WAL segment) into hex strings.  The checked-in fixture
+``tests/fixtures/wire_golden_vectors.json`` pins those bytes: the golden test
+re-generates the vectors and fails on any difference unless
+:data:`~repro.wire.codec.WIRE_VERSION` was bumped alongside — so the wire
+format cannot drift silently.
+
+Regenerate the fixture after an *intentional* format change (version bump)::
+
+    PYTHONPATH=src python -m repro.wire.golden tests/fixtures/wire_golden_vectors.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..core.messages import (
+    ALL_MESSAGE_TYPES,
+    BaselineQuery,
+    BaselineQueryReply,
+    BaselineStore,
+    BaselineStoreAck,
+    Batch,
+    LeaseGrant,
+    LeaseRenew,
+    LeaseRevoke,
+    LeaseRevokeAck,
+    Message,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    TimestampQuery,
+    TimestampQueryAck,
+    Write,
+    WriteAck,
+)
+from ..core.types import BOTTOM, FreezeDirective, FrozenEntry, NewReadReport, TimestampValue
+from ..persist.wal import WalRecord, encode_frame
+from .codec import WIRE_VERSION, encode_envelope, encode_message
+
+
+def message_zoo() -> List[Message]:
+    """One canonical instance per message type, every field exercised.
+
+    Deterministic by construction (no randomness, no clocks), covering the
+    corners the format must keep stable: defaults, ⊥ values, nested structs,
+    negative-free varints at multi-byte lengths, unicode, and a batch that
+    recursively frames heterogeneous inner messages.
+    """
+    pw = TimestampValue(7, "v7", "w")
+    w = TimestampValue(6, "v6", "w")
+    vw = TimestampValue(5, None, "w2")
+    return [
+        PreWrite(
+            sender="w",
+            register_id="k1",
+            epoch=2,
+            ts=7,
+            pw=pw,
+            w=w,
+            frozen=(FreezeDirective("r1", w, 3), FreezeDirective("r2", pw, 4)),
+        ),
+        PreWriteAck(
+            sender="s1",
+            register_id="k1",
+            ts=7,
+            newread=(NewReadReport("r1", 3),),
+        ),
+        Write(sender="w", round=2, ts=7, pair=pw, frozen=(FreezeDirective("r1", w, 3),)),
+        WriteAck(sender="s3", register_id="k2", epoch=1, round=3, ts=7, from_writer=False),
+        TimestampQuery(sender="r2", register_id="k1", op_id=300),
+        TimestampQueryAck(sender="s2", register_id="k1", op_id=300, pw=pw, w=w),
+        Read(sender="r1", read_ts=4, round=2),
+        ReadAck(
+            sender="s1",
+            read_ts=4,
+            round=2,
+            pw=pw,
+            w=w,
+            vw=vw,
+            frozen=FrozenEntry(w, 4),
+        ),
+        LeaseRenew(sender="r1", register_id="k1", lease_id=9, duration=60.0),
+        LeaseGrant(sender="s1", register_id="k1", lease_id=9, duration=60.0, observed=w),
+        LeaseRevoke(sender="s1", register_id="k1", lease_id=9),
+        LeaseRevokeAck(sender="r1", register_id="k1", lease_id=9),
+        Batch(
+            sender="w",
+            messages=(
+                Read(sender="w", register_id="k1", read_ts=1),
+                Write(sender="w", register_id="k2", ts=2, pair=TimestampValue(2, "café", "w")),
+                WriteAck(sender="w", register_id="k3", epoch=130, ts=2),
+            ),
+        ),
+        BaselineQuery(sender="r1", op_id=1),
+        BaselineQueryReply(
+            sender="s1", op_id=1, pair=TimestampValue(0, BOTTOM), echo_pair=pw
+        ),
+        BaselineStore(sender="r1", op_id=1, pair=pw, phase=2),
+        BaselineStoreAck(sender="s2", op_id=1, phase=2),
+    ]
+
+
+def wal_segment_records() -> List[WalRecord]:
+    """The canonical WAL segment: a few records over two registers."""
+    return [
+        WalRecord("k1", "pw", 7, "w", "v7"),
+        WalRecord("k1", "w", 7, "w", "v7"),
+        WalRecord("k2", "vw", 3, "w2", None),
+        WalRecord("", "pw", 1, "", BOTTOM),
+    ]
+
+
+def generate_vectors() -> Dict[str, object]:
+    """The golden vectors of the current build, as a JSON-friendly dict."""
+    zoo = message_zoo()
+    covered = {type(message) for message in zoo}
+    missing = [cls.__name__ for cls in ALL_MESSAGE_TYPES if cls not in covered]
+    if missing:
+        raise AssertionError(f"message zoo misses types: {missing}")
+    segment = b"".join(encode_frame(record) for record in wal_segment_records())
+    return {
+        "wire_version": WIRE_VERSION,
+        "messages": {
+            type(message).__name__: encode_message(message).hex() for message in zoo
+        },
+        "envelope": encode_envelope("r1", "s1", zoo[6]).hex(),
+        "wal_segment": segment.hex(),
+    }
+
+
+def main(argv: List[str]) -> int:  # pragma: no cover - manual fixture tool
+    if len(argv) != 1:
+        print("usage: python -m repro.wire.golden <fixture.json>")
+        return 2
+    with open(argv[0], "w", encoding="utf-8") as fh:
+        json.dump(generate_vectors(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote wire golden vectors (version {WIRE_VERSION}) to {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,301 @@
+"""Self-describing binary encoding of the protocol's value space.
+
+Every field a message, WAL record or snapshot carries is built from a small,
+closed set of shapes: ``None``, booleans, integers, floats, strings, bytes,
+the register's initial value ⊥, tuples/lists/dicts of those, and a handful of
+frozen dataclasses (:class:`~repro.core.types.TimestampValue` and friends).
+Each shape is encoded as one *tag byte* followed by a tag-specific body::
+
+    0x00 None          (no body)
+    0x01 False         (no body)
+    0x02 True          (no body)
+    0x03 int           zigzag varint
+    0x04 float         8 bytes, IEEE-754 big-endian
+    0x05 str           uvarint byte length + UTF-8 bytes
+    0x06 bytes         uvarint byte length + raw bytes
+    0x07 ⊥ (BOTTOM)    (no body)
+    0x08 tuple         uvarint count + encoded items
+    0x09 list          uvarint count + encoded items
+    0x0A dict          uvarint count + encoded key/value pairs
+    0x10+ struct       registered dataclass: encoded fields in declaration order
+
+Varints are unsigned LEB128; signed integers are zigzag-mapped first.  Struct
+tags are assigned once and never reused (:func:`register_struct`); the core
+types are registered here, :class:`~repro.persist.wal.WalRecord` registers
+itself from its own module (the wire package must not import persistence).
+
+An unsupported Python type raises :class:`WireEncodeError` naming the type —
+the value space is deliberately closed, because an exhaustively checkable wire
+format cannot contain "whatever the process happened to have in memory" (that
+is what the ``codec="pickle"`` escape hatch is for, for one release).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.types import (
+    BOTTOM,
+    FreezeDirective,
+    FrozenEntry,
+    NewReadReport,
+    TimestampValue,
+    is_bottom,
+)
+
+
+class WireFormatError(ValueError):
+    """Base class of every wire-format error."""
+
+
+class WireEncodeError(WireFormatError):
+    """A value (or message) cannot be expressed in the wire format."""
+
+
+class WireDecodeError(WireFormatError):
+    """Bytes that do not parse as the wire format (truncated, corrupt, alien)."""
+
+
+T_NONE = 0x00
+T_FALSE = 0x01
+T_TRUE = 0x02
+T_INT = 0x03
+T_FLOAT = 0x04
+T_STR = 0x05
+T_BYTES = 0x06
+T_BOTTOM = 0x07
+T_TUPLE = 0x08
+T_LIST = 0x09
+T_DICT = 0x0A
+
+#: First tag of the registered-struct range.
+T_STRUCT_BASE = 0x10
+
+_FLOAT = struct.Struct("!d")
+
+#: tag -> dataclass, and the reverse, for the registered struct shapes.
+_STRUCT_BY_TAG: Dict[int, type] = {}
+_TAG_BY_STRUCT: Dict[type, int] = {}
+_STRUCT_FIELDS: Dict[type, Tuple[str, ...]] = {}
+
+
+def register_struct(tag: int, cls: type) -> type:
+    """Assign wire *tag* to the frozen dataclass *cls* (one tag, forever).
+
+    Fields are encoded in declaration order with the self-describing value
+    encoding, so adding a field to a registered struct is a wire-format change
+    and must bump :data:`~repro.wire.codec.WIRE_VERSION`.
+    """
+    if tag < T_STRUCT_BASE or tag > 0xFF:
+        raise ValueError(f"struct tags live in [0x10, 0xFF], not {tag:#x}")
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    existing = _STRUCT_BY_TAG.get(tag)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"struct tag {tag:#x} is already taken by {existing.__name__}"
+        )
+    _STRUCT_BY_TAG[tag] = cls
+    _TAG_BY_STRUCT[cls] = tag
+    _STRUCT_FIELDS[cls] = tuple(f.name for f in dataclasses.fields(cls))
+    return cls
+
+
+# --------------------------------------------------------------------------- #
+# Varints
+# --------------------------------------------------------------------------- #
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append *value* (>= 0) as an unsigned LEB128 varint."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Read an unsigned LEB128 varint at *offset*: ``(value, end_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireDecodeError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    # Arbitrary-precision integers: the classic zigzag map without a width.
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# --------------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------------- #
+
+
+def write_str(out: bytearray, text: str) -> None:
+    """Append *text* as uvarint length + UTF-8 bytes (no tag)."""
+    raw = text.encode("utf-8")
+    write_uvarint(out, len(raw))
+    out += raw
+
+
+def read_str(data: bytes, offset: int) -> Tuple[str, int]:
+    """Read a tagless uvarint-length-prefixed UTF-8 string at *offset*."""
+    length, offset = read_uvarint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise WireDecodeError("truncated string")
+    try:
+        return data[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise WireDecodeError(f"invalid UTF-8 in string: {exc}") from None
+
+
+def write_value(out: bytearray, value: Any) -> None:
+    """Append the tagged encoding of *value* to *out*."""
+    if value is None:
+        out.append(T_NONE)
+    elif value is True:
+        out.append(T_TRUE)
+    elif value is False:
+        out.append(T_FALSE)
+    elif type(value) is int:
+        out.append(T_INT)
+        write_uvarint(out, _zigzag(value))
+    elif type(value) is float:
+        out.append(T_FLOAT)
+        out += _FLOAT.pack(value)
+    elif type(value) is str:
+        out.append(T_STR)
+        write_str(out, value)
+    elif type(value) is bytes:
+        out.append(T_BYTES)
+        write_uvarint(out, len(value))
+        out += value
+    elif is_bottom(value):
+        out.append(T_BOTTOM)
+    elif type(value) is tuple:
+        out.append(T_TUPLE)
+        write_uvarint(out, len(value))
+        for item in value:
+            write_value(out, item)
+    elif type(value) is list:
+        out.append(T_LIST)
+        write_uvarint(out, len(value))
+        for item in value:
+            write_value(out, item)
+    elif type(value) is dict:
+        out.append(T_DICT)
+        write_uvarint(out, len(value))
+        for key, item in value.items():
+            write_value(out, key)
+            write_value(out, item)
+    else:
+        tag = _TAG_BY_STRUCT.get(type(value))
+        if tag is None:
+            raise WireEncodeError(
+                f"type {type(value).__name__!r} has no wire encoding; the "
+                "binary value space is closed (use codec='pickle' to move "
+                "arbitrary objects for one more release)"
+            )
+        out.append(tag)
+        for name in _STRUCT_FIELDS[type(value)]:
+            write_value(out, getattr(value, name))
+
+
+def read_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode the tagged value at *offset*: ``(value, end_offset)``."""
+    if offset >= len(data):
+        raise WireDecodeError("truncated value (missing tag)")
+    tag = data[offset]
+    offset += 1
+    if tag == T_NONE:
+        return None, offset
+    if tag == T_TRUE:
+        return True, offset
+    if tag == T_FALSE:
+        return False, offset
+    if tag == T_INT:
+        raw, offset = read_uvarint(data, offset)
+        return _unzigzag(raw), offset
+    if tag == T_FLOAT:
+        end = offset + _FLOAT.size
+        if end > len(data):
+            raise WireDecodeError("truncated float")
+        return _FLOAT.unpack_from(data, offset)[0], end
+    if tag == T_STR:
+        return read_str(data, offset)
+    if tag == T_BYTES:
+        length, offset = read_uvarint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise WireDecodeError("truncated bytes")
+        return data[offset:end], end
+    if tag == T_BOTTOM:
+        return BOTTOM, offset
+    if tag in (T_TUPLE, T_LIST):
+        count, offset = read_uvarint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = read_value(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == T_TUPLE else items), offset
+    if tag == T_DICT:
+        count, offset = read_uvarint(data, offset)
+        result = {}
+        for _ in range(count):
+            key, offset = read_value(data, offset)
+            item, offset = read_value(data, offset)
+            result[key] = item
+        return result, offset
+    cls = _STRUCT_BY_TAG.get(tag)
+    if cls is None:
+        raise WireDecodeError(f"unknown value tag {tag:#x}")
+    values = []
+    for _ in _STRUCT_FIELDS[cls]:
+        value, offset = read_value(data, offset)
+        values.append(value)
+    return cls(*values), offset
+
+
+def encode_value(value: Any) -> bytes:
+    """The tagged binary encoding of *value* (no frame header)."""
+    out = bytearray()
+    write_value(out, value)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one tagged value, requiring the whole buffer to be consumed."""
+    value, end = read_value(data, 0)
+    if end != len(data):
+        raise WireDecodeError(f"{len(data) - end} trailing bytes after value")
+    return value
+
+
+#: Encoder/decoder signatures, for the message codec built on top.
+ValueWriter = Callable[[bytearray, Any], None]
+
+# The core protocol dataclasses.  Tags are permanent; never renumber.
+register_struct(0x10, TimestampValue)
+register_struct(0x11, FrozenEntry)
+register_struct(0x12, FreezeDirective)
+register_struct(0x13, NewReadReport)
+# 0x18 is taken by repro.persist.wal.WalRecord (registered there).

@@ -1,0 +1,315 @@
+"""Unit tests for the versioned binary wire codec (repro.wire)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    Batch,
+    PreWrite,
+    Read,
+    ReadAck,
+    Write,
+    WriteAck,
+)
+from repro.core.types import BOTTOM, FreezeDirective, FrozenEntry, NewReadReport, TimestampValue
+from repro.persist.wal import WalRecord
+from repro.wire import (
+    MAGIC,
+    WIRE_VERSION,
+    BinaryCodec,
+    Codec,
+    PickleCodec,
+    UnknownTagError,
+    UnknownVersionError,
+    WireDecodeError,
+    WireEncodeError,
+    decode_envelope,
+    decode_message,
+    decode_value,
+    encode_envelope,
+    encode_message,
+    encode_value,
+    get_codec,
+    register_struct,
+)
+from repro.wire.codec import LENGTH_PREFIX_BYTES, MESSAGE_TAGS, TAG_ENVELOPE
+from repro.wire.golden import message_zoo
+
+
+class TestValueRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            127,
+            -128,
+            2**40,
+            -(2**40),
+            2**100,  # arbitrary precision survives the varint zigzag
+            0.0,
+            -1.5,
+            3.141592653589793,
+            "",
+            "hello",
+            "café ⊥ 漢字",
+            b"",
+            b"\x00\x80\xff",
+            BOTTOM,
+            (),
+            (1, "two", None),
+            [],
+            [1, [2, [3]]],
+            {},
+            {"k": 1, "nested": {"deep": (True, BOTTOM)}},
+        ],
+    )
+    def test_primitives(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bottom_identity_preserved(self):
+        decoded = decode_value(encode_value(BOTTOM))
+        assert decoded is BOTTOM
+
+    @pytest.mark.parametrize(
+        "struct",
+        [
+            TimestampValue(7, "v", "w"),
+            TimestampValue(0, BOTTOM),
+            FrozenEntry(TimestampValue(3, None, "w2"), 4),
+            FreezeDirective("r1", TimestampValue(1, "x", "w"), 2),
+            NewReadReport("r9", 300),
+            WalRecord("k1", "pw", 7, "w", "v7"),
+            WalRecord("", "vw", 0, "", BOTTOM),
+        ],
+    )
+    def test_registered_structs(self, struct):
+        assert decode_value(encode_value(struct)) == struct
+
+    def test_unencodable_type_names_escape_hatch(self):
+        with pytest.raises(WireEncodeError, match="pickle"):
+            encode_value({1, 2, 3})
+
+    def test_tuple_and_list_stay_distinct(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert decode_value(encode_value([1, 2])) == [1, 2]
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+
+
+class TestStructRegistry:
+    def test_reregistering_same_pair_is_idempotent(self):
+        register_struct(0x18, WalRecord)  # already owned by persist.wal
+
+    def test_conflicting_tag_reuse_rejected(self):
+        with pytest.raises(ValueError):
+            register_struct(0x18, NewReadReport)
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            register_struct(0x7F, object)
+
+
+class TestMessageRoundtrip:
+    @pytest.mark.parametrize(
+        "message", message_zoo(), ids=lambda m: type(m).__name__
+    )
+    def test_zoo_roundtrips(self, message):
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert type(decoded) is type(message)
+
+    def test_every_message_type_has_permanent_tag(self):
+        # The tag table is append-only; this pins the published numbers.
+        assert MESSAGE_TAGS[PreWrite] == 1
+        assert MESSAGE_TAGS[Batch] == 13
+        assert len(set(MESSAGE_TAGS.values())) == len(MESSAGE_TAGS)
+
+    def test_batch_recursive_framing(self):
+        inner = Read(sender="w", register_id="k1", read_ts=1)
+        nested = Batch(sender="w", messages=(Batch(sender="w", messages=(inner,)),))
+        decoded = decode_message(encode_message(nested))
+        assert decoded == nested
+        assert decoded.messages[0].messages[0] == inner
+
+    def test_frame_starts_with_magic_and_version(self):
+        frame = encode_message(Read(sender="r1"))
+        assert frame[:2] == MAGIC
+        assert frame[2] == WIRE_VERSION
+
+    def test_binary_smaller_than_pickle(self):
+        binary, pickle_codec = get_codec("binary"), get_codec("pickle")
+        for message in message_zoo():
+            assert len(binary.encode_message(message)) < len(
+                pickle_codec.encode_message(message)
+            )
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        message = Write(sender="w", ts=3, pair=TimestampValue(3, "v", "w"))
+        data = encode_envelope("w", "s2", message)
+        assert decode_envelope(data) == ("w", "s2", message)
+
+    def test_message_frame_rejected_as_envelope(self):
+        with pytest.raises(WireDecodeError, match="envelope"):
+            decode_envelope(encode_message(Read(sender="r1")))
+
+    def test_frame_size_is_prefix_plus_payload(self):
+        codec = get_codec("binary")
+        message = ReadAck(sender="s1", read_ts=2, round=1)
+        assert codec.frame_size("s1", "r1", message) == LENGTH_PREFIX_BYTES + len(
+            codec.encode_envelope("s1", "r1", message)
+        )
+
+
+class TestDecodeErrors:
+    def test_unknown_version(self):
+        frame = bytearray(encode_message(Read(sender="r1")))
+        frame[2] = WIRE_VERSION + 1
+        with pytest.raises(UnknownVersionError):
+            decode_message(bytes(frame))
+
+    def test_unknown_tag(self):
+        frame = bytearray(encode_message(Read(sender="r1")))
+        frame[3] = 0xEE
+        with pytest.raises(UnknownTagError):
+            decode_message(bytes(frame))
+
+    def test_bad_magic_mentions_pickle_dialect(self):
+        with pytest.raises(WireDecodeError, match="pickle"):
+            decode_message(b"\x80\x04" + b"junk")
+
+    def test_truncated_header(self):
+        with pytest.raises(WireDecodeError, match="truncated"):
+            decode_message(MAGIC)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireDecodeError, match="trailing"):
+            decode_message(encode_message(Read(sender="r1")) + b"\x00")
+
+    def test_envelope_tag_constant_reserved(self):
+        assert TAG_ENVELOPE not in MESSAGE_TAGS.values()
+
+
+class TestCodecObjects:
+    def test_get_codec_resolution(self):
+        assert get_codec(None) is get_codec("binary")
+        assert isinstance(get_codec("binary"), BinaryCodec)
+        assert isinstance(get_codec("pickle"), PickleCodec)
+        instance = BinaryCodec()
+        assert get_codec(instance) is instance
+
+    def test_unknown_codec_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("msgpack")
+
+    def test_pickle_escape_hatch_roundtrips(self):
+        codec: Codec = get_codec("pickle")
+        message = PreWrite(
+            sender="w", ts=1, pw=TimestampValue(1, "v", "w"), w=TimestampValue(0, BOTTOM)
+        )
+        assert codec.decode_message(codec.encode_message(message)) == message
+        assert codec.decode_envelope(codec.encode_envelope("w", "s1", message)) == (
+            "w",
+            "s1",
+            message,
+        )
+        assert codec.decode_value(codec.encode_value({"a": 1})) == {"a": 1}
+
+
+# ----------------------------------------------------------------- hypothesis
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.just(BOTTOM),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+_pairs = st.builds(
+    TimestampValue,
+    ts=st.integers(min_value=0, max_value=2**40),
+    val=st.one_of(st.just(BOTTOM), st.none(), st.text(max_size=10), st.integers()),
+    writer_id=st.text(max_size=4),
+)
+
+_messages = st.one_of(
+    st.builds(
+        Read,
+        sender=st.text(max_size=6),
+        register_id=st.text(max_size=6),
+        epoch=st.integers(min_value=0, max_value=2**20),
+        read_ts=st.integers(min_value=0, max_value=2**30),
+        round=st.integers(min_value=0, max_value=5),
+    ),
+    st.builds(
+        Write,
+        sender=st.text(max_size=6),
+        ts=st.integers(min_value=0, max_value=2**30),
+        pair=_pairs,
+    ),
+    st.builds(
+        WriteAck,
+        sender=st.text(max_size=6),
+        epoch=st.integers(min_value=0, max_value=2**20),
+        ts=st.integers(min_value=0, max_value=2**30),
+        from_writer=st.booleans(),
+    ),
+    st.builds(
+        ReadAck,
+        sender=st.text(max_size=6),
+        read_ts=st.integers(min_value=0, max_value=2**30),
+        pw=_pairs,
+        w=_pairs,
+        vw=st.one_of(st.none(), _pairs),
+        frozen=st.one_of(st.none(), st.builds(FrozenEntry, pair=_pairs, read_ts=st.integers(min_value=0, max_value=100))),
+    ),
+)
+
+
+class TestHypothesisRoundtrip:
+    @settings(max_examples=200, deadline=None)
+    @given(value=_values)
+    def test_values(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @settings(max_examples=200, deadline=None)
+    @given(message=_messages)
+    def test_messages(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @settings(max_examples=100, deadline=None)
+    @given(messages=st.lists(_messages, max_size=5), sender=st.text(max_size=6))
+    def test_batches(self, messages, sender):
+        batch = Batch(sender=sender, messages=tuple(messages))
+        assert decode_message(encode_message(batch)) == batch
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        source=st.text(max_size=8), destination=st.text(max_size=8), message=_messages
+    )
+    def test_envelopes(self, source, destination, message):
+        assert decode_envelope(encode_envelope(source, destination, message)) == (
+            source,
+            destination,
+            message,
+        )

@@ -1,0 +1,88 @@
+"""Golden-vector tests: the wire format's bytes are pinned by a fixture.
+
+The checked-in hex vectors of ``tests/fixtures/wire_golden_vectors.json`` are
+the published wire format of :data:`repro.wire.WIRE_VERSION`.  Any byte-level
+drift — reordered fields, changed varints, renumbered tags — fails here; the
+only legitimate way to change these bytes is to bump ``WIRE_VERSION`` and
+regenerate the fixture::
+
+    PYTHONPATH=src python -m repro.wire.golden tests/fixtures/wire_golden_vectors.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.wire import WIRE_VERSION, decode_message
+from repro.wire.codec import decode_envelope
+from repro.wire.golden import generate_vectors, message_zoo, wal_segment_records
+from repro.persist.wal import decode_frames
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "fixtures", "wire_golden_vectors.json"
+)
+
+_DRIFT_HINT = (
+    "wire bytes changed without a WIRE_VERSION bump. If the format change is "
+    "intentional, bump repro.wire.codec.WIRE_VERSION and regenerate the "
+    "fixture: PYTHONPATH=src python -m repro.wire.golden "
+    "tests/fixtures/wire_golden_vectors.json"
+)
+
+
+def _fixture():
+    with open(FIXTURE, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_fixture_matches_this_builds_wire_version():
+    assert _fixture()["wire_version"] == WIRE_VERSION, (
+        "fixture was generated for a different wire version; regenerate it "
+        "for this build"
+    )
+
+
+def test_message_vectors_are_stable():
+    fixture = _fixture()
+    current = generate_vectors()
+    assert set(current["messages"]) == set(fixture["messages"]), (
+        "message zoo changed; regenerate the fixture alongside a version bump"
+    )
+    for name, expected_hex in fixture["messages"].items():
+        assert current["messages"][name] == expected_hex, (
+            f"{name}: {_DRIFT_HINT}"
+        )
+
+
+def test_envelope_vector_is_stable():
+    assert generate_vectors()["envelope"] == _fixture()["envelope"], _DRIFT_HINT
+
+
+def test_wal_segment_vector_is_stable():
+    assert generate_vectors()["wal_segment"] == _fixture()["wal_segment"], _DRIFT_HINT
+
+
+@pytest.mark.parametrize(
+    "name, expected",
+    [(type(m).__name__, m) for m in message_zoo()],
+)
+def test_fixture_bytes_decode_to_the_zoo(name, expected):
+    # The pinned bytes are not just stable, they still *decode* — a vector
+    # matching stale code would otherwise hide a broken decoder.
+    data = bytes.fromhex(_fixture()["messages"][name])
+    assert decode_message(data) == expected
+
+
+def test_fixture_envelope_decodes():
+    source, destination, message = decode_envelope(
+        bytes.fromhex(_fixture()["envelope"])
+    )
+    assert (source, destination) == ("r1", "s1")
+    assert message == message_zoo()[6]
+
+
+def test_fixture_wal_segment_replays():
+    records, good_length = decode_frames(bytes.fromhex(_fixture()["wal_segment"]))
+    assert records == wal_segment_records()
+    assert good_length == len(bytes.fromhex(_fixture()["wal_segment"]))
