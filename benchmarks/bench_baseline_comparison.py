@@ -54,11 +54,11 @@ def test_e10_table_shape(benchmark):
     lucky = [row for row in table.rows if row["protocol"] == "lucky-atomic"]
     slow = [row for row in table.rows if row["protocol"] == "slow-robust"]
     abd = [row for row in table.rows if row["protocol"] == "abd-crash-only"]
-    for lucky_row, slow_row in zip(lucky, slow):
+    for lucky_row, slow_row in zip(lucky, slow, strict=True):
         # The lucky store wins by roughly the ratio of round counts (~3x).
         assert slow_row["read_latency"] / lucky_row["read_latency"] > 2.0
         assert slow_row["write_rounds"] == 3.0 and lucky_row["write_rounds"] == 1.0
-    for lucky_row, abd_row in zip(lucky, abd):
+    for lucky_row, abd_row in zip(lucky, abd, strict=True):
         # Same number of write rounds as the crash-only classic, one fewer
         # read round, while additionally tolerating Byzantine servers.
         assert lucky_row["write_rounds"] == abd_row["write_rounds"] == 1.0

@@ -27,7 +27,7 @@ def test_a2_table(benchmark):
     table = benchmark.pedantic(experiment_scalability, kwargs={"max_t": 4}, rounds=1, iterations=1)
     messages = table.column("messages_per_write")
     servers = table.column("servers")
-    assert all(m == pytest.approx(2 * s) for m, s in zip(messages, servers))
+    assert all(m == pytest.approx(2 * s) for m, s in zip(messages, servers, strict=True))
     latencies = table.column("write_latency")
     # Latency is round-bound, not size-bound: it stays flat as t grows.
     assert max(latencies) - min(latencies) < 1e-6

@@ -37,7 +37,7 @@ def test_s1_throughput_increases_monotonically_to_eight_shards(benchmark):
     assert len(throughputs) == 8
     # The acceptance bar: aggregate throughput grows monotonically 1 -> 8.
     assert all(
-        later > earlier for earlier, later in zip(throughputs, throughputs[1:])
+        later > earlier for earlier, later in zip(throughputs, throughputs[1:], strict=False)
     ), f"throughput not monotonically increasing: {throughputs}"
     # Sharding overlaps client operations, so the gain is substantial, not
     # marginal: 8 shards must beat 1 shard by at least 4x on this workload.

@@ -1,0 +1,110 @@
+"""Small AST helpers shared by the protocol rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if isinstance(node, ast.Call):
+        # super().handle_message -> "super().handle_message"
+        inner = dotted_name(node.func)
+        if inner is not None and not parts:
+            return f"{inner}()"
+        if inner is not None:
+            return f"{inner}()." + ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain (``a.b.C`` → ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def isinstance_targets(call: ast.Call) -> Tuple[Optional[str], Set[str]]:
+    """For an ``isinstance(x, T)`` / ``isinstance(x, (T, U))`` call, return
+    ``(tested_name, {type_names})``; ``(None, set())`` if not isinstance."""
+    if not (isinstance(call.func, ast.Name) and call.func.id == "isinstance"):
+        return None, set()
+    if len(call.args) != 2:
+        return None, set()
+    tested = call.args[0]
+    tested_name = tested.id if isinstance(tested, ast.Name) else None
+    types_node = call.args[1]
+    names: Set[str] = set()
+    elements = (
+        list(types_node.elts) if isinstance(types_node, ast.Tuple) else [types_node]
+    )
+    for element in elements:
+        name = terminal_name(element)
+        if name is not None:
+            names.add(name)
+    return tested_name, names
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def class_functions(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for statement in cls.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement  # type: ignore[misc]
+
+
+def find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for function in class_functions(cls):
+        if function.name == name:
+            return function
+    return None
+
+
+def message_param_name(function: ast.FunctionDef) -> Optional[str]:
+    """Name of the first parameter after ``self`` (the dispatched message)."""
+    args = function.args.args
+    if len(args) >= 2:
+        return args[1].arg
+    return None
+
+
+def flatten_name_tuple(node: ast.AST) -> Optional[List[str]]:
+    """Resolve a declaration expression into a flat list of identifiers.
+
+    Supports the shapes the rule declarations use: a tuple of names, a bare
+    name (a declared *group*), and ``+`` concatenations of either.  Returns
+    ``None`` when the expression contains anything else, so callers can
+    report an unanalyzable declaration instead of silently accepting it.
+    """
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for element in node.elts:
+            name = terminal_name(element)
+            if name is None:
+                return None
+            names.append(name)
+        return names
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = terminal_name(node)
+        return None if name is None else [name]
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = flatten_name_tuple(node.left)
+        right = flatten_name_tuple(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None

@@ -1,0 +1,37 @@
+"""The unit of analyzer output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is the path the engine was handed (kept relative when the input
+    was relative, so reports are stable across checkouts); ``line`` is
+    1-based; ``message`` states the violated discipline and, where possible,
+    what to do about it.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"

@@ -1,0 +1,31 @@
+"""Render an analysis report as text (for terminals/CI logs) or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .engine import AnalysisReport
+
+
+def render_text(report: "AnalysisReport") -> str:
+    """Human-readable report: one ``path:line: RPxx message`` row per finding."""
+    lines = [finding.format() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} "
+        f"({report.files_checked} files, {report.suppressed_count} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: "AnalysisReport") -> str:
+    """Machine-readable report for CI tooling."""
+    payload = {
+        "findings": [finding.to_dict() for finding in report.findings],
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed_count,
+        "rules": report.rule_ids,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

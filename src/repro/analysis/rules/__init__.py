@@ -1,0 +1,5 @@
+"""The repo-specific rule set.  Importing this package registers every rule."""
+
+from . import dispatch, durability, purity, timers, wire  # noqa: F401
+
+__all__ = ["dispatch", "durability", "purity", "timers", "wire"]

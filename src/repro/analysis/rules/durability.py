@@ -1,0 +1,109 @@
+"""RP05 — fsync-before-ack.
+
+The durability contract: a client must never observe an acknowledgement for
+state the WAL has not yet made crash-survivable.  ``DurableServer`` enforces
+this by appending (or buffering into the batch-scoped ``_buffered`` list,
+flushed before the batch's effects leave) *before* returning the inner
+automaton's effects.  Reordering those statements — returning effects first,
+logging after — reintroduces the lost-ack-on-crash bug the WAL exists to
+prevent, and no test catches it unless the crash lands in the window.
+
+The rule targets classes that own a WAL (an ``__init__`` with a ``wal``
+parameter or a ``self.wal``/``self._wal`` assignment) and checks every
+``return`` in ``handle_message`` that can carry effects: some durability
+call (``append`` on the WAL, ``self._append(...)``, or an append/extend on
+the buffered-records list) must precede it.  ``return Effects()`` literals
+are exempt — an empty effect set acknowledges nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..astutils import dotted_name, find_method
+from ..findings import Finding
+from ..registry import Rule, SourceFile, register
+
+_DURABILITY_CALL_SUFFIXES = ("append", "extend")
+
+
+def _owns_wal(cls: ast.ClassDef) -> bool:
+    init = find_method(cls, "__init__")
+    if init is None:
+        return False
+    if any(arg.arg == "wal" for arg in init.args.args):
+        return True
+    for node in ast.walk(init):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+            if node.attr in ("wal", "_wal") and isinstance(node.value, ast.Name):
+                return True
+    return False
+
+
+def _is_empty_effects(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "Effects"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_durability_call(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    tail = parts[-1]
+    if tail in _DURABILITY_CALL_SUFFIXES and len(parts) >= 2:
+        owner = parts[-2]
+        # self.wal.append(...), self._wal.append(...), self._buffered.extend(...)
+        if owner in ("wal", "_wal") or "buffer" in owner:
+            return True
+    # self._append(records) — DurableServer's flush helper.
+    return len(parts) == 2 and parts[0] == "self" and tail in ("_append", "_flush")
+
+
+@register
+class FsyncBeforeAck(Rule):
+    rule_id = "RP05"
+    title = "fsync-before-ack"
+    rationale = (
+        "acknowledgements must not leave the durable wrapper before the WAL "
+        "append that makes the acked state crash-survivable; a crash in the "
+        "window acks a write that recovery then forgets."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and _owns_wal(node):
+                findings.extend(self._check_class(file, node))
+        return findings
+
+    def _check_class(
+        self, file: SourceFile, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        method = find_method(cls, "handle_message")
+        if method is None:
+            return
+        durability_lines = [
+            call.lineno
+            for call in ast.walk(method)
+            if isinstance(call, ast.Call) and _is_durability_call(call)
+        ]
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if _is_empty_effects(node.value):
+                continue
+            if not any(line < node.lineno for line in durability_lines):
+                yield self.finding(
+                    file,
+                    node,
+                    f"{cls.name}.handle_message returns effects with no "
+                    "preceding WAL append/buffer on this path; the ack "
+                    "races the crash window",
+                )

@@ -1,0 +1,76 @@
+"""RP06 — timer-id scoping.
+
+Timers are cancelled and matched by string id.  A bare literal like
+``"retry"`` is shared by every concurrent operation on the automaton: one
+operation's completion cancels (or one round's stale firing resumes)
+another's.  PR 5 fixed exactly this in the reader — its retry timer lacked
+the op id, so an old read's timer fired into a new read's round.
+
+The rule flags ``start_timer(...)`` / ``StartTimer(...)`` whose timer-id
+argument is a context-free string: a plain constant, or an f-string with no
+interpolated values.  Ids built by helpers (``self._timer_id(op_id, ...)``),
+f-strings interpolating op/round state, and named module constants
+(``GRACE_TIMER_ID`` — a deliberate singleton, scoped by the constant's
+definition site) all pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..astutils import dotted_name
+from ..findings import Finding
+from ..registry import Rule, SourceFile, register
+
+
+def _timer_id_argument(call: ast.Call) -> Optional[ast.expr]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    tail = name.split(".")[-1]
+    if tail not in ("start_timer", "StartTimer"):
+        return None
+    for keyword in call.keywords:
+        if keyword.arg == "timer_id":
+            return keyword.value
+    return call.args[0] if call.args else None
+
+
+def _is_context_free(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return True
+    if isinstance(node, ast.JoinedStr):
+        return not any(
+            isinstance(value, ast.FormattedValue) for value in node.values
+        )
+    return False
+
+
+@register
+class TimerIdScoping(Rule):
+    rule_id = "RP06"
+    title = "timer-id-scoping"
+    rationale = (
+        "timer ids are match keys shared across concurrent operations; a "
+        "context-free literal lets one op's timer cancel or fire into "
+        "another's round.  Interpolate the op/round id or use a named "
+        "helper/constant."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            argument = _timer_id_argument(node)
+            if argument is not None and _is_context_free(argument):
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        "timer id is a context-free literal; interpolate "
+                        "op/round context or use a scoped helper",
+                    )
+                )
+        return findings

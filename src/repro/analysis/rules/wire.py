@@ -1,0 +1,250 @@
+"""RP02 — wire-registry consistency.
+
+The binary codec identifies every message type by a one-byte tag in
+``MESSAGE_TAGS`` and every wire-crossing dataclass by a ``register_struct``
+tag.  A missing entry fails at encode time on whichever node first sends the
+type; a *reused* tag is worse — frames decode as the wrong type on peers
+running the other assignment.  This rule proves the registry's invariants
+statically (it replaces an import-time assertion that only checked the
+single failure mode of a missing tag):
+
+* every tag in ``MESSAGE_TAGS`` is a unique integer, distinct from the
+  reserved frame-plane tags (``TAG_VALUE``/``TAG_ENVELOPE``);
+* every ``Message`` subclass defined in a ``messages.py`` module appears in
+  ``MESSAGE_TAGS``;
+* every ``register_struct`` tag is unique and within the value-plane range;
+* every struct type referenced by a message field annotation and imported
+  from a ``*types`` module is registered somewhere in the analyzed set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..astutils import terminal_name
+from ..findings import Finding
+from ..protocol import RESERVED_FRAME_TAGS, STRUCT_TAG_RANGE
+from ..registry import Rule, SourceFile, register
+
+
+def _find_message_tags(tree: ast.Module) -> Optional[ast.Dict]:
+    """The dict literal assigned to module-level ``MESSAGE_TAGS``, if any."""
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "MESSAGE_TAGS"
+                    and isinstance(statement.value, ast.Dict)
+                ):
+                    return statement.value
+    return None
+
+
+def _reserved_tags(tree: ast.Module) -> Dict[int, str]:
+    """TAG_VALUE/TAG_ENVELOPE constants from the same module, with defaults."""
+    reserved = dict(RESERVED_FRAME_TAGS)
+    reverse = {name: tag for tag, name in reserved.items()}
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign) and isinstance(
+            statement.value, ast.Constant
+        ):
+            value = statement.value.value
+            for target in statement.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in reverse
+                    and isinstance(value, int)
+                ):
+                    reserved.pop(reverse[target.id], None)
+                    reserved[value] = target.id
+                    reverse[target.id] = value
+    return reserved
+
+
+def _message_subclasses(tree: ast.Module) -> Dict[str, ast.ClassDef]:
+    """Concrete subclasses of ``Message`` defined in *tree* (fixpoint)."""
+    by_name = {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    message_like: Set[str] = {"Message"}
+    changed = True
+    while changed:
+        changed = False
+        for name, cls in by_name.items():
+            if name in message_like:
+                continue
+            for base in cls.bases:
+                base_name = terminal_name(base)
+                if base_name in message_like:
+                    message_like.add(name)
+                    changed = True
+                    break
+    message_like.discard("Message")
+    return {name: by_name[name] for name in message_like if name in by_name}
+
+
+@register
+class WireRegistryConsistency(Rule):
+    rule_id = "RP02"
+    title = "wire-registry-consistency"
+    rationale = (
+        "a message type without a MESSAGE_TAGS entry fails at encode time; "
+        "a reused tag decodes as the wrong type on peers.  Tags are forever: "
+        "assign a fresh one, never recycle."
+    )
+
+    def __init__(self) -> None:
+        # (tag, class_name, file, node) for every register_struct call seen.
+        self._struct_sites: List[Tuple[int, Optional[str], SourceFile, ast.Call]] = []
+        # Message classes defined in messages.py modules: name -> (file, node).
+        self._messages: Dict[str, Tuple[SourceFile, ast.ClassDef]] = {}
+        # Struct names referenced by message field annotations.
+        self._referenced_structs: Dict[str, Tuple[SourceFile, ast.AST]] = {}
+        self._tagged_messages: Set[str] = set()
+        self._saw_message_tags = False
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_message_tags(file))
+        self._collect_struct_registrations(file)
+        if file.path_endswith("messages.py"):
+            self._collect_messages(file)
+        return findings
+
+    # -- MESSAGE_TAGS ------------------------------------------------------
+
+    def _check_message_tags(self, file: SourceFile) -> Iterable[Finding]:
+        tags = _find_message_tags(file.tree)
+        if tags is None:
+            return
+        self._saw_message_tags = True
+        reserved = _reserved_tags(file.tree)
+        seen: Dict[int, str] = {}
+        for key, value in zip(tags.keys, tags.values, strict=True):
+            name = terminal_name(key) if key is not None else None
+            if name is None:
+                yield self.finding(
+                    file, value, "MESSAGE_TAGS keys must be message classes"
+                )
+                continue
+            self._tagged_messages.add(name)
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, int)):
+                yield self.finding(
+                    file, value, f"MESSAGE_TAGS[{name}] must be an integer literal"
+                )
+                continue
+            tag = value.value
+            if tag in seen:
+                yield self.finding(
+                    file,
+                    value,
+                    f"MESSAGE_TAGS tag {tag} assigned to both {seen[tag]} and "
+                    f"{name}; tags are never reused",
+                )
+            seen.setdefault(tag, name)
+            if tag in reserved:
+                yield self.finding(
+                    file,
+                    value,
+                    f"MESSAGE_TAGS[{name}] = {tag} collides with reserved "
+                    f"frame tag {reserved[tag]}",
+                )
+
+    # -- register_struct ---------------------------------------------------
+
+    def _collect_struct_registrations(self, file: SourceFile) -> None:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = terminal_name(node.func)
+            if name != "register_struct" or len(node.args) < 2:
+                continue
+            tag_node, cls_node = node.args[0], node.args[1]
+            tag = (
+                tag_node.value
+                if isinstance(tag_node, ast.Constant)
+                and isinstance(tag_node.value, int)
+                else None
+            )
+            if tag is None:
+                continue
+            self._struct_sites.append((tag, terminal_name(cls_node), file, node))
+
+    # -- message classes and their struct-typed fields ---------------------
+
+    def _collect_messages(self, file: SourceFile) -> None:
+        types_imports: Set[str] = set()
+        for statement in file.tree.body:
+            if isinstance(statement, ast.ImportFrom) and statement.module:
+                if statement.module.split(".")[-1].endswith("types"):
+                    types_imports.update(alias.name for alias in statement.names)
+        for name, cls in _message_subclasses(file.tree).items():
+            self._messages.setdefault(name, (file, cls))
+            for statement in cls.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                for node in ast.walk(statement.annotation):
+                    if isinstance(node, ast.Name) and node.id in types_imports:
+                        self._referenced_structs.setdefault(
+                            node.id, (file, statement)
+                        )
+
+    # -- project pass ------------------------------------------------------
+
+    def finish(self) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        low, high = STRUCT_TAG_RANGE
+        seen_structs: Dict[int, str] = {}
+        registered_structs: Set[str] = set()
+        for tag, cls_name, file, node in self._struct_sites:
+            label = cls_name or "<struct>"
+            registered_structs.add(label)
+            if not (low <= tag <= high):
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"register_struct tag 0x{tag:02X} for {label} is "
+                        f"outside the value plane 0x{low:02X}..0x{high:02X}",
+                    )
+                )
+            if tag in seen_structs:
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"register_struct tag 0x{tag:02X} reused by {label} "
+                        f"(already {seen_structs[tag]}); tags are never reused",
+                    )
+                )
+            seen_structs.setdefault(tag, label)
+
+        # Cross-file checks only fire when the relevant anchor was in the
+        # analyzed set — linting a fixture subtree must not demand the whole
+        # repo's registry.
+        if self._saw_message_tags:
+            for name, (file, cls) in sorted(self._messages.items()):
+                if name not in self._tagged_messages:
+                    findings.append(
+                        self.finding(
+                            file,
+                            cls,
+                            f"message class {name} has no MESSAGE_TAGS entry; "
+                            "assign the next unused tag",
+                        )
+                    )
+        if self._struct_sites:
+            for name, (file, node) in sorted(self._referenced_structs.items()):
+                if name not in registered_structs:
+                    findings.append(
+                        self.finding(
+                            file,
+                            node,
+                            f"wire-crossing struct {name} is referenced by a "
+                            "message field but never register_struct'ed",
+                        )
+                    )
+        return findings

@@ -19,11 +19,25 @@ from typing import Any, Dict, Optional, Set
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
 from ..core.config import ConfigurationError, SystemConfig
 from ..core.messages import (
+    CLIENT_BOUND_MESSAGES,
+    SERVER_BOUND_MESSAGES,
     BaselineQuery,
     BaselineQueryReply,
     BaselineStore,
     BaselineStoreAck,
+    LeaseGrant,
+    LeaseRenew,
+    LeaseRevoke,
+    LeaseRevokeAck,
     Message,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    TimestampQuery,
+    TimestampQueryAck,
+    Write,
+    WriteAck,
 )
 from ..core.protocol import ProtocolSuite
 from ..core.types import INITIAL_PAIR, TimestampValue
@@ -31,6 +45,17 @@ from ..core.types import INITIAL_PAIR, TimestampValue
 
 class ABDServer(Automaton):
     """An ABD replica: stores the highest timestamped pair it has seen."""
+
+    # The baseline speaks only the BaselineQuery/BaselineStore dialect; the
+    # core protocol's phases and leases never address it.
+    DISPATCH_IGNORES = CLIENT_BOUND_MESSAGES + (
+        PreWrite,
+        Write,
+        Read,
+        TimestampQuery,
+        LeaseRenew,
+        LeaseRevokeAck,
+    )
 
     def __init__(self, server_id: str, config: SystemConfig) -> None:
         super().__init__(server_id)
@@ -80,6 +105,17 @@ class _ABDReadAttempt:
 
 class ABDWriter(ClientAutomaton):
     """The ABD writer: one store round per WRITE."""
+
+    # Only BaselineStoreAck answers the writer's store round.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        PreWriteAck,
+        WriteAck,
+        TimestampQueryAck,
+        ReadAck,
+        LeaseGrant,
+        LeaseRevoke,
+        BaselineQueryReply,
+    )
 
     def __init__(self, config: SystemConfig, timer_delay: float = 10.0) -> None:
         super().__init__(config.writer_id, timer_delay=timer_delay)
@@ -132,6 +168,16 @@ class ABDWriter(ClientAutomaton):
 
 class ABDReader(ClientAutomaton):
     """The ABD reader: query round followed by a write-back round."""
+
+    # The reader consumes query replies and write-back store acks only.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        PreWriteAck,
+        WriteAck,
+        TimestampQueryAck,
+        ReadAck,
+        LeaseGrant,
+        LeaseRevoke,
+    )
 
     def __init__(self, reader_id: str, config: SystemConfig, timer_delay: float = 10.0) -> None:
         super().__init__(reader_id, timer_delay=timer_delay)

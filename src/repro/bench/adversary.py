@@ -27,11 +27,25 @@ from typing import Any, Dict, Optional, Set
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
 from ..core.config import SystemConfig
 from ..core.messages import (
+    CLIENT_BOUND_MESSAGES,
+    SERVER_BOUND_MESSAGES,
     BaselineQuery,
     BaselineQueryReply,
     BaselineStore,
     BaselineStoreAck,
+    LeaseGrant,
+    LeaseRenew,
+    LeaseRevoke,
+    LeaseRevokeAck,
     Message,
+    PreWrite,
+    PreWriteAck,
+    Read,
+    ReadAck,
+    TimestampQuery,
+    TimestampQueryAck,
+    Write,
+    WriteAck,
 )
 from ..core.protocol import ProtocolSuite
 from ..core.types import INITIAL_PAIR, TimestampValue
@@ -39,6 +53,16 @@ from ..core.types import INITIAL_PAIR, TimestampValue
 
 class NaiveServer(Automaton):
     """Stores a single pair; answers queries and stores without any vetting."""
+
+    # The adversarial baseline speaks only the baseline dialect.
+    DISPATCH_IGNORES = CLIENT_BOUND_MESSAGES + (
+        PreWrite,
+        Write,
+        Read,
+        TimestampQuery,
+        LeaseRenew,
+        LeaseRevokeAck,
+    )
 
     def __init__(self, server_id: str, config: SystemConfig) -> None:
         super().__init__(server_id)
@@ -76,6 +100,17 @@ class _NaiveAttempt:
 
 class NaiveWriter(ClientAutomaton):
     """One-round writes that stop at ``S - t`` acknowledgements."""
+
+    # Only BaselineStoreAck answers the one-round store.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        PreWriteAck,
+        WriteAck,
+        TimestampQueryAck,
+        ReadAck,
+        LeaseGrant,
+        LeaseRevoke,
+        BaselineQueryReply,
+    )
 
     def __init__(self, config: SystemConfig, timer_delay: float = 10.0) -> None:
         super().__init__(config.writer_id, timer_delay=timer_delay)
@@ -130,6 +165,17 @@ class NaiveReader(ClientAutomaton):
     server can impose an arbitrary value, which is precisely the failure mode
     the upper-bound proof exploits.
     """
+
+    # No write-back round, so not even BaselineStoreAck is consumed.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        PreWriteAck,
+        WriteAck,
+        TimestampQueryAck,
+        ReadAck,
+        LeaseGrant,
+        LeaseRevoke,
+        BaselineStoreAck,
+    )
 
     def __init__(self, reader_id: str, config: SystemConfig, timer_delay: float = 10.0) -> None:
         super().__init__(reader_id, timer_delay=timer_delay)

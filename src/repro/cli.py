@@ -144,11 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store_parser.add_argument(
         "--codec",
-        choices=["binary", "pickle"],
+        choices=["binary"],
         default="binary",
         help=(
             "wire codec the sweeps measure (and, with byte costs, charge) "
-            "frames under; pickle is the one-release escape hatch"
+            "frames under"
         ),
     )
     store_parser.add_argument(
@@ -156,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "also run the S6 codec micro-benchmark: encode/decode ops/sec "
-            "and bytes per representative frame, binary vs pickle"
+            "and bytes per representative frame"
         ),
     )
     store_parser.add_argument(
@@ -167,6 +167,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "write every produced experiment table as JSON to PATH "
             "(the CI benchmark job publishes this as BENCH_pr.json)"
         ),
+    )
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help=(
+            "run the protocol-aware static analysis rules (RP01..RP06) over "
+            "the given paths; non-zero exit on any finding"
+        ),
+    )
+    analyze_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (text for humans/CI logs, json for tooling)",
+    )
+    analyze_parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all), e.g. RP01,RP04",
+    )
+    analyze_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules with their rationale and exit",
     )
     return parser
 
@@ -291,7 +322,7 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
         print(recovery.to_markdown() if args.markdown else recovery.format())
     if args.codec_bench:
         # S6: the codec in isolation — encode/decode rate and bytes per
-        # representative frame, binary vs pickle side by side.
+        # representative frame.
         from .wire.bench import codec_microbench
 
         micro = codec_microbench()
@@ -346,6 +377,36 @@ def _cmd_store_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import all_rules
+    from .analysis.engine import run_analysis
+    from .analysis.reporters import render_json, render_text
+
+    if args.list_rules:
+        for rule_class in all_rules():
+            print(f"{rule_class.rule_id}  {rule_class.title}")
+            print(f"      {rule_class.rationale}")
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+        known = {rule_class.rule_id for rule_class in all_rules()}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = run_analysis(args.paths, select=select)
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    print(rendered)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``lucky-storage`` console script."""
     parser = _build_parser()
@@ -358,6 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo(args)
     if args.command == "store-bench":
         return _cmd_store_bench(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

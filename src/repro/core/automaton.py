@@ -11,7 +11,7 @@ deterministic virtual time and real wall-clock time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from .messages import Message
 
@@ -58,7 +58,7 @@ class OperationComplete:
     value: Any
     rounds: int
     fast: bool
-    metadata: dict = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -110,7 +110,7 @@ class Automaton:
         return Effects()
 
     # -- diagnostics ---------------------------------------------------------
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         """Structured snapshot of the automaton's state (for traces/tests)."""
         return {"process_id": self.process_id}
 

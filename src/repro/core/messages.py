@@ -312,3 +312,29 @@ ALL_MESSAGE_TYPES = (
 )
 
 MESSAGE_TYPE_BY_NAME = {cls.__name__: cls for cls in ALL_MESSAGE_TYPES}
+
+# Direction groups, usable in ``DISPATCH_IGNORES`` declarations (see
+# repro.analysis.rules.dispatch): a server-side automaton never receives
+# client-bound acks/grants, and vice versa.  The analyzer mirrors these
+# by name in repro.analysis.protocol; a unit test keeps the two in sync.
+CLIENT_BOUND_MESSAGES = (
+    PreWriteAck,
+    WriteAck,
+    TimestampQueryAck,
+    ReadAck,
+    LeaseGrant,
+    LeaseRevoke,
+    BaselineQueryReply,
+    BaselineStoreAck,
+)
+
+SERVER_BOUND_MESSAGES = (
+    PreWrite,
+    Write,
+    Read,
+    TimestampQuery,
+    LeaseRenew,
+    LeaseRevokeAck,
+    BaselineQuery,
+    BaselineStore,
+)

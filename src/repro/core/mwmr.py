@@ -24,9 +24,16 @@ sharded store's per-key deferral enforces for plain clients.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from .automaton import ClientAutomaton, Effects
 from .config import SystemConfig
 from .messages import (
+    SERVER_BOUND_MESSAGES,
+    BaselineQueryReply,
+    BaselineStoreAck,
+    LeaseGrant,
+    LeaseRevoke,
     Message,
     PreWriteAck,
     ReadAck,
@@ -42,6 +49,15 @@ class MultiWriterClient(ClientAutomaton):
 
     #: Marks the automaton for history consumers (completions carry it too).
     mwmr = True
+
+    # The client embeds a reader and a writer and forwards their ack types
+    # explicitly; lease traffic and baseline replies never address it.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        LeaseGrant,
+        LeaseRevoke,
+        BaselineQueryReply,
+        BaselineStoreAck,
+    )
 
     def __init__(
         self,
@@ -85,7 +101,7 @@ class MultiWriterClient(ClientAutomaton):
         return self.writer.busy or self.reader.busy
 
     # -------------------------------------------------------------- invocation
-    def write(self, value) -> Effects:
+    def write(self, value: Any) -> Effects:
         """Invoke ``WRITE(value)`` (query round, then the PW/W machinery)."""
         if self.busy:
             raise RuntimeError(
@@ -122,7 +138,7 @@ class MultiWriterClient(ClientAutomaton):
         return effects.merge(self.reader.on_timer(timer_id))
 
     # -------------------------------------------------------------- inspection
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         return {
             "process_id": self.process_id,
             "mwmr": True,

@@ -10,7 +10,7 @@ benchmark harness compare protocols apples-to-apples.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict
 
 from .automaton import Automaton, ClientAutomaton
 from .config import SystemConfig
@@ -77,7 +77,7 @@ class ProtocolSuite:
             processes[reader_id] = self.create_reader(reader_id)
         return processes
 
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "consistency": self.consistency,

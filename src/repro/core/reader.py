@@ -22,18 +22,23 @@ unbounded number of concurrent WRITEs (Theorem 2, case b).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from .automaton import ClientAutomaton, Effects, OperationComplete
 from .config import SystemConfig
 from .messages import (
+    SERVER_BOUND_MESSAGES,
+    BaselineQueryReply,
+    BaselineStoreAck,
     LeaseGrant,
     LeaseRenew,
     LeaseRevoke,
     LeaseRevokeAck,
     Message,
+    PreWriteAck,
     Read,
     ReadAck,
+    TimestampQueryAck,
     Write,
     WriteAck,
 )
@@ -65,6 +70,18 @@ class AtomicReader(ClientAutomaton):
     #: Number of write-back rounds (the core algorithm mirrors the 3-round
     #: WRITE pattern; the Appendix C variant overrides this with 2).
     WRITEBACK_ROUNDS = 3
+
+    # A reader only consumes ReadAck/WriteAck; writer-phase acks, lease
+    # traffic (handled by the LeasedReader subclass) and baseline replies
+    # never address it.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        PreWriteAck,
+        TimestampQueryAck,
+        LeaseGrant,
+        LeaseRevoke,
+        BaselineQueryReply,
+        BaselineStoreAck,
+    )
 
     #: Whether slow READs write the selected value back before returning.  The
     #: Appendix D regular variant sets this to ``False`` — dropping write-backs
@@ -268,7 +285,7 @@ class AtomicReader(ClientAutomaton):
         return effects
 
     # ------------------------------------------------------------ inspection
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         return {
             "process_id": self.process_id,
             "read_ts": self.read_ts,
@@ -330,7 +347,7 @@ class LeasedReader(AtomicReader):
         config: SystemConfig,
         lease_duration: float = 60.0,
         renew_fraction: float = 0.5,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(reader_id, config, **kwargs)
         if lease_duration <= 0:
@@ -548,7 +565,7 @@ class LeasedReader(AtomicReader):
         """Whether a read lease is currently active."""
         return self._lease is not None and self._lease.active
 
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         info = super().describe()
         info["lease"] = {
             "held": self.lease_held,

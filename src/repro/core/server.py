@@ -17,11 +17,16 @@ client messages, which is the paper's data-centric model.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
 from .automaton import Automaton, Effects
 from .config import SystemConfig
 from .messages import (
+    CLIENT_BOUND_MESSAGES,
+    BaselineQuery,
+    BaselineStore,
+    LeaseRenew,
+    LeaseRevokeAck,
     Message,
     PreWrite,
     PreWriteAck,
@@ -36,6 +41,7 @@ from .types import (
     INITIAL_FROZEN,
     INITIAL_PAIR,
     INITIAL_READ_TIMESTAMP,
+    FreezeDirective,
     FrozenEntry,
     NewReadReport,
     TimestampValue,
@@ -44,6 +50,15 @@ from .types import (
 
 class StorageServer(Automaton):
     """One replica ``s_i`` implementing the server side of Figures 1-3."""
+
+    # A bare server never sees client-bound replies; lease traffic targets a
+    # LeaseServer wrapper and baseline requests target the ABD baselines.
+    DISPATCH_IGNORES = CLIENT_BOUND_MESSAGES + (
+        LeaseRenew,
+        LeaseRevokeAck,
+        BaselineQuery,
+        BaselineStore,
+    )
 
     def __init__(self, server_id: str, config: SystemConfig) -> None:
         super().__init__(server_id)
@@ -111,7 +126,7 @@ class StorageServer(Automaton):
         return effects
 
     # ------------------------------------------------------------- PW phase
-    def _apply_freeze_directives(self, directives: Iterable) -> None:
+    def _apply_freeze_directives(self, directives: Iterable[FreezeDirective]) -> None:
         """Fig. 3, lines 5-6: adopt freeze directives that are not stale."""
         for directive in directives:
             self._ensure_reader(directive.reader_id)
@@ -190,7 +205,7 @@ class StorageServer(Automaton):
         """
 
     # ------------------------------------------------------------ durability
-    def export_state(self) -> dict:
+    def export_state(self) -> Dict[str, Any]:
         """Snapshot of the durable register state (for the persistence layer).
 
         The three timestamp-value registers plus the per-reader read/freeze
@@ -205,7 +220,7 @@ class StorageServer(Automaton):
             "frozen": dict(self.frozen),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: Dict[str, Any]) -> None:
         """Adopt a state snapshot produced by :meth:`export_state`.
 
         Restoration is monotone over the pairs (the ``update`` rule), so
@@ -224,7 +239,7 @@ class StorageServer(Automaton):
                 self.frozen[reader_id] = frozen
 
     # ------------------------------------------------------------ inspection
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         return {
             "process_id": self.process_id,
             "pw": self.pw,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 # The paper uses ``ts0`` as the initial timestamp and ``bottom`` as the initial
 # value of the storage (Section 2.2).  ``bottom`` is not a valid WRITE input.
@@ -34,7 +34,7 @@ class _Bottom:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "⊥"
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[type[_Bottom], tuple[()]]":
         return (_Bottom, ())
 
 
@@ -68,7 +68,7 @@ class TimestampValue:
     writer_id: str = ""
 
     @property
-    def order_key(self) -> tuple:
+    def order_key(self) -> Tuple[int, str]:
         """The lexicographic ordering key ``(ts, writer_id)``."""
         return (self.ts, self.writer_id)
 

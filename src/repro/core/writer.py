@@ -24,9 +24,15 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from .automaton import ClientAutomaton, Effects, OperationComplete
 from .config import SystemConfig
 from .messages import (
+    SERVER_BOUND_MESSAGES,
+    BaselineQueryReply,
+    BaselineStoreAck,
+    LeaseGrant,
+    LeaseRevoke,
     Message,
     PreWrite,
     PreWriteAck,
+    ReadAck,
     TimestampQuery,
     TimestampQueryAck,
     Write,
@@ -62,6 +68,16 @@ class AtomicWriter(ClientAutomaton):
     #: Last round of the W phase (the core algorithm runs rounds 2 and 3; the
     #: Appendix C and D variants stop after round 2).
     FINAL_W_ROUND = 3
+
+    # The writer consumes its own phase acks; read acks, lease traffic and
+    # baseline replies address readers/leased wrappers, never the writer.
+    DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
+        ReadAck,
+        LeaseGrant,
+        LeaseRevoke,
+        BaselineQueryReply,
+        BaselineStoreAck,
+    )
 
     #: Where freeze directives travel: ``"pw"`` means inside the *next* WRITE's
     #: PW message (core algorithm, Fig. 1); ``"w"`` means inside the *current*
@@ -324,7 +340,7 @@ class AtomicWriter(ClientAutomaton):
         return effects
 
     # ------------------------------------------------------------ inspection
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         return {
             "process_id": self.process_id,
             "ts": self.ts,

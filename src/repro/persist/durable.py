@@ -34,13 +34,13 @@ rounds for a concurrent slow READ — never a stale return value.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.automaton import Automaton, Effects
 from ..core.messages import Message
 from ..core.types import TimestampValue
-from .snapshot import SnapshotManager
-from .wal import WAL_FIELDS, WalRecord
+from .snapshot import SnapshotManager, SnapshotStore
+from .wal import WAL_FIELDS, WalLike, WalRecord
 
 
 def storage_registers(server: Automaton) -> Dict[str, Automaton]:
@@ -91,7 +91,7 @@ def notify_recovered(server: Automaton) -> None:
             stack.extend(registers.values())
 
 
-def export_server_state(server: Automaton) -> Dict[str, dict]:
+def export_server_state(server: Automaton) -> Dict[str, Dict[str, Any]]:
     """Snapshot every register's durable state: register id → state dict."""
     return {
         register_id: storage.export_state()
@@ -100,7 +100,7 @@ def export_server_state(server: Automaton) -> Dict[str, dict]:
     }
 
 
-def restore_server_state(server: Automaton, state: Dict[str, dict]) -> None:
+def restore_server_state(server: Automaton, state: Dict[str, Dict[str, Any]]) -> None:
     """Adopt a snapshot produced by :func:`export_server_state`."""
     registers = storage_registers(server)
     for register_id, register_state in state.items():
@@ -132,7 +132,7 @@ class DurableServer(Automaton):
     def __init__(
         self,
         inner: Automaton,
-        wal,
+        wal: WalLike,
         incarnation: int = 0,
         snapshots: Optional[SnapshotManager] = None,
     ) -> None:
@@ -171,7 +171,7 @@ class DurableServer(Automaton):
         return self._stamp(effects)
 
     @contextmanager
-    def append_batch(self):
+    def append_batch(self) -> Iterator[None]:
         """Group the WAL appends of several messages into one fsync'd batch.
 
         The hosting runtime wraps the processing of a multi-message
@@ -201,7 +201,7 @@ class DurableServer(Automaton):
         return self._stamp(self.inner.on_timer(timer_id))
 
     @staticmethod
-    def _capture(storage: Optional[Automaton]) -> Optional[tuple]:
+    def _capture(storage: Optional[Automaton]) -> Optional[Tuple[Any, ...]]:
         if storage is None:
             return None
         pairs = tuple(getattr(storage, field, None) for field in WAL_FIELDS)
@@ -211,12 +211,12 @@ class DurableServer(Automaton):
 
     @staticmethod
     def _diff(
-        register_id: str, storage: Optional[Automaton], before: Optional[tuple]
+        register_id: str, storage: Optional[Automaton], before: Optional[Tuple[Any, ...]]
     ) -> List[WalRecord]:
         if storage is None or before is None:
             return []
         records = []
-        for field, previous in zip(WAL_FIELDS, before):
+        for field, previous in zip(WAL_FIELDS, before, strict=True):
             current = getattr(storage, field)
             if current != previous:
                 records.append(
@@ -242,7 +242,7 @@ class DurableServer(Automaton):
         return stamped
 
     # ------------------------------------------------------------ inspection
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         info = self.inner.describe()
         info["durable"] = {
             "incarnation": self.incarnation,
@@ -253,8 +253,8 @@ class DurableServer(Automaton):
 
 def recover_server(
     fresh: Automaton,
-    wal,
-    snapshot_store=None,
+    wal: WalLike,
+    snapshot_store: Optional[SnapshotStore] = None,
     incarnation: int = 1,
     compact_every: Optional[int] = None,
 ) -> DurableServer:

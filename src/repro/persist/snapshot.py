@@ -17,18 +17,18 @@ snapshot file reads as "no snapshot", falling back to full-log replay.
 from __future__ import annotations
 
 import os
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Protocol, Union
 
 from ..wire import Codec, get_codec
 from ..wire.codec import MAGIC
-from .wal import _PICKLE_PROTO, frame_payload, unframe_payload
+from .wal import _PICKLE_PROTO, WalLike, frame_payload, unframe_payload
 
 
 def encode_snapshot(state: Any, codec: Union[str, Codec, None] = None) -> bytes:
     """One checksummed frame (the WAL's framing) holding the encoded *state*.
 
-    The payload is the versioned binary wire encoding unless a codec overrides
-    it (``codec="pickle"`` is the one-release escape hatch).
+    The payload is the versioned binary wire encoding unless a Codec instance
+    overrides it.
     """
     return frame_payload(get_codec(codec).encode_value(state))
 
@@ -81,6 +81,19 @@ def write_file_atomically(path: str, data: bytes) -> None:
         os.close(dir_fd)
 
 
+class SnapshotStore(Protocol):
+    """The two-method storage API snapshots live behind.
+
+    Satisfied structurally by :class:`FileSnapshot` and
+    :class:`MemorySnapshot`; ``load`` returns ``None`` when no snapshot has
+    been taken yet.
+    """
+
+    def save(self, state: Any) -> None: ...
+
+    def load(self) -> Optional[Any]: ...
+
+
 class FileSnapshot:
     """Atomic, checksummed snapshot storage backed by one file."""
 
@@ -129,7 +142,9 @@ class SnapshotManager:
     replays records the snapshot already covers (replay is idempotent).
     """
 
-    def __init__(self, store, wal, compact_every: int = 512) -> None:
+    def __init__(
+        self, store: SnapshotStore, wal: WalLike, compact_every: int = 512
+    ) -> None:
         if compact_every < 1:
             raise ValueError("compact_every must be at least 1")
         self.store = store
@@ -137,7 +152,7 @@ class SnapshotManager:
         self.compact_every = compact_every
         self.compactions = 0
 
-    def maybe_compact(self, export_state) -> bool:
+    def maybe_compact(self, export_state: Callable[[], Any]) -> bool:
         """Snapshot via the *export_state* callable if the log is due; returns
         whether a compaction ran."""
         if self.wal.record_count < self.compact_every:

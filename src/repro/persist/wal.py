@@ -12,8 +12,8 @@ first, so the reader knows exactly which dialect each frame uses.  Logs
 written by the previous pickle framing still replay: a pickle payload opens
 with the ``0x80`` PROTO opcode, unambiguous against the wire magic, and
 :func:`decode_frames` falls back to the legacy decoder per frame.  New frames
-are always written with the configured codec (binary unless the
-``codec="pickle"`` escape hatch was selected).  The log is strictly
+are always written with the configured codec (binary; the pickle escape
+hatch is gone — this reader is why old logs survive it).  The log is strictly
 append-only; appends are
 *batch-grouped*: one :meth:`WriteAheadLog.append` call writes any number of
 records and ends in a single ``flush`` + ``fsync`` — the durability point.
@@ -39,7 +39,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Any, BinaryIO, List, Optional, Sequence, Union
+from typing import Any, BinaryIO, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..wire import Codec, get_codec, register_struct
 from ..wire.codec import MAGIC
@@ -76,12 +76,32 @@ class WalRecord:
 register_struct(0x18, WalRecord)
 
 
+class WalLike(Protocol):
+    """The record-log API the durability layer programs against.
+
+    Satisfied structurally by both :class:`WriteAheadLog` (file-backed) and
+    :class:`MemoryWAL` (simulator) — the durable wrapper and the snapshot
+    compactor never care which one they hold.
+    """
+
+    def append(self, records: Sequence[WalRecord]) -> None: ...
+
+    def replay(self, truncate: bool = True) -> List[WalRecord]: ...
+
+    def reset(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    @property
+    def record_count(self) -> int: ...
+
+
 def frame_payload(payload: bytes) -> bytes:
     """One length+CRC32-framed chunk (shared by WAL records and snapshots)."""
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def unframe_payload(data: bytes, offset: int = 0) -> Optional[tuple]:
+def unframe_payload(data: bytes, offset: int = 0) -> Optional[Tuple[bytes, int]]:
     """Decode the frame at *offset*: ``(payload, end_offset)``, or ``None``
     when the frame is torn (short header/payload) or fails its checksum."""
     if offset + _HEADER.size > len(data):
@@ -130,7 +150,7 @@ def decode_record_payload(payload: bytes) -> Optional[WalRecord]:
     return record if isinstance(record, WalRecord) else None
 
 
-def decode_frames(data: bytes) -> tuple:
+def decode_frames(data: bytes) -> Tuple[List[WalRecord], int]:
     """Decode every intact frame of *data*; returns ``(records, good_length)``.
 
     Decoding stops at the first bad frame — short header, short payload or
@@ -156,9 +176,9 @@ class WriteAheadLog:
     """Append-only, checksummed, fsync-per-batch log backed by a real file.
 
     ``codec`` selects the payload encoding of *newly appended* frames (binary
-    by default; ``"pickle"`` is the one-release escape hatch).  Replay is
-    codec-agnostic — each frame declares its own dialect — so a log written
-    under the old pickle framing keeps replaying after the upgrade.
+    by default).  Replay is codec-agnostic — each frame declares its own
+    dialect — so a log written under the old pickle framing keeps replaying
+    after the upgrade even though nothing can write that dialect anymore.
     """
 
     def __init__(
@@ -247,7 +267,7 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -55,9 +55,8 @@ class AsyncCluster:
         self.suite = suite
         self.config = suite.config
         self.time_scale = time_scale
-        #: Wire codec for the default transport and the durable files (binary
-        #: unless the ``"pickle"`` escape hatch is selected).  An explicitly
-        #: passed *transport* keeps its own codec.
+        #: Wire codec for the default transport and the durable files
+        #: (binary).  An explicitly passed *transport* keeps its own codec.
         self.codec = codec
         self.transport = transport or InMemoryTransport(
             constant_delay(message_delay_s), codec=codec

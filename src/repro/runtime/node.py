@@ -58,7 +58,7 @@ def make_durable(
         # previous incarnation number or the file does not exist at all —
         # never a torn write that would regress the epoch and make peers'
         # monotone fencing reject the recovered node forever.
-        with open(epoch_path, "r", encoding="utf-8") as fh:
+        with open(epoch_path, encoding="utf-8") as fh:
             incarnation = int(fh.read().strip()) + 1
         node_server = recover_server(
             automaton,

@@ -11,8 +11,7 @@ Two transports are provided:
   used by the ``examples/asyncio_cluster.py`` example and by integration tests
   to show that the very same automata run over real sockets.
 
-Both take a ``codec`` ("binary" by default; ``"pickle"`` keeps the previous
-serializer selectable for one release) and count ``bytes_sent`` next to
+Both take a ``codec`` ("binary" by default) and count ``bytes_sent`` next to
 ``frames_sent``, so bytes-on-wire is an observable, not a guess.
 
 Both enforce the paper's channel model: a message is delivered to exactly the
@@ -282,7 +281,7 @@ class TcpTransport(Transport):
             # connection failing too means the destination is genuinely down,
             # which the protocol layer tolerates (it is a crash, not a lossy
             # link).
-            for attempt in range(2):
+            for _attempt in range(2):
                 if self._closed:
                     return
                 connection = self._connections.get(key)

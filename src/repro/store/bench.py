@@ -38,7 +38,7 @@ Two entry points, shared by ``benchmarks/bench_sharded_store.py`` and the
 
 from __future__ import annotations
 
-import time
+import time  # repro: ignore[RP04] -- wall-clock benchmark harness, not simulated
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..bench.harness import ExperimentTable
@@ -58,8 +58,8 @@ from ..workload.generator import (
 from ..wire import Codec
 from .sim import ShardedSimStore
 
-#: Codec selector every sweep takes: a name ("binary"/"pickle"), a Codec
-#: instance, or None for the default (binary).
+#: Codec selector every sweep takes: a name ("binary"), a Codec instance, or
+#: None for the default (binary).
 CodecArg = Union[str, Codec, None]
 
 
@@ -160,9 +160,7 @@ def sharded_throughput_sweep(
     """Aggregate throughput of the same workload as the shard count grows.
 
     Alongside throughput, each row reports the encoded wire bytes of every
-    frame the run put on the (simulated) line under the selected codec; a note
-    compares binary vs pickle bytes on one shard point, quantifying what the
-    wire format buys.
+    frame the run put on the (simulated) line under the selected codec.
     """
     table = ExperimentTable(
         experiment_id="S1",
@@ -178,7 +176,6 @@ def sharded_throughput_sweep(
         ],
     )
     baseline: Optional[float] = None
-    compare_shards: Optional[int] = None
     for num_shards in shard_counts:
         store, throughput = run_store_throughput(
             num_shards,
@@ -195,8 +192,6 @@ def sharded_throughput_sweep(
         )
         if baseline is None:
             baseline = throughput
-        if compare_shards is None:
-            compare_shards = num_shards
         table.add_row(
             shards=num_shards,
             operations=len(completed),
@@ -210,25 +205,6 @@ def sharded_throughput_sweep(
         "virtual-time throughput on the in-memory simulator; every per-key "
         "history passed the atomicity checker before being counted"
     )
-    if compare_shards is not None:
-        codec_bytes = {}
-        for name in ("binary", "pickle"):
-            comparison_store, _ = run_store_throughput(
-                compare_shards,
-                num_operations=num_operations,
-                t=t,
-                b=b,
-                num_readers=num_readers,
-                batching=batching,
-                codec=name,
-            )
-            codec_bytes[name] = comparison_store.bytes_sent
-        table.add_note(
-            f"codec comparison at {compare_shards} shard(s): binary puts "
-            f"{codec_bytes['binary']} B on the wire vs pickle "
-            f"{codec_bytes['pickle']} B "
-            f"({codec_bytes['pickle'] / codec_bytes['binary']:.1f}x smaller)"
-        )
     return table
 
 
@@ -662,7 +638,9 @@ def recovery_sweep(
         (0.25 * makespan + 1.5 * outage, 0.25 * makespan + 2.5 * outage),
     ]
     schedule = CrashRecoverySchedule()
-    for (crash_at, recover_at), group in zip(windows, (servers[:t], servers[t : 2 * t])):
+    for (crash_at, recover_at), group in zip(
+        windows, (servers[:t], servers[t : 2 * t]), strict=True
+    ):
         for server_id in group:
             schedule.crash(server_id, at=crash_at, recover_at=recover_at)
     store_crash, wall_crash = run_recovery_throughput(

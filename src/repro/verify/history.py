@@ -61,7 +61,7 @@ class OperationRecord:
 
 def _writes_never_overlap(writes: Sequence[OperationRecord]) -> bool:
     """Whether a sequence of writes (in invocation order) is well-formed."""
-    for earlier, later in zip(writes, writes[1:]):
+    for earlier, later in zip(writes, writes[1:], strict=False):
         if not earlier.complete and later.invoked_at >= earlier.invoked_at:
             # An incomplete write may only be the last one.
             return later is writes[-1] and earlier is writes[-2]

@@ -8,9 +8,9 @@ value encoding (:mod:`repro.wire.values`), so frame sizes are observable,
 non-Python clients can speak it, and any accidental format change fails the
 golden-vector tests loudly instead of silently shipping a new dialect.
 
-The previous serializer (pickle) remains selectable for one release via the
-``codec="pickle"`` escape hatch wherever a codec is accepted
-(:func:`get_codec`); it is no longer imported on any default path.
+The previous serializer (pickle) is gone from the write path entirely; the
+WAL/snapshot readers in :mod:`repro.persist` still *sniff* and decode legacy
+pickle frames so pre-migration files stay recoverable.
 """
 
 from .codec import (
@@ -18,7 +18,6 @@ from .codec import (
     WIRE_VERSION,
     BinaryCodec,
     Codec,
-    PickleCodec,
     UnknownTagError,
     UnknownVersionError,
     WireDecodeError,
@@ -37,7 +36,6 @@ __all__ = [
     "WIRE_VERSION",
     "BinaryCodec",
     "Codec",
-    "PickleCodec",
     "UnknownTagError",
     "UnknownVersionError",
     "WireDecodeError",

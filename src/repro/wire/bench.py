@@ -1,4 +1,4 @@
-"""Codec micro-benchmark: encode/decode rate and bytes, binary vs pickle.
+"""Codec micro-benchmark: encode/decode rate and bytes per frame.
 
 The S6 experiment measures the wire codec in isolation — no simulator, no
 event loop — on representative frames: a minimal ``Read``, a fully populated
@@ -66,12 +66,12 @@ def _ops_per_second(fn: Callable[[], object], min_seconds: float = 0.05) -> floa
 
 
 def codec_microbench(
-    codecs: Tuple[str, ...] = ("binary", "pickle"), min_seconds: float = 0.05
+    codecs: Tuple[str, ...] = ("binary",), min_seconds: float = 0.05
 ) -> ExperimentTable:
     """S6: per-frame encoded size and encode/decode ops/sec per codec."""
     table = ExperimentTable(
         experiment_id="S6",
-        title="wire codec: encode/decode rate and bytes, binary vs pickle",
+        title="wire codec: encode/decode rate and bytes per frame",
         columns=[
             "payload",
             "codec",
@@ -80,7 +80,6 @@ def codec_microbench(
             "decode_ops_per_s",
         ],
     )
-    sizes: dict = {}
     for label, source, destination, message in representative_payloads():
         for name in codecs:
             codec: Codec = get_codec(name)
@@ -88,7 +87,6 @@ def codec_microbench(
             decoded = codec.decode_envelope(encoded)
             if decoded != (source, destination, message):
                 raise AssertionError(f"{name} round-trip failed for {label}")
-            sizes[(label, name)] = len(encoded)
             table.add_row(
                 payload=label,
                 codec=name,
@@ -102,12 +100,6 @@ def codec_microbench(
                     min_seconds=min_seconds,
                 ),
             )
-    if {"binary", "pickle"} <= set(codecs):
-        ratios = ", ".join(
-            f"{label}: {sizes[(label, 'pickle')] / sizes[(label, 'binary')]:.1f}x"
-            for label, _, _, _ in representative_payloads()
-        )
-        table.add_note(f"pickle-to-binary size ratio per payload — {ratios}")
     table.add_note(
         "single-thread, in-process; every measured frame round-tripped "
         "(decode(encode(m)) == m) before being timed"

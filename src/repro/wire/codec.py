@@ -1,4 +1,4 @@
-"""The versioned binary message codec (and the pickle escape hatch).
+"""The versioned binary message codec.
 
 Frame layout
 ------------
@@ -28,12 +28,13 @@ errors :class:`WireDecodeError`, :class:`UnknownVersionError` and
 
 Codecs
 ------
-:func:`get_codec` resolves a codec selection (``"binary"``, ``"pickle"``, or
-an instance) into an object with the shared surface: ``encode_message`` /
+:func:`get_codec` resolves a codec selection (``"binary"`` or an instance)
+into an object with the shared surface: ``encode_message`` /
 ``decode_message``, ``encode_envelope`` / ``decode_envelope``,
-``encode_value`` / ``decode_value`` and ``frame_size``.  The pickle codec is
-the one-release escape hatch for the previous wire format; nothing imports
-pickle until it is actually selected.
+``encode_value`` / ``decode_value`` and ``frame_size``.  The pickle escape
+hatch of the migration release is gone; legacy pickle frames are still
+*readable* where they persist (WAL/snapshot files), via the sniffers in
+:mod:`repro.persist`.
 """
 
 from __future__ import annotations
@@ -42,7 +43,6 @@ import dataclasses
 from typing import Any, Dict, Tuple, Type, Union
 
 from ..core.messages import (
-    ALL_MESSAGE_TYPES,
     BaselineQuery,
     BaselineQueryReply,
     BaselineStore,
@@ -81,7 +81,6 @@ __all__ = [
     "MESSAGE_TAGS",
     "BinaryCodec",
     "Codec",
-    "PickleCodec",
     "UnknownTagError",
     "UnknownVersionError",
     "WireDecodeError",
@@ -130,22 +129,15 @@ TAG_ENVELOPE = 31
 
 _TYPE_BY_TAG: Dict[int, Type[Message]] = {tag: cls for cls, tag in MESSAGE_TAGS.items()}
 
-# Every message class must have a tag: adding a message type without wiring it
-# into the codec must fail at import time, not at the first send.
-_missing = [cls.__name__ for cls in ALL_MESSAGE_TYPES if cls not in MESSAGE_TAGS]
-if _missing:  # pragma: no cover - import-time guard
-    raise RuntimeError(f"message types without a wire tag: {_missing}")
+# Registry invariants — every message type tagged, tags unique, the Message
+# base header frozen at (sender, register_id, epoch) — are enforced by the
+# RP02 analyzer rule (`lucky-storage analyze`) and tests/unit/test_wire_registry.py
+# rather than import-time asserts.
 
 #: Per-class field layout beyond the Message base (sender, register_id, epoch).
 _EXTRA_FIELDS: Dict[Type[Message], Tuple[str, ...]] = {
     cls: tuple(f.name for f in dataclasses.fields(cls))[3:] for cls in MESSAGE_TAGS
 }
-_BASE_FIELDS = tuple(f.name for f in dataclasses.fields(Message))
-if _BASE_FIELDS != ("sender", "register_id", "epoch"):  # pragma: no cover
-    raise RuntimeError(
-        f"Message base fields changed to {_BASE_FIELDS}; the wire codec's "
-        "common header must be updated (and WIRE_VERSION bumped)"
-    )
 
 
 class UnknownVersionError(WireDecodeError):
@@ -346,54 +338,29 @@ class BinaryCodec(Codec):
         return value
 
 
-class PickleCodec(Codec):
-    """The previous wire format, selectable for one release via
-    ``codec="pickle"`` — the only path that still imports pickle."""
-
-    name = "pickle"
-
-    @staticmethod
-    def _pickle():
-        import pickle  # the escape hatch is the one legitimate importer
-
-        return pickle
-
-    def encode_message(self, message: Message) -> bytes:
-        pickle = self._pickle()
-        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-
-    def decode_message(self, data: bytes) -> Message:
-        return self._pickle().loads(data)
-
-    def encode_envelope(self, source: str, destination: str, message: Message) -> bytes:
-        pickle = self._pickle()
-        return pickle.dumps((source, destination, message), protocol=pickle.HIGHEST_PROTOCOL)
-
-    def decode_envelope(self, data: bytes) -> Tuple[str, str, Message]:
-        return self._pickle().loads(data)
-
-    def encode_value(self, value: Any) -> bytes:
-        pickle = self._pickle()
-        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-
-    def decode_value(self, data: bytes) -> Any:
-        return self._pickle().loads(data)
-
-
 _BINARY = BinaryCodec()
-_PICKLE = PickleCodec()
 
-CODECS: Dict[str, Codec] = {"binary": _BINARY, "pickle": _PICKLE}
+CODECS: Dict[str, Codec] = {"binary": _BINARY}
 
 
 def get_codec(codec: Union[str, Codec, None]) -> Codec:
-    """Resolve a codec selection: a name, an instance, or ``None`` (binary)."""
+    """Resolve a codec selection: a name, an instance, or ``None`` (binary).
+
+    The ``"pickle"`` escape hatch was removed after its one-release
+    migration window: pickle frames can still be *read* by the WAL/snapshot
+    legacy sniffers, but nothing writes them anymore.
+    """
     if codec is None:
         return _BINARY
     if isinstance(codec, Codec):
         return codec
     resolved = CODECS.get(codec)
     if resolved is None:
+        if codec == "pickle":
+            raise ValueError(
+                "the pickle codec was removed; binary is the only wire "
+                "format (legacy pickle WAL/snapshot frames remain readable)"
+            )
         raise ValueError(
             f"unknown codec {codec!r}; choose one of {sorted(CODECS)} or pass "
             "a Codec instance"

@@ -26,15 +26,15 @@ itself from its own module (the wire package must not import persistence).
 
 An unsupported Python type raises :class:`WireEncodeError` naming the type —
 the value space is deliberately closed, because an exhaustively checkable wire
-format cannot contain "whatever the process happened to have in memory" (that
-is what the ``codec="pickle"`` escape hatch is for, for one release).
+format cannot contain "whatever the process happened to have in memory";
+register a struct tag for any new wire-crossing dataclass.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Tuple, Type
 
 from ..core.types import (
     BOTTOM,
@@ -76,12 +76,12 @@ T_STRUCT_BASE = 0x10
 _FLOAT = struct.Struct("!d")
 
 #: tag -> dataclass, and the reverse, for the registered struct shapes.
-_STRUCT_BY_TAG: Dict[int, type] = {}
-_TAG_BY_STRUCT: Dict[type, int] = {}
-_STRUCT_FIELDS: Dict[type, Tuple[str, ...]] = {}
+_STRUCT_BY_TAG: Dict[int, Type[Any]] = {}
+_TAG_BY_STRUCT: Dict[Type[Any], int] = {}
+_STRUCT_FIELDS: Dict[Type[Any], Tuple[str, ...]] = {}
 
 
-def register_struct(tag: int, cls: type) -> type:
+def register_struct(tag: int, cls: Type[Any]) -> Type[Any]:
     """Assign wire *tag* to the frozen dataclass *cls* (one tag, forever).
 
     Fields are encoded in declaration order with the self-describing value
@@ -212,8 +212,8 @@ def write_value(out: bytearray, value: Any) -> None:
         if tag is None:
             raise WireEncodeError(
                 f"type {type(value).__name__!r} has no wire encoding; the "
-                "binary value space is closed (use codec='pickle' to move "
-                "arbitrary objects for one more release)"
+                "binary value space is closed — register_struct a tag for it "
+                "(and bump WIRE_VERSION)"
             )
         out.append(tag)
         for name in _STRUCT_FIELDS[type(value)]:

@@ -1,0 +1,17 @@
+"""RP04 fixture: wall clocks and unseeded randomness in a ``core/`` path."""
+
+import random
+import time
+from datetime import datetime
+
+
+def now():
+    return time.time()
+
+
+def today():
+    return datetime.now()
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,49 @@
+"""RP01 fixture: an isinstance dispatcher that covers almost nothing."""
+
+
+class Effects:
+    pass
+
+
+class Read:
+    pass
+
+
+class WriteAck:
+    pass
+
+
+class LeakyAutomaton:
+    """Handles two types, declares nothing ignored: every other wire message
+    silently falls through to the empty Effects."""
+
+    def handle_message(self, message):
+        if isinstance(message, Read):
+            return Effects()
+        if isinstance(message, WriteAck):
+            return Effects()
+        return Effects()
+
+
+class TypoedDeclaration:
+    """Declares an unknown name in DISPATCH_IGNORES: the declaration itself
+    must be flagged, or a typo would silently waive the obligation."""
+
+    DISPATCH_IGNORES = (ReadAckk,)  # noqa: F821 -- parsed, never imported
+
+    def handle_message(self, message):
+        if isinstance(message, Read):
+            return Effects()
+        return Effects()
+
+
+class DelegatingWrapper:
+    """Forwards everything unconditionally: carries no obligation."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def handle_message(self, message):
+        if isinstance(message, Read):
+            return Effects()
+        return self.inner.handle_message(message)

@@ -1,0 +1,8 @@
+"""RP02 fixture: a wire-crossing struct that is never register_struct'ed."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Payload:
+    data: bytes = b""

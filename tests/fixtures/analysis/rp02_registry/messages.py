@@ -1,0 +1,34 @@
+"""RP02 fixture: message classes, one of which never gets a wire tag."""
+
+from dataclasses import dataclass
+
+from .faketypes import Payload
+
+
+@dataclass(frozen=True)
+class Message:
+    sender: str = ""
+    register_id: str = ""
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class Pong(Message):
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class Pang(Message):
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class Orphan(Message):
+    """Defined but absent from MESSAGE_TAGS: the seeded RP02 violation."""
+
+    body: Payload = None

@@ -1,0 +1,25 @@
+"""RP02 fixture: a message-tag registry with a reused and a reserved tag."""
+
+from .messages import Pang, Ping, Pong
+
+
+def register_struct(tag, cls):
+    pass
+
+
+class Registered:
+    pass
+
+
+TAG_VALUE = 30
+TAG_ENVELOPE = 31
+
+MESSAGE_TAGS = {
+    Ping: 1,
+    Pong: 1,  # duplicate: reuses Ping's tag
+    Pang: 30,  # collides with the reserved TAG_VALUE frame tag
+}
+
+register_struct(0x10, Registered)
+register_struct(0x10, Registered)  # duplicate struct tag
+register_struct(0x05, Registered)  # below the value plane

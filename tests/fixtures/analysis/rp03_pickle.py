@@ -1,0 +1,7 @@
+"""RP03 fixture: a stray pickle import outside the legacy sniffers."""
+
+import pickle
+
+
+def load(data):
+    return pickle.loads(data)

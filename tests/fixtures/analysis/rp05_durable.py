@@ -1,0 +1,21 @@
+"""RP05 fixture: a durable wrapper acking before the WAL append."""
+
+
+class Effects:
+    def __init__(self, sends=()):
+        self.sends = sends
+
+
+class BrokenDurableServer:
+    """Returns the inner effects first, logs after: the classic
+    lost-ack-on-crash reordering."""
+
+    def __init__(self, inner, wal):
+        self.inner = inner
+        self.wal = wal
+
+    def handle_message(self, message):
+        effects = self.inner.handle_message(message)
+        if not effects.sends:
+            return Effects()
+        return effects  # seeded violation: no wal.append on this path

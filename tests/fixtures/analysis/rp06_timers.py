@@ -1,0 +1,12 @@
+"""RP06 fixture: timer ids without op/round context."""
+
+
+class Effects:
+    def start_timer(self, timer_id, delay):
+        pass
+
+
+def schedule(effects, op_id):
+    effects.start_timer("retry", 1.0)  # seeded violation: shared literal id
+    effects.start_timer(f"retry/static", 1.0)  # f-string with no interpolation
+    effects.start_timer(f"retry/{op_id}", 1.0)  # fine: carries the op id

@@ -1,0 +1,7 @@
+"""Suppression fixture: the same RP03 violation as rp03_pickle.py, silenced."""
+
+import pickle  # repro: ignore[RP03]
+
+
+def load(data):
+    return pickle.loads(data)

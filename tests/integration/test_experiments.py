@@ -91,7 +91,7 @@ class TestExperimentShapes:
         table = experiment_baseline_comparison(t=2, b=1, cycles=3)
         lucky_rows = [row for row in table.rows if row["protocol"] == "lucky-atomic"]
         slow_rows = [row for row in table.rows if row["protocol"] == "slow-robust"]
-        for lucky, slow in zip(lucky_rows, slow_rows):
+        for lucky, slow in zip(lucky_rows, slow_rows, strict=True):
             assert lucky["write_rounds"] < slow["write_rounds"]
             assert lucky["read_rounds"] < slow["read_rounds"]
             assert lucky["read_latency"] < slow["read_latency"]
@@ -107,7 +107,7 @@ class TestExperimentShapes:
         servers = table.column("servers")
         assert all(
             count == pytest.approx(2 * server_count)
-            for count, server_count in zip(messages, servers)
+            for count, server_count in zip(messages, servers, strict=True)
         )
 
 

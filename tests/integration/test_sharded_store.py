@@ -86,7 +86,7 @@ class TestSimStoreWorkloads:
         for shards in (1, 2, 4, 8):
             _store, throughput = run_store_throughput(shards, num_operations=48)
             throughputs.append(throughput)
-        assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+        assert all(b > a for a, b in zip(throughputs, throughputs[1:], strict=False))
 
     def test_batched_mode_beats_unbatched_under_frame_overhead(self):
         results = {}

@@ -15,11 +15,25 @@ from repro.runtime.transport import InMemoryTransport, TcpTransport
 from repro.sim.cluster import SimCluster
 from repro.sim.latency import FixedDelay
 from repro.store.sim import ShardedSimStore
-from repro.wire import get_codec
+from repro.wire import BinaryCodec, get_codec
 
 
 def _suite():
     return LuckyAtomicProtocol(SystemConfig.balanced(1, 0, num_readers=2))
+
+
+class PaddedCodec(BinaryCodec):
+    """Binary frames plus a fixed pad: a custom Codec instance whose frames
+    are measurably bigger, standing in for any alternative wire format."""
+
+    name = "padded"
+    PAD = b"\x00" * 32
+
+    def encode_envelope(self, source, destination, message):
+        return super().encode_envelope(source, destination, message) + self.PAD
+
+    def decode_envelope(self, data):
+        return super().decode_envelope(data[: -len(self.PAD)])
 
 
 class TestSimBytes:
@@ -51,16 +65,18 @@ class TestSimBytes:
         assert via_explicit.bytes_sent == via_transmit.bytes_sent
         assert via_explicit.bytes_sent > 0
 
-    def test_pickle_codec_measures_bigger_frames(self):
+    def test_custom_codec_measures_bigger_frames(self):
+        # bytes_sent must follow the *configured* codec's frame sizes, not a
+        # hardcoded binary measurement.
         def run(codec):
             cluster = SimCluster(_suite(), delay_model=FixedDelay(1.0), codec=codec)
             cluster.write("v1")
             cluster.read("r1")
             return cluster
 
-        binary, pickled = run("binary"), run("pickle")
-        assert binary.frames_sent == pickled.frames_sent
-        assert binary.bytes_sent < pickled.bytes_sent
+        binary, padded = run("binary"), run(PaddedCodec())
+        assert binary.frames_sent == padded.frames_sent
+        assert binary.bytes_sent < padded.bytes_sent
 
     def test_byte_cost_charges_line_time(self):
         # With a per-byte line cost, a writer's fan-out frames serialize on
@@ -102,7 +118,7 @@ class TestTransportBytes:
         assert sent_bytes == expected > 0
         assert len(received) == 1
 
-    def test_in_memory_pickle_codec_counts_more(self):
+    def test_in_memory_custom_codec_counts_more(self):
         async def scenario(codec):
             transport = InMemoryTransport(codec=codec)
 
@@ -114,7 +130,7 @@ class TestTransportBytes:
             await transport.close()
             return transport.bytes_sent
 
-        assert asyncio.run(scenario("binary")) < asyncio.run(scenario("pickle"))
+        assert asyncio.run(scenario("binary")) < asyncio.run(scenario(PaddedCodec()))
 
     def test_tcp_counts_frame_bytes_and_delivers(self):
         async def scenario():
@@ -142,9 +158,9 @@ class TestTransportBytes:
         assert sent == expected
         assert messages == [("r1", Read(sender="r1", read_ts=4, round=2))]
 
-    def test_tcp_pickle_escape_hatch_roundtrips(self):
+    def test_tcp_custom_codec_roundtrips(self):
         async def scenario():
-            transport = TcpTransport(codec="pickle")
+            transport = TcpTransport(codec=PaddedCodec())
             received = asyncio.Event()
             messages = []
 

@@ -3,13 +3,12 @@
 The previous releases framed WAL records and snapshots as pickled payloads
 behind the same length+CRC32 framing.  The codec-aware readers sniff each
 frame's dialect (wire magic vs the pickle ``0x80`` opcode), so a store
-upgraded in place keeps recovering from its old files — and a log written
-under the ``codec="pickle"`` escape hatch replays identically.
+upgraded in place keeps recovering from its old files.  Legacy frames are
+forged here with raw ``pickle.dumps`` — the writer-side escape hatch is gone,
+but files it produced must stay readable forever.
 """
 
 import pickle
-
-import pytest
 
 from repro.persist.snapshot import FileSnapshot, decode_snapshot, encode_snapshot
 from repro.persist.wal import (
@@ -51,11 +50,10 @@ class TestWalMigration:
             wal.append(RECORDS[2:])
             assert wal.replay() == RECORDS
 
-    def test_escape_hatch_writes_pickle_frames(self, tmp_path):
+    def test_forged_pickle_frames_decode_and_replay(self, tmp_path):
         path = tmp_path / "hatch.wal"
-        with WriteAheadLog(str(path), codec="pickle") as wal:
-            wal.append(RECORDS)
-        data = path.read_bytes()
+        data = b"".join(_legacy_frame(r) for r in RECORDS)
+        path.write_bytes(data)
         records, _ = decode_frames(data)
         assert records == RECORDS
         # The payload really is the legacy dialect, not binary in disguise.
@@ -100,9 +98,11 @@ class TestSnapshotMigration:
         assert snapshot.load() == self.STATE
         assert path.read_bytes()[8:10] == MAGIC
 
-    def test_escape_hatch_snapshot_restores_via_default_reader(self, tmp_path):
+    def test_forged_pickle_snapshot_restores_via_default_reader(self, tmp_path):
         path = tmp_path / "hatch.snapshot"
-        FileSnapshot(str(path), codec="pickle").save(self.STATE)
+        path.write_bytes(
+            frame_payload(pickle.dumps(self.STATE, protocol=pickle.HIGHEST_PROTOCOL))
+        )
         assert FileSnapshot(str(path)).load() == self.STATE
 
     def test_corrupt_snapshot_reads_as_none(self):
@@ -111,7 +111,9 @@ class TestSnapshotMigration:
         torn = good[: len(good) - 3]
         assert decode_snapshot(torn) is None
 
-    @pytest.mark.parametrize("codec", ["binary", "pickle"])
-    def test_both_dialects_roundtrip_through_module_functions(self, codec):
-        data = encode_snapshot(self.STATE, codec=codec)
-        assert decode_snapshot(data) == self.STATE
+    def test_both_dialects_roundtrip_through_module_functions(self):
+        assert decode_snapshot(encode_snapshot(self.STATE)) == self.STATE
+        legacy = frame_payload(
+            pickle.dumps(self.STATE, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert decode_snapshot(legacy) == self.STATE

@@ -1,0 +1,99 @@
+"""Registry-invariant tests: the import-time guards of the wire codec, moved.
+
+The codec used to assert at import time that every message type had a tag and
+that the Message base header was unchanged.  Those invariants now live in two
+places — the RP02 analyzer rule (static, covers trees that are not imported)
+and this module (runtime, covers what is actually registered in the process).
+"""
+
+import dataclasses
+
+from repro.core.messages import (
+    ALL_MESSAGE_TYPES,
+    CLIENT_BOUND_MESSAGES,
+    SERVER_BOUND_MESSAGES,
+    Batch,
+    Message,
+)
+from repro.core.types import (
+    FreezeDirective,
+    FrozenEntry,
+    NewReadReport,
+    TimestampValue,
+)
+from repro.persist.wal import WalRecord
+from repro.wire.codec import MESSAGE_TAGS, TAG_ENVELOPE, TAG_VALUE
+from repro.wire.values import encode_value
+
+
+class TestMessageTagCoverage:
+    def test_every_message_type_has_a_tag(self):
+        missing = [cls.__name__ for cls in ALL_MESSAGE_TYPES if cls not in MESSAGE_TAGS]
+        assert missing == []
+
+    def test_no_orphan_tags(self):
+        # The registry must not keep tags for classes the protocol dropped.
+        orphans = [cls.__name__ for cls in MESSAGE_TAGS if cls not in ALL_MESSAGE_TYPES]
+        assert orphans == []
+
+    def test_tags_unique(self):
+        tags = list(MESSAGE_TAGS.values())
+        assert len(tags) == len(set(tags))
+
+    def test_tags_clear_of_reserved_frame_tags(self):
+        assert TAG_VALUE not in MESSAGE_TAGS.values()
+        assert TAG_ENVELOPE not in MESSAGE_TAGS.values()
+
+    def test_base_header_fields_frozen(self):
+        # The codec writes (sender, register_id, epoch) as the tagless common
+        # header of every frame; changing the base dataclass without bumping
+        # WIRE_VERSION would silently ship a new dialect.
+        assert tuple(f.name for f in dataclasses.fields(Message)) == (
+            "sender",
+            "register_id",
+            "epoch",
+        )
+
+
+class TestStructRegistry:
+    def test_wire_crossing_structs_encode(self):
+        # Every dataclass that rides inside message fields or WAL records
+        # must be registered with the value codec.
+        for struct in (
+            TimestampValue(1, "v", "w"),
+            FrozenEntry(TimestampValue(1, "v", "w"), 2),
+            FreezeDirective("r1", TimestampValue(1, "v", "w"), 2),
+            NewReadReport("r1", 3),
+            WalRecord("k1", "pw", 1, "w", "v"),
+        ):
+            assert encode_value(struct)
+
+
+class TestDirectionGroups:
+    def test_groups_partition_the_non_envelope_types(self):
+        # The DISPATCH_IGNORES groups must cover every concrete type except
+        # the Batch envelope, with no overlap — otherwise an automaton could
+        # "ignore" its way past a real obligation.
+        union = set(CLIENT_BOUND_MESSAGES) | set(SERVER_BOUND_MESSAGES)
+        assert union == set(ALL_MESSAGE_TYPES) - {Batch}
+        assert not set(CLIENT_BOUND_MESSAGES) & set(SERVER_BOUND_MESSAGES)
+
+    def test_analyzer_mirror_matches_runtime(self):
+        # repro.analysis.protocol mirrors these tuples by name so the
+        # analyzer needs no runtime imports; drift fails here.
+        from repro.analysis import protocol
+
+        assert protocol.MESSAGE_TYPE_NAMES == tuple(
+            cls.__name__ for cls in ALL_MESSAGE_TYPES
+        )
+        assert protocol.MESSAGE_GROUPS["CLIENT_BOUND_MESSAGES"] == tuple(
+            cls.__name__ for cls in CLIENT_BOUND_MESSAGES
+        )
+        assert protocol.MESSAGE_GROUPS["SERVER_BOUND_MESSAGES"] == tuple(
+            cls.__name__ for cls in SERVER_BOUND_MESSAGES
+        )
+        assert protocol.ENVELOPE_TYPE_NAMES == {Batch.__name__}
+        assert protocol.RESERVED_FRAME_TAGS == {
+            TAG_VALUE: "TAG_VALUE",
+            TAG_ENVELOPE: "TAG_ENVELOPE",
+        }

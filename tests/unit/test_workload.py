@@ -33,14 +33,17 @@ class TestGenerators:
         assert len(workload.reads()) == 3
         times = [op.at for op in workload.sorted()]
         assert times == sorted(times)
-        assert all(later - earlier >= 10.0 for earlier, later in zip(times, times[1:]))
+        assert all(
+            later - earlier >= 10.0
+            for earlier, later in zip(times, times[1:], strict=False)
+        )
 
     def test_contended_workload_overlaps_reads_with_writes(self):
         workload = contended_workload(4, readers=["r1"], write_gap=10.0, read_offset=0.5)
         writes = workload.writes()
         reads = workload.reads()
         assert len(writes) == len(reads) == 4
-        for write_op, read_op in zip(writes, reads):
+        for write_op, read_op in zip(writes, reads, strict=True):
             assert read_op.at == pytest.approx(write_op.at + 0.5)
 
     def test_consecutive_read_workload_shape(self):
