@@ -21,6 +21,8 @@ RP04      sim-determinism: no wall clocks or unseeded randomness in the
 RP05      fsync-before-ack: durable wrappers append to the WAL before the
           acknowledgements that report the change are returned
 RP06      timer-id scoping: timer identifiers carry op/round context
+RP07      hot-loop slots: dataclasses in the hot modules (messages, value
+          pairs, sim events) declare ``slots=True``
 ========  ==================================================================
 
 A finding on line *n* is silenced by appending ``# repro: ignore[RP04]``

@@ -80,6 +80,17 @@ PICKLE_ALLOWED_SUFFIXES: Tuple[str, ...] = (
     "persist/snapshot.py",
 )
 
+#: Files whose dataclasses live on the simulator/runtime hot paths (RP07):
+#: every message, value object and event allocated per protocol step must
+#: declare ``slots=True`` — a per-instance ``__dict__`` costs allocation and
+#: cache locality exactly where the profiler says the time goes.
+SLOTS_REQUIRED_SUFFIXES: Tuple[str, ...] = (
+    "core/messages.py",
+    "core/types.py",
+    "core/automaton.py",
+    "sim/events.py",
+)
+
 #: Frame-level tags the message registry must not collide with
 #: (``repro.wire.codec.TAG_VALUE`` / ``TAG_ENVELOPE``).
 RESERVED_FRAME_TAGS: Dict[int, str] = {30: "TAG_VALUE", 31: "TAG_ENVELOPE"}

@@ -1,5 +1,5 @@
 """The repo-specific rule set.  Importing this package registers every rule."""
 
-from . import dispatch, durability, purity, timers, wire  # noqa: F401
+from . import dispatch, durability, performance, purity, timers, wire  # noqa: F401
 
-__all__ = ["dispatch", "durability", "purity", "timers", "wire"]
+__all__ = ["dispatch", "durability", "performance", "purity", "timers", "wire"]

@@ -1,0 +1,77 @@
+"""RP07 — hot-loop dataclasses declare ``slots=True``.
+
+The simulator allocates a message, value-pair or event object per protocol
+step; the profiler consistently puts those allocations on the hot path.  A
+dataclass without ``slots=True`` gives every instance a ``__dict__`` — an
+extra allocation and a pointer chase per field access — which is pure waste
+for frozen value objects that never grow attributes.
+
+The rule is path-scoped to the modules whose dataclasses ride those loops
+(:data:`~repro.analysis.protocol.SLOTS_REQUIRED_SUFFIXES`): any
+``@dataclass`` there — bare, or called without ``slots=True`` — is flagged.
+Cold-path dataclasses elsewhere (experiment tables, config objects) carry no
+obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..astutils import dotted_name
+from ..findings import Finding
+from ..protocol import SLOTS_REQUIRED_SUFFIXES
+from ..registry import Rule, SourceFile, register
+
+
+def _dataclass_decorator(class_def: ast.ClassDef) -> Optional[ast.expr]:
+    """The ``dataclass`` decorator node of *class_def*, if present."""
+    for decorator in class_def.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return decorator
+    return None
+
+
+def _declares_slots(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass: no slots
+    for keyword in decorator.keywords:
+        if keyword.arg == "slots":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+@register
+class HotLoopSlots(Rule):
+    rule_id = "RP07"
+    title = "hot-loop-slots"
+    rationale = (
+        "messages, value pairs and events are allocated once per protocol "
+        "step; a dataclass without slots=True adds a __dict__ allocation to "
+        "every one of them.  Declare slots=True on dataclasses in the hot "
+        "modules (or move the class out of them)."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        if not file.path_endswith(*SLOTS_REQUIRED_SUFFIXES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _declares_slots(decorator):
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"hot-loop dataclass {node.name} does not declare "
+                        "slots=True",
+                    )
+                )
+        return findings

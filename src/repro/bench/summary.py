@@ -1,0 +1,141 @@
+"""Merge benchmark artifacts into one document and render a PR summary.
+
+The CI benchmark job produces two JSON files:
+
+* ``BENCH_store.json`` — the S1..S6 store sweeps (``store-bench --json-out``),
+* ``BENCH_hotpath.json`` — the hot-path component rates
+  (``lucky-storage hotpath --json-out``, schema ``hotpath/1``).
+
+:func:`merge_documents` folds them into the single ``BENCH_pr.json`` artifact
+(sweeps under ``experiments``, component rates under ``hotpath``) and
+:func:`render_markdown` turns that into the ops/sec tables the workflow
+appends to ``$GITHUB_STEP_SUMMARY``.
+
+Run as a module (the CI one-liner)::
+
+    python -m repro.bench.summary --store BENCH_store.json \\
+        --hotpath BENCH_hotpath.json --json-out BENCH_pr.json \\
+        --markdown-out summary.md
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["merge_documents", "render_markdown", "main"]
+
+
+def merge_documents(
+    store: Optional[Dict[str, Any]] = None,
+    hotpath: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One ``BENCH_pr.json`` document from the per-job artifacts.
+
+    Either input may be absent (a partial CI run still publishes what it
+    measured); the merged document records which sections are present so a
+    consumer never mistakes a missing sweep for an empty one.
+    """
+    merged: Dict[str, Any] = {
+        "schema": "bench_pr/1",
+        "sections": [],
+    }
+    if store is not None:
+        merged["sections"].append("store")
+        merged["command"] = store.get("command", "store-bench")
+        merged["parameters"] = store.get("parameters", {})
+        merged["experiments"] = store.get("experiments", [])
+    if hotpath is not None:
+        merged["sections"].append("hotpath")
+        merged["hotpath"] = hotpath
+    return merged
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def render_markdown(document: Dict[str, Any]) -> str:
+    """GitHub-flavoured markdown for ``$GITHUB_STEP_SUMMARY``."""
+    lines: List[str] = ["## Benchmarks"]
+    hotpath = document.get("hotpath")
+    if hotpath:
+        lines += ["", "### Hot-path components", ""]
+        lines.append("| component | ops/sec | unit | detail |")
+        lines.append("|---|---|---|---|")
+        for name, entry in sorted(hotpath.get("components", {}).items()):
+            lines.append(
+                f"| {name} | {entry['ops_per_sec']:,.0f} "
+                f"| {entry.get('unit', 'ops/s')} | {entry.get('detail', '')} |"
+            )
+    for experiment in document.get("experiments", []):
+        columns = experiment.get("columns", [])
+        lines += [
+            "",
+            f"### {experiment.get('experiment_id', '?')}: "
+            f"{experiment.get('title', '')}",
+            "",
+        ]
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in experiment.get("rows", []):
+            lines.append(
+                "| "
+                + " | ".join(_format_cell(row.get(column, "")) for column in columns)
+                + " |"
+            )
+        for note in experiment.get("notes", []):
+            lines += ["", f"*Note: {note}*"]
+    if len(lines) == 1:
+        lines.append("")
+        lines.append("*(no benchmark artifacts were produced)*")
+    return "\n".join(lines) + "\n"
+
+
+def _load(path: Optional[str]) -> Optional[Dict[str, Any]]:
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        loaded: Dict[str, Any] = json.load(fh)
+        return loaded
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.summary",
+        description="merge benchmark artifacts and render the PR summary",
+    )
+    parser.add_argument("--store", default=None, help="store-bench --json-out file")
+    parser.add_argument("--hotpath", default=None, help="hotpath --json-out file")
+    parser.add_argument(
+        "--json-out", default=None, help="write the merged BENCH_pr.json here"
+    )
+    parser.add_argument(
+        "--markdown-out",
+        default=None,
+        help="write the markdown summary here (append to $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+
+    merged = merge_documents(store=_load(args.store), hotpath=_load(args.hotpath))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2, default=str)
+            fh.write("\n")
+    markdown = render_markdown(merged)
+    if args.markdown_out:
+        with open(args.markdown_out, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+    else:
+        print(markdown, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -165,14 +165,72 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "write every produced experiment table as JSON to PATH "
-            "(the CI benchmark job publishes this as BENCH_pr.json)"
+            "(the CI benchmark job merges this into BENCH_pr.json)"
         ),
+    )
+    store_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the sweeps under cProfile and print the top functions by "
+            "cumulative time after the tables"
+        ),
+    )
+    store_parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="how many functions the --profile report shows (default: 25)",
+    )
+
+    from .bench.hotpath import DEFAULT_REGRESSION_THRESHOLD, COMPONENTS
+
+    hotpath_parser = subparsers.add_parser(
+        "hotpath",
+        help=(
+            "hot-path microbenchmarks (sim event loop, codec, automaton "
+            "dispatch, timer wheel, WAL); the CI perf gate's measurement"
+        ),
+    )
+    hotpath_parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="minimum timed window per component (default: 0.05)",
+    )
+    hotpath_parser.add_argument(
+        "--component",
+        action="append",
+        choices=sorted(COMPONENTS),
+        default=None,
+        help="run only this component (repeatable; default: all)",
+    )
+    hotpath_parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="write the hotpath/1 JSON document (BENCH_hotpath.json in CI)",
+    )
+    hotpath_parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "compare against a baseline JSON (benchmarks/baseline_hotpath.json "
+            "in CI); non-zero exit on regression"
+        ),
+    )
+    hotpath_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="allowed fractional drop below the baseline (default: 0.25)",
     )
 
     analyze_parser = subparsers.add_parser(
         "analyze",
         help=(
-            "run the protocol-aware static analysis rules (RP01..RP06) over "
+            "run the protocol-aware static analysis rules (RP01..RP07) over "
             "the given paths; non-zero exit on any finding"
         ),
     )
@@ -238,6 +296,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_bench(args: argparse.Namespace) -> int:
+    if args.profile:
+        # Profile the whole sweep body: the report shows where the hot paths
+        # actually spend their time (codec, event queue, automaton steps).
+        from .bench.hotpath import profile_callable
+
+        outcome: List[int] = []
+        report = profile_callable(
+            lambda: outcome.append(_run_store_bench(args)), top=args.profile_top
+        )
+        print()
+        print(f"--- cProfile: top {args.profile_top} by cumulative time ---")
+        print(report, end="")
+        return outcome[0] if outcome else 1
+    return _run_store_bench(args)
+
+
+def _run_store_bench(args: argparse.Namespace) -> int:
     from .store.bench import (
         batching_sweep,
         lease_sweep,
@@ -419,6 +494,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo(args)
     if args.command == "store-bench":
         return _cmd_store_bench(args)
+    if args.command == "hotpath":
+        from .bench import hotpath
+
+        hotpath_argv: List[str] = ["--min-seconds", str(args.min_seconds)]
+        for component in args.component or []:
+            hotpath_argv += ["--component", component]
+        if args.json_out:
+            hotpath_argv += ["--json-out", args.json_out]
+        if args.check:
+            hotpath_argv += ["--check", args.check]
+        hotpath_argv += ["--threshold", str(args.threshold)]
+        return hotpath.main(hotpath_argv)
     if args.command == "analyze":
         return _cmd_analyze(args)
     parser.error(f"unknown command {args.command!r}")

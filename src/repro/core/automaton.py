@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Sequence
 from .messages import Message
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """An instruction to deliver *message* to the process *destination*."""
 
@@ -24,7 +24,7 @@ class Send:
     message: Message
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartTimer:
     """An instruction to fire :meth:`Automaton.on_timer` after *delay* time units."""
 
@@ -32,7 +32,7 @@ class StartTimer:
     delay: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationComplete:
     """Emitted by a client automaton when an invoked operation returns.
 
@@ -61,13 +61,20 @@ class OperationComplete:
     metadata: Dict[str, Any] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Effects:
-    """Everything an automaton wants the runtime to do after one input."""
+    """Everything an automaton wants the runtime to do after one input.
+
+    ``cancels`` lists timer ids to disarm before they fire.  Both runtimes
+    process arms before cancels, so an :class:`Effects` carrying a start and
+    a cancel of the same id nets out to no pending timer; cancelling an id
+    that already fired (or was never armed) is a no-op.
+    """
 
     sends: List[Send] = field(default_factory=list)
     timers: List[StartTimer] = field(default_factory=list)
     completions: List[OperationComplete] = field(default_factory=list)
+    cancels: List[str] = field(default_factory=list)
 
     def send(self, destination: str, message: Message) -> None:
         self.sends.append(Send(destination, message))
@@ -79,6 +86,10 @@ class Effects:
     def start_timer(self, timer_id: str, delay: float) -> None:
         self.timers.append(StartTimer(timer_id, delay))
 
+    def cancel_timer(self, timer_id: str) -> None:
+        """Disarm a pending timer of this automaton (no-op if it fired)."""
+        self.cancels.append(timer_id)
+
     def complete(self, completion: OperationComplete) -> None:
         self.completions.append(completion)
 
@@ -87,11 +98,12 @@ class Effects:
         self.sends.extend(other.sends)
         self.timers.extend(other.timers)
         self.completions.extend(other.completions)
+        self.cancels.extend(other.cancels)
         return self
 
     @property
     def empty(self) -> bool:
-        return not (self.sends or self.timers or self.completions)
+        return not (self.sends or self.timers or self.completions or self.cancels)
 
 
 class Automaton:

@@ -13,12 +13,23 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
-from .types import FrozenEntry, FreezeDirective, NewReadReport, TimestampValue
+from .types import (
+    FrozenEntry,
+    FreezeDirective,
+    NewReadReport,
+    SlotsPickleMixin,
+    TimestampValue,
+)
 
 
-@dataclass(frozen=True)
-class Message:
+@dataclass(frozen=True, slots=True)
+class Message(SlotsPickleMixin):
     """Base class for every protocol message.
+
+    Every message class is a ``slots=True`` dataclass: the automaton hot
+    loop allocates one instance per send/delivery, and dict-less instances
+    are both smaller and faster to construct (analyzer rule RP07 holds the
+    hierarchy to this).
 
     ``register_id`` multiplexes many independent register instances over one
     server fleet and transport (the sharded store of :mod:`repro.store`); the
@@ -58,7 +69,7 @@ class Message:
 # --------------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreWrite(Message):
     """``PW <ts, pw, w, frozen>`` — first round of a WRITE (Fig. 1, line 4)."""
 
@@ -68,7 +79,7 @@ class PreWrite(Message):
     frozen: Tuple[FreezeDirective, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreWriteAck(Message):
     """``PW_ACK <ts, newread>`` — server reply to a PreWrite (Fig. 3, line 8)."""
 
@@ -76,7 +87,7 @@ class PreWriteAck(Message):
     newread: Tuple[NewReadReport, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Write(Message):
     """``W <round, ts, pw>`` — W-phase round or reader write-back round.
 
@@ -91,7 +102,7 @@ class Write(Message):
     from_writer: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteAck(Message):
     """``WRITE_ACK <round, ts>`` — server reply to a W / write-back message.
 
@@ -105,7 +116,7 @@ class WriteAck(Message):
     from_writer: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimestampQuery(Message):
     """``TS_QUERY <op>`` — read phase of an MWMR WRITE.
 
@@ -118,7 +129,7 @@ class TimestampQuery(Message):
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimestampQueryAck(Message):
     """``TS_QUERY_ACK <op, pw, w>`` — server reply to a :class:`TimestampQuery`."""
 
@@ -132,7 +143,7 @@ class TimestampQueryAck(Message):
 # --------------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read(Message):
     """``READ <tsr, rnd>`` — one round of a READ (Fig. 2, line 16)."""
 
@@ -140,7 +151,7 @@ class Read(Message):
     round: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadAck(Message):
     """``READ_ACK <tsr, rnd, pw, w, vw, frozen_rj>`` (Fig. 3, line 11)."""
 
@@ -157,7 +168,7 @@ class ReadAck(Message):
 # --------------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaseRenew(Message):
     """``LEASE_RENEW <lease, dur>`` — acquire or renew a per-register read lease.
 
@@ -174,7 +185,7 @@ class LeaseRenew(Message):
     duration: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaseGrant(Message):
     """``LEASE_GRANT <lease, dur, observed>`` — a server's lease promise.
 
@@ -192,7 +203,7 @@ class LeaseGrant(Message):
     observed: TimestampValue = TimestampValue(0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaseRevoke(Message):
     """``LEASE_REVOKE <lease>`` — server tells a holder its lease is void.
 
@@ -205,7 +216,7 @@ class LeaseRevoke(Message):
     lease_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaseRevokeAck(Message):
     """``LEASE_REVOKE_ACK <lease>`` — holder confirms it stopped serving."""
 
@@ -217,7 +228,7 @@ class LeaseRevokeAck(Message):
 # --------------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch(Message):
     """Envelope coalescing many messages between one (source, destination) pair.
 
@@ -258,14 +269,14 @@ def iter_unbatched(message: Message) -> Tuple[Message, ...]:
 # --------------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselineQuery(Message):
     """Query phase of a baseline protocol (read the highest stored pair)."""
 
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselineQueryReply(Message):
     """Reply to a :class:`BaselineQuery` carrying the server's current pair."""
 
@@ -274,7 +285,7 @@ class BaselineQueryReply(Message):
     echo_pair: TimestampValue = TimestampValue(0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselineStore(Message):
     """Store phase of a baseline protocol (write-back / write a pair)."""
 
@@ -283,7 +294,7 @@ class BaselineStore(Message):
     phase: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselineStoreAck(Message):
     """Acknowledgement of a :class:`BaselineStore`."""
 

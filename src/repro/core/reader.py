@@ -442,6 +442,18 @@ class LeasedReader(AtomicReader):
     def _lease_timer_id(self, lease_id: int, label: str) -> str:
         return f"{self.process_id}/lease{lease_id}/{label}"
 
+    def _cancel_lease_timers(self, effects: Effects, lease_id: int) -> None:
+        """Disarm both timers of a dead lease instance.
+
+        A dropped or superseded lease would otherwise leave its expire (and
+        possibly renew) timer pending until the full lease duration elapsed —
+        dead events the runtimes would pop and discard.  Cancelling an
+        already-fired timer is a no-op, so this is safe whichever of the two
+        timers already ran.
+        """
+        effects.cancel_timer(self._lease_timer_id(lease_id, "expire"))
+        effects.cancel_timer(self._lease_timer_id(lease_id, "renew"))
+
     def _clean_grant_count(self, state: _LeaseState) -> int:
         if state.cached is None:
             return 0
@@ -491,12 +503,18 @@ class LeasedReader(AtomicReader):
                     setattr(self, slot, None)
 
     def _on_lease_grant(self, grant: LeaseGrant) -> Effects:
+        effects = Effects()
+        previous = self._lease
         for state in (self._acquiring, self._lease):
             if state is not None and state.lease_id == grant.lease_id and not state.active:
                 state.grants[grant.sender] = (grant.observed, grant.epoch)
                 self._maybe_activate(state)
                 break
-        return Effects()
+        if previous is not None and self._lease is not previous:
+            # A renewal activated and superseded the held lease: its expire
+            # timer (and any unfired renew timer) is dead — disarm it.
+            self._cancel_lease_timers(effects, previous.lease_id)
+        return effects
 
     def _on_lease_revoke(self, revoke: LeaseRevoke) -> Effects:
         # Stop serving *before* the acknowledgement leaves: the state changes
@@ -507,13 +525,16 @@ class LeasedReader(AtomicReader):
         # lease per holder, so a renewal supersedes the active lease in their
         # tables — acking a revoke of the renewal while still serving the
         # superseded lease would let the write's withheld acks go free.
+        effects = Effects()
         if any(
             state is not None and state.lease_id == revoke.lease_id
             for state in (self._lease, self._acquiring)
         ):
+            for state in (self._lease, self._acquiring):
+                if state is not None:
+                    self._cancel_lease_timers(effects, state.lease_id)
             self._lease = None
             self._acquiring = None
-        effects = Effects()
         effects.send(
             revoke.sender,
             LeaseRevokeAck(sender=self.process_id, lease_id=revoke.lease_id),

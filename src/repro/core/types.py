@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple, cast
 
 # The paper uses ``ts0`` as the initial timestamp and ``bottom`` as the initial
 # value of the storage (Section 2.2).  ``bottom`` is not a valid WRITE input.
@@ -41,13 +41,33 @@ class _Bottom:
 BOTTOM = _Bottom()
 
 
+class SlotsPickleMixin:
+    """Pickle support for ``frozen=True, slots=True`` dataclasses on 3.10.
+
+    CPython 3.11+ equips frozen slots dataclasses with ``__getstate__`` /
+    ``__setstate__`` automatically (its generated pair shadows these); 3.10
+    creates the slots but leaves default object pickling in place, which
+    cannot restore a frozen dict-less instance.  The empty ``__slots__``
+    keeps subclasses free of a ``__dict__``.
+    """
+
+    __slots__ = ()
+
+    def __getstate__(self) -> List[Any]:
+        return [getattr(self, f.name) for f in dataclasses.fields(cast(Any, self))]
+
+    def __setstate__(self, state: List[Any]) -> None:
+        for f, value in zip(dataclasses.fields(cast(Any, self)), state):
+            object.__setattr__(self, f.name, value)
+
+
 def is_bottom(value: Any) -> bool:
     """Return ``True`` if *value* is the initial register value ⊥."""
     return isinstance(value, _Bottom)
 
 
-@dataclass(frozen=True, order=False)
-class TimestampValue:
+@dataclass(frozen=True, order=False, slots=True)
+class TimestampValue(SlotsPickleMixin):
     """A timestamp-value pair ``c = <ts, val>`` as used throughout the paper.
 
     Ordering is by the lexicographic pair ``(ts, writer_id)``.  The paper's
@@ -103,8 +123,8 @@ INITIAL_PAIR = TimestampValue(INITIAL_TIMESTAMP, BOTTOM)
 INITIAL_READ_TIMESTAMP = 0
 
 
-@dataclass(frozen=True)
-class FrozenEntry:
+@dataclass(frozen=True, slots=True)
+class FrozenEntry(SlotsPickleMixin):
     """A frozen value for one reader: ``<pw, tsr>`` stored in ``frozen_rj``.
 
     The writer freezes the current pre-written pair for a reader whose slow
@@ -125,8 +145,8 @@ class FrozenEntry:
 INITIAL_FROZEN = FrozenEntry(INITIAL_PAIR, INITIAL_READ_TIMESTAMP)
 
 
-@dataclass(frozen=True)
-class FreezeDirective:
+@dataclass(frozen=True, slots=True)
+class FreezeDirective(SlotsPickleMixin):
     """One element of the writer's ``frozen`` set: ``<rj, pw, read_ts[rj]>``.
 
     Sent by the writer inside a PW (core algorithm, Fig. 1) or W message
@@ -139,8 +159,8 @@ class FreezeDirective:
     read_ts: int
 
 
-@dataclass(frozen=True)
-class NewReadReport:
+@dataclass(frozen=True, slots=True)
+class NewReadReport(SlotsPickleMixin):
     """One element of a server's ``newread`` set: ``<rj, tsrj>``.
 
     Servers piggyback these on PW_ACKs to tell the writer which readers have

@@ -41,6 +41,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, BinaryIO, List, Optional, Protocol, Sequence, Tuple, Union
 
+from ..core.types import SlotsPickleMixin
 from ..wire import Codec, get_codec, register_struct
 from ..wire.codec import MAGIC
 
@@ -54,8 +55,8 @@ _HEADER = struct.Struct("<II")
 _PICKLE_PROTO = 0x80
 
 
-@dataclass(frozen=True)
-class WalRecord:
+@dataclass(frozen=True, slots=True)
+class WalRecord(SlotsPickleMixin):
     """One durable state change: *field* of *register_id* advanced to a pair."""
 
     register_id: str

@@ -1,6 +1,13 @@
 """Asyncio runtime: the same automata over real timers, queues and TCP sockets."""
 
-from .cluster import AsyncCluster, ShardedAsyncCluster, sharded_tcp_cluster, tcp_cluster
+from .cluster import (
+    AsyncCluster,
+    ShardedAsyncCluster,
+    run_event_loop,
+    sharded_tcp_cluster,
+    tcp_cluster,
+    uvloop_available,
+)
 from .node import AutomatonNode, ClientNode, ShardedClientNode
 from .transport import (
     DelayFunction,
@@ -16,6 +23,8 @@ __all__ = [
     "ShardedAsyncCluster",
     "tcp_cluster",
     "sharded_tcp_cluster",
+    "uvloop_available",
+    "run_event_loop",
     "AutomatonNode",
     "ClientNode",
     "ShardedClientNode",

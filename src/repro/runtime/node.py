@@ -117,7 +117,12 @@ class AutomatonNode:
         self.batching = bool(getattr(automaton, "batching", False))
         self._mailbox: asyncio.Queue = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
-        self._timer_handles: list = []
+        # Live loop timers keyed by timer id.  Fired and cancelled handles
+        # are pruned eagerly, so a long-lived node holds handles only for
+        # timers genuinely pending (the old flat list grew without bound).
+        self._timer_handles: Dict[str, set] = {}
+        #: Diagnostics: timers disarmed by an automaton before they fired.
+        self.timers_cancelled: int = 0
         # Monotone incarnation fencing: highest Message.epoch seen per sender.
         self._peer_epochs: Dict[str, int] = {}
         self._outbox: Dict[str, list] = {}
@@ -135,8 +140,9 @@ class AutomatonNode:
         self._task = asyncio.create_task(self._run(), name=f"node-{self.process_id}")
 
     async def stop(self) -> None:
-        for handle in self._timer_handles:
-            handle.cancel()
+        for handles in self._timer_handles.values():
+            for handle in handles:
+                handle.cancel()
         self._timer_handles.clear()
         for task in list(self._flush_tasks):
             task.cancel()
@@ -229,12 +235,33 @@ class AutomatonNode:
                 await self.transport.send(self.process_id, send.destination, send.message)
         loop = asyncio.get_running_loop()
         for timer in effects.timers:
-            handle = loop.call_later(
-                timer.delay * self.time_scale, self._on_timer_fired, timer.timer_id
-            )
-            self._timer_handles.append(handle)
+            self._arm_timer(loop, timer.timer_id, timer.delay * self.time_scale)
+        for timer_id in effects.cancels:
+            self._cancel_timer(timer_id)
         for completion in effects.completions:
             self._handle_completion(completion)
+
+    def _arm_timer(self, loop: asyncio.AbstractEventLoop, timer_id: str, delay: float) -> None:
+        handle: asyncio.TimerHandle
+
+        def _fire() -> None:
+            handles = self._timer_handles.get(timer_id)
+            if handles is not None:
+                handles.discard(handle)
+                if not handles:
+                    self._timer_handles.pop(timer_id, None)
+            self._on_timer_fired(timer_id)
+
+        handle = loop.call_later(delay, _fire)
+        self._timer_handles.setdefault(timer_id, set()).add(handle)
+
+    def _cancel_timer(self, timer_id: str) -> None:
+        handles = self._timer_handles.pop(timer_id, None)
+        if not handles:
+            return
+        for handle in handles:
+            handle.cancel()
+        self.timers_cancelled += len(handles)
 
     # --------------------------------------------------------------- batching
     def _start_flush(self) -> None:

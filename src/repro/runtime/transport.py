@@ -136,9 +136,17 @@ class InMemoryTransport(Transport):
 # --------------------------------------------------------------------------- #
 
 
-def _encode_frame(source: str, destination: str, message: Message, codec: Codec) -> bytes:
-    payload = codec.encode_envelope(source, destination, message)
-    return struct.pack("!I", len(payload)) + payload
+def _encode_frame(source: str, destination: str, message: Message, codec: Codec) -> bytearray:
+    """Build one length-prefixed frame in a single buffer (no payload copy).
+
+    The four prefix bytes are reserved up front and patched once the payload
+    is in place, so a batch of N messages is encoded with exactly one
+    allocation instead of prefix+payload concatenation.
+    """
+    frame = bytearray(4)
+    codec.encode_envelope_into(frame, source, destination, message)
+    struct.pack_into("!I", frame, 0, len(frame) - 4)
+    return frame
 
 
 async def _read_frame(

@@ -203,6 +203,9 @@ class SimCluster:
         #: Diagnostics: events dispatched, frames put on the wire, protocol
         #: messages carried by them (frames < messages when batching is on)
         #: and the encoded wire bytes of those frames under :attr:`codec`.
+        #: ``events_processed`` counts *dispatched* events only: a timer an
+        #: automaton cancelled before expiry is tombstoned in the queue (see
+        #: :attr:`timers_cancelled`), never popped as an event.
         self.events_processed: int = 0
         self.frames_sent: int = 0
         self.messages_sent: int = 0
@@ -316,6 +319,11 @@ class SimCluster:
         self.recover_server(event.process_id, lose_tail=event.lose_tail)
 
     # ------------------------------------------------------------ inspection
+    @property
+    def timers_cancelled(self) -> int:
+        """Timers disarmed before expiry (their queue tuples are tombstones)."""
+        return self.queue.timers_cancelled
+
     @property
     def writer(self) -> ClientAutomaton:
         return self.processes[self.config.writer_id]  # type: ignore[return-value]
@@ -561,20 +569,18 @@ class SimCluster:
         while True:
             if until is not None and until():
                 return
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                if until is not None and not until():
+            item = self.queue.pop_due(max_time)
+            if item is None:
+                # Drained, or the next event lies beyond the horizon.
+                if self.queue.peek_time() is None and until is not None and not until():
                     raise SimulationError(
                         "event queue drained before the run condition was met "
                         "(operation cannot complete under this failure/delay setup)"
                     )
                 return
-            if next_time > max_time:
-                return
-            entry = self.queue.pop()
-            assert entry is not None
-            self.now = max(self.now, entry.time)
-            self._dispatch(entry.event)
+            event_time, event = item
+            self.now = max(self.now, event_time)
+            self._dispatch(event)
             processed += 1
             self.events_processed += 1
             if processed > budget:
@@ -678,9 +684,12 @@ class SimCluster:
             else:
                 self._send(source, send.destination, send.message)
         for timer in effects.timers:
-            self.queue.push(
-                self.now + timer.delay, TimerEvent(process_id=source, timer_id=timer.timer_id)
-            )
+            self.queue.push_timer(self.now + timer.delay, source, timer.timer_id)
+        for timer_id in effects.cancels:
+            # Cancellation is an O(1) armed-table removal; the dead heap
+            # tuple is tombstone-counted when it surfaces, never dispatched,
+            # so cancelled timers do not inflate ``events_processed``.
+            self.queue.cancel_timer(source, timer_id)
         for completion in effects.completions:
             self._complete(source, completion)
 

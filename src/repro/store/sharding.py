@@ -39,8 +39,8 @@ TIMER_SEPARATOR = "::"
 def tag_effects(register_id: str, effects: Effects) -> Effects:
     """Tag every effect of one inner automaton step with its register.
 
-    Sends get the ``register_id`` message tag, timers get a namespaced id and
-    completions record the register in their metadata.
+    Sends get the ``register_id`` message tag, timers (and timer cancels) get
+    a namespaced id and completions record the register in their metadata.
     """
     tagged = Effects()
     for send in effects.sends:
@@ -49,6 +49,8 @@ def tag_effects(register_id: str, effects: Effects) -> Effects:
         tagged.start_timer(
             f"{register_id}{TIMER_SEPARATOR}{timer.timer_id}", timer.delay
         )
+    for timer_id in effects.cancels:
+        tagged.cancel_timer(f"{register_id}{TIMER_SEPARATOR}{timer_id}")
     for completion in effects.completions:
         tagged.complete(
             replace(

@@ -26,7 +26,9 @@ from .codec import (
     decode_envelope,
     decode_message,
     encode_envelope,
+    encode_envelope_into,
     encode_message,
+    encode_message_into,
     get_codec,
 )
 from .values import decode_value, encode_value, register_struct
@@ -45,7 +47,9 @@ __all__ = [
     "decode_message",
     "decode_value",
     "encode_envelope",
+    "encode_envelope_into",
     "encode_message",
+    "encode_message_into",
     "encode_value",
     "get_codec",
     "register_struct",

@@ -89,7 +89,9 @@ __all__ = [
     "decode_envelope",
     "decode_message",
     "encode_envelope",
+    "encode_envelope_into",
     "encode_message",
+    "encode_message_into",
     "get_codec",
 ]
 
@@ -228,6 +230,16 @@ def encode_message(message: Message) -> bytes:
     return bytes(out)
 
 
+def encode_message_into(out: bytearray, message: Message) -> None:
+    """Append the complete binary frame of *message* to *out*.
+
+    The zero-copy entry point: batch sub-frames, length-prefixed transport
+    frames and size probes all build into one caller-owned buffer instead of
+    concatenating intermediate ``bytes`` objects.
+    """
+    _write_message(out, message)
+
+
 def decode_message(data: bytes) -> Message:
     """Decode one message frame, requiring the whole buffer to be consumed."""
     message, end = _read_message(data, 0)
@@ -239,11 +251,16 @@ def decode_message(data: bytes) -> Message:
 def encode_envelope(source: str, destination: str, message: Message) -> bytes:
     """One routed transport payload: header + source + destination + message."""
     out = bytearray()
+    encode_envelope_into(out, source, destination, message)
+    return bytes(out)
+
+
+def encode_envelope_into(out: bytearray, source: str, destination: str, message: Message) -> None:
+    """Append the routed transport payload of *message* to *out* (zero-copy)."""
     _write_header(out, TAG_ENVELOPE)
     write_str(out, source)
     write_str(out, destination)
     _write_message(out, message)
-    return bytes(out)
 
 
 def decode_envelope(data: bytes) -> Tuple[str, str, Message]:
@@ -286,6 +303,16 @@ class Codec:
     def encode_envelope(self, source: str, destination: str, message: Message) -> bytes:
         raise NotImplementedError
 
+    def encode_envelope_into(
+        self, out: bytearray, source: str, destination: str, message: Message
+    ) -> None:
+        """Append the routed payload to *out*.
+
+        Default implementation routes through :meth:`encode_envelope`;
+        codecs with a streaming writer override it to skip the copy.
+        """
+        out += self.encode_envelope(source, destination, message)
+
     def decode_envelope(self, data: bytes) -> Tuple[str, str, Message]:
         raise NotImplementedError
 
@@ -308,6 +335,12 @@ class BinaryCodec(Codec):
 
     name = "binary"
 
+    def __init__(self) -> None:
+        # Scratch buffer reused by frame_size(): the sim probes the encoded
+        # size of every frame it transmits, and the probe must not build and
+        # immediately discard a bytes copy per message.
+        self._scratch = bytearray()
+
     def encode_message(self, message: Message) -> bytes:
         return encode_message(message)
 
@@ -317,8 +350,26 @@ class BinaryCodec(Codec):
     def encode_envelope(self, source: str, destination: str, message: Message) -> bytes:
         return encode_envelope(source, destination, message)
 
+    def encode_envelope_into(
+        self, out: bytearray, source: str, destination: str, message: Message
+    ) -> None:
+        if type(self).encode_envelope is not BinaryCodec.encode_envelope:
+            # A subclass customised the envelope bytes (padding, wrapping...);
+            # the streaming fast path would silently bypass that override.
+            out += self.encode_envelope(source, destination, message)
+            return
+        encode_envelope_into(out, source, destination, message)
+
     def decode_envelope(self, data: bytes) -> Tuple[str, str, Message]:
         return decode_envelope(data)
+
+    def frame_size(self, source: str, destination: str, message: Message) -> int:
+        if type(self).encode_envelope is not BinaryCodec.encode_envelope:
+            return LENGTH_PREFIX_BYTES + len(self.encode_envelope(source, destination, message))
+        scratch = self._scratch
+        del scratch[:]  # reuse the allocation; no bytes() copy is made
+        encode_envelope_into(scratch, source, destination, message)
+        return LENGTH_PREFIX_BYTES + len(scratch)
 
     def encode_value(self, value: Any) -> bytes:
         # Value payloads carry the same magic + version so on-disk frames are

@@ -1,0 +1,29 @@
+"""RP07 fixture: hot-module dataclasses, two of which lack slots=True."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SlottedMessage:
+    sender: str = ""
+
+
+@dataclass(frozen=True)
+class UnslottedMessage:
+    """Seeded violation: frozen but carrying a per-instance __dict__."""
+
+    sender: str = ""
+
+
+@dataclass
+class BareDataclass:
+    """Seeded violation: bare @dataclass, no slots declaration."""
+
+    count: int = 0
+
+
+class PlainClass:
+    """Not a dataclass: carries no RP07 obligation."""
+
+    def __init__(self) -> None:
+        self.value = 0

@@ -33,7 +33,7 @@ class TestRegistry:
     def test_all_six_rules_registered(self):
         ids = [rule_class.rule_id for rule_class in all_rules()]
         assert ids == sorted(ids)
-        assert {"RP01", "RP02", "RP03", "RP04", "RP05", "RP06"} <= set(ids)
+        assert {"RP01", "RP02", "RP03", "RP04", "RP05", "RP06", "RP07"} <= set(ids)
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(KeyError, match="RP99"):
@@ -111,6 +111,24 @@ class TestRuleFixtures:
         report = run_analysis([fixture("rp06_timers.py")], select=["RP06"])
         assert rule_ids(report) == ["RP06", "RP06"]  # literal + empty f-string
         assert {f.line for f in report.findings} == {10, 11}
+
+    def test_rp07_unslotted_hot_dataclasses_flagged(self):
+        report = run_analysis([fixture("rp07", "core", "messages.py")], select=["RP07"])
+        assert rule_ids(report) == ["RP07", "RP07"]
+        messages = " | ".join(f.message for f in report.findings)
+        assert "UnslottedMessage" in messages  # frozen without slots
+        assert "BareDataclass" in messages  # bare @dataclass
+        assert "SlottedMessage" not in messages
+        assert "PlainClass" not in messages
+
+    def test_rp07_scope_is_path_based(self):
+        # The same violations outside the hot modules carry no obligation:
+        # the rp02 fixture package is full of slot-less dataclasses, but its
+        # messages.py does not sit under a hot-path suffix.
+        report = run_analysis([fixture("rp02_registry", "messages.py")], select=["RP07"])
+        assert report.ok
+        report = run_analysis([fixture("rp05_durable.py")], select=["RP07"])
+        assert report.ok
 
 
 class TestSuppressions:

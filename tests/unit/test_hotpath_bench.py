@@ -1,0 +1,191 @@
+"""Unit tests for the hot-path benchmark harness and its CI perf gate."""
+
+import json
+
+import pytest
+
+from repro.bench.hotpath import (
+    COMPONENTS,
+    SCHEMA,
+    check_against_baseline,
+    format_results,
+    profile_callable,
+    run_hotpath_bench,
+)
+from repro.bench.summary import merge_documents, render_markdown
+from repro.cli import main
+
+#: Tiny timed window: the tests check plumbing, not measurement quality.
+FAST = 0.001
+
+
+def _document(**rates):
+    return {
+        "schema": SCHEMA,
+        "parameters": {"min_seconds": FAST},
+        "components": {
+            name: {"ops_per_sec": rate, "unit": "ops/s"} for name, rate in rates.items()
+        },
+    }
+
+
+class TestHarness:
+    def test_at_least_four_components_registered(self):
+        assert len(COMPONENTS) >= 4
+        assert {"sim_event_loop", "codec_encode", "codec_decode", "timer_wheel"} <= set(
+            COMPONENTS
+        )
+
+    def test_run_produces_schema_document(self):
+        document = run_hotpath_bench(
+            min_seconds=FAST, components=["timer_wheel", "codec_encode"]
+        )
+        assert document["schema"] == SCHEMA
+        assert set(document["components"]) == {"timer_wheel", "codec_encode"}
+        for entry in document["components"].values():
+            assert entry["ops_per_sec"] > 0
+            assert "unit" in entry
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError, match="unknown hotpath component"):
+            run_hotpath_bench(min_seconds=FAST, components=["warp_drive"])
+
+    def test_format_results_lists_every_component(self):
+        text = format_results(_document(timer_wheel=1000.0, codec_encode=2000.0))
+        assert "timer_wheel" in text and "codec_encode" in text
+
+    def test_profile_callable_reports_cumulative(self):
+        report = profile_callable(lambda: sum(range(1000)), top=5)
+        assert "cumulative" in report
+
+
+class TestPerfGate:
+    def test_equal_rates_pass(self):
+        current = _document(timer_wheel=1000.0)
+        assert check_against_baseline(current, current) == []
+
+    def test_small_drop_within_threshold_passes(self):
+        failures = check_against_baseline(
+            _document(timer_wheel=800.0), _document(timer_wheel=1000.0), threshold=0.25
+        )
+        assert failures == []
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = check_against_baseline(
+            _document(timer_wheel=700.0), _document(timer_wheel=1000.0), threshold=0.25
+        )
+        assert len(failures) == 1
+        assert "timer_wheel" in failures[0]
+
+    def test_missing_component_fails_not_passes(self):
+        failures = check_against_baseline(
+            _document(codec_encode=1000.0), _document(timer_wheel=1000.0)
+        )
+        assert any("missing" in line for line in failures)
+
+    def test_new_component_is_informational(self):
+        failures = check_against_baseline(
+            _document(timer_wheel=1000.0, wal_append=1.0), _document(timer_wheel=1000.0)
+        )
+        assert failures == []
+
+
+class TestSummary:
+    def test_merge_and_render(self):
+        store = {
+            "command": "store-bench",
+            "parameters": {"ops": 4},
+            "experiments": [
+                {
+                    "experiment_id": "S1",
+                    "title": "throughput",
+                    "columns": ["shards", "throughput"],
+                    "rows": [{"shards": 1, "throughput": 0.8}],
+                    "notes": ["sim"],
+                }
+            ],
+        }
+        merged = merge_documents(store=store, hotpath=_document(timer_wheel=1234.0))
+        assert merged["sections"] == ["store", "hotpath"]
+        markdown = render_markdown(merged)
+        assert "timer_wheel" in markdown and "1,234" in markdown
+        assert "S1: throughput" in markdown
+        assert "*Note: sim*" in markdown
+
+    def test_partial_artifacts_still_render(self):
+        assert "hotpath" not in merge_documents(store=None, hotpath=None)["sections"]
+        markdown = render_markdown(merge_documents())
+        assert "no benchmark artifacts" in markdown
+
+
+class TestCli:
+    def test_hotpath_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_hotpath.json"
+        code = main(
+            [
+                "hotpath",
+                "--min-seconds",
+                str(FAST),
+                "--component",
+                "timer_wheel",
+                "--json-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == SCHEMA
+        assert "timer_wheel" in document["components"]
+        assert "timer_wheel" in capsys.readouterr().out
+
+    def test_hotpath_check_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_document(timer_wheel=10.0**12)))
+        code = main(
+            [
+                "hotpath",
+                "--min-seconds",
+                str(FAST),
+                "--component",
+                "timer_wheel",
+                "--check",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        assert "PERF GATE FAILED" in capsys.readouterr().out
+
+    def test_hotpath_check_passes_against_soft_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_document(timer_wheel=0.001)))
+        code = main(
+            [
+                "hotpath",
+                "--min-seconds",
+                str(FAST),
+                "--component",
+                "timer_wheel",
+                "--check",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_store_bench_profile_flag(self, capsys):
+        code = main(
+            [
+                "store-bench",
+                "--max-shards",
+                "1",
+                "--ops",
+                "2",
+                "--skip-zipf",
+                "--profile",
+                "--profile-top",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cProfile" in output and "cumulative" in output

@@ -59,3 +59,39 @@ class TestMessageBasics:
         assert write.frozen == ()
         query = BaselineQuery(sender="r1")
         assert query.op_id == 0
+
+
+class TestSlots:
+    """Hot-path message objects are slotted: no per-instance ``__dict__``."""
+
+    def test_no_dict_on_any_message_type(self):
+        from repro.wire.golden import message_zoo
+
+        for message in message_zoo():
+            assert not hasattr(message, "__dict__"), type(message).__name__
+
+    def test_no_dict_on_value_types(self):
+        pairs = [
+            TimestampValue(3, "v"),
+            FreezeDirective("r1", TimestampValue(3, "v"), 4),
+        ]
+        for value in pairs:
+            assert not hasattr(value, "__dict__"), type(value).__name__
+
+    def test_every_zoo_message_pickles(self):
+        # frozen+slots dataclass pickling needs the explicit state protocol
+        # on Python 3.10 (SlotsPickleMixin); the whole zoo must round-trip.
+        from repro.wire.golden import message_zoo
+
+        for message in message_zoo():
+            clone = pickle.loads(pickle.dumps(message))
+            assert clone == message
+
+    def test_unknown_attribute_assignment_rejected(self):
+        message = Read(sender="r1")
+        try:
+            message.scratchpad = 1  # type: ignore[attr-defined]
+            leaked = True
+        except (AttributeError, TypeError):
+            leaked = False
+        assert not leaked

@@ -1,0 +1,44 @@
+"""The uvloop opt-in fast path: explicit, never silently degraded."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol import LuckyAtomicProtocol
+from repro.runtime.cluster import AsyncCluster, run_event_loop, uvloop_available
+
+
+async def _answer():
+    await asyncio.sleep(0)
+    return 42
+
+
+class TestRunEventLoop:
+    def test_stock_loop_runs(self):
+        assert run_event_loop(_answer) == 42
+
+    def test_requesting_missing_uvloop_raises(self):
+        if uvloop_available():
+            pytest.skip("uvloop installed: the missing-dependency path is dead here")
+        with pytest.raises(RuntimeError, match="uvloop is not installed"):
+            run_event_loop(_answer, use_uvloop=True)
+
+    def test_uvloop_runs_when_available(self):
+        if not uvloop_available():
+            pytest.skip("uvloop not installed")
+        assert run_event_loop(_answer, use_uvloop=True) == 42
+
+    def test_uvloop_scenario_end_to_end(self):
+        if not uvloop_available():
+            pytest.skip("uvloop not installed")
+        suite = LuckyAtomicProtocol(SystemConfig.balanced(1, 0, num_readers=1))
+
+        async def scenario(cluster):
+            write = await cluster.write("v1")
+            read = await cluster.read("r1")
+            return write, read
+
+        write, read = AsyncCluster.run_scenario(suite, scenario, use_uvloop=True)
+        assert read.value == "v1"
+        assert write.rounds >= 1
