@@ -26,6 +26,10 @@ MESSAGE_TYPE_NAMES: Tuple[str, ...] = (
     "LeaseGrant",
     "LeaseRevoke",
     "LeaseRevokeAck",
+    "WriterLeaseRenew",
+    "WriterLeaseGrant",
+    "WriterLeaseRevoke",
+    "WriterLeaseRevokeAck",
     "Batch",
     "BaselineQuery",
     "BaselineQueryReply",
@@ -52,6 +56,8 @@ MESSAGE_GROUPS: Dict[str, Tuple[str, ...]] = {
         "ReadAck",
         "LeaseGrant",
         "LeaseRevoke",
+        "WriterLeaseGrant",
+        "WriterLeaseRevoke",
         "BaselineQueryReply",
         "BaselineStoreAck",
     ),
@@ -62,6 +68,8 @@ MESSAGE_GROUPS: Dict[str, Tuple[str, ...]] = {
         "TimestampQuery",
         "LeaseRenew",
         "LeaseRevokeAck",
+        "WriterLeaseRenew",
+        "WriterLeaseRevokeAck",
         "BaselineQuery",
         "BaselineStore",
     ),

@@ -38,6 +38,10 @@ from ..core.messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRenew,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
 )
 from ..core.protocol import ProtocolSuite
 from ..core.types import INITIAL_PAIR, TimestampValue
@@ -55,6 +59,8 @@ class ABDServer(Automaton):
         TimestampQuery,
         LeaseRenew,
         LeaseRevokeAck,
+        WriterLeaseRenew,
+        WriterLeaseRevokeAck,
     )
 
     def __init__(self, server_id: str, config: SystemConfig) -> None:
@@ -114,6 +120,8 @@ class ABDWriter(ClientAutomaton):
         ReadAck,
         LeaseGrant,
         LeaseRevoke,
+        WriterLeaseGrant,
+        WriterLeaseRevoke,
         BaselineQueryReply,
     )
 
@@ -177,6 +185,8 @@ class ABDReader(ClientAutomaton):
         ReadAck,
         LeaseGrant,
         LeaseRevoke,
+        WriterLeaseGrant,
+        WriterLeaseRevoke,
     )
 
     def __init__(self, reader_id: str, config: SystemConfig, timer_delay: float = 10.0) -> None:

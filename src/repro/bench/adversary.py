@@ -46,6 +46,10 @@ from ..core.messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRenew,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
 )
 from ..core.protocol import ProtocolSuite
 from ..core.types import INITIAL_PAIR, TimestampValue
@@ -62,6 +66,8 @@ class NaiveServer(Automaton):
         TimestampQuery,
         LeaseRenew,
         LeaseRevokeAck,
+        WriterLeaseRenew,
+        WriterLeaseRevokeAck,
     )
 
     def __init__(self, server_id: str, config: SystemConfig) -> None:
@@ -109,6 +115,8 @@ class NaiveWriter(ClientAutomaton):
         ReadAck,
         LeaseGrant,
         LeaseRevoke,
+        WriterLeaseGrant,
+        WriterLeaseRevoke,
         BaselineQueryReply,
     )
 
@@ -174,6 +182,8 @@ class NaiveReader(ClientAutomaton):
         ReadAck,
         LeaseGrant,
         LeaseRevoke,
+        WriterLeaseGrant,
+        WriterLeaseRevoke,
         BaselineStoreAck,
     )
 

@@ -125,7 +125,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--lease-duration",
         type=float,
         default=400.0,
-        help="lease validity window (virtual time units) of the --leases sweep",
+        help=(
+            "lease validity window (virtual time units) of the --leases and "
+            "--writer-leases sweeps"
+        ),
+    )
+    store_parser.add_argument(
+        "--writer-leases",
+        action="store_true",
+        help=(
+            "also run the S7 writer-lease sweep: a write-heavy Zipf workload "
+            "with a dominant owner writer per key, writer leases off vs on, "
+            "against the SWMR 1-round fast-path baseline"
+        ),
+    )
+    store_parser.add_argument(
+        "--wlease-writers",
+        type=int,
+        default=3,
+        help="number of concurrent writer clients in the --writer-leases sweep",
     )
     store_parser.add_argument(
         "--recovery",
@@ -257,6 +275,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules with their rationale and exit",
     )
+    analyze_parser.add_argument(
+        "--doc",
+        action="store_true",
+        help=(
+            "print the generated docs/analysis.md (rule table + rationales) "
+            "and exit; CI diffs the committed file against this output"
+        ),
+    )
     return parser
 
 
@@ -319,6 +345,7 @@ def _run_store_bench(args: argparse.Namespace) -> int:
         mwmr_sweep,
         recovery_sweep,
         sharded_throughput_sweep,
+        writer_lease_sweep,
         zipf_store_scenario,
     )
 
@@ -381,6 +408,22 @@ def _run_store_bench(args: argparse.Namespace) -> int:
         tables.append(leased)
         print()
         print(leased.to_markdown() if args.markdown else leased.format())
+    if args.writer_leases:
+        # S7: write-heavy Zipf workload with a dominant owner writer per key;
+        # writer leases off vs on, against the SWMR 1-round baseline.
+        wleased = writer_lease_sweep(
+            num_keys=min(4, args.max_shards),
+            num_operations=args.ops,
+            t=args.t,
+            b=args.b,
+            num_writers=args.wlease_writers,
+            lease_duration=args.lease_duration,
+            batching=args.batch,
+            codec=args.codec,
+        )
+        tables.append(wleased)
+        print()
+        print(wleased.to_markdown() if args.markdown else wleased.format())
     if args.recovery:
         # S4: durable servers under a crash/recovery schedule whose total
         # crashes exceed t while at most t servers are ever down at once.
@@ -423,6 +466,8 @@ def _run_store_bench(args: argparse.Namespace) -> int:
                         "mwmr_skew": args.mwmr_skew,
                         "leases": args.leases,
                         "lease_duration": args.lease_duration,
+                        "writer_leases": args.writer_leases,
+                        "wlease_writers": args.wlease_writers,
                         "recovery": args.recovery,
                         "recovery_t": args.recovery_t,
                         "codec": args.codec,
@@ -455,7 +500,11 @@ def _run_store_bench(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis import all_rules
     from .analysis.engine import run_analysis
-    from .analysis.reporters import render_json, render_text
+    from .analysis.reporters import render_json, render_rules_doc, render_text
+
+    if args.doc:
+        print(render_rules_doc(all_rules()), end="")
+        return 0
 
     if args.list_rules:
         for rule_class in all_rules():

@@ -224,6 +224,66 @@ class LeaseRevokeAck(Message):
 
 
 # --------------------------------------------------------------------------- #
+# Writer-lease messages (the 1-round MWMR write extension, :mod:`repro.lease`)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class WriterLeaseRenew(Message):
+    """``WLEASE_RENEW <lease, dur>`` — acquire or renew a per-register writer lease.
+
+    Sent by an MWMR writer to every server, either alongside the ``TS_QUERY``
+    round of a fallback write (initial acquisition) or on its own (renewal of
+    a held lease).  ``lease_id`` is a writer-local sequence number; the
+    duration semantics mirror :class:`LeaseRenew` — the writer measures its
+    validity window from the send, the server from the grant, so the holder's
+    window is always the shorter one and local expiry is safe.
+    """
+
+    lease_id: int = 0
+    duration: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class WriterLeaseGrant(Message):
+    """``WLEASE_GRANT <lease, dur, observed>`` — a server's writer-lease promise.
+
+    By granting, the server promises to *withhold* every ``TS_QUERY``
+    acknowledgement (parking the query) from any other writer until the holder
+    confirmed revocation or the lease expired.  ``observed`` is the highest
+    ``(ts, writer_id)`` pair the server currently stores: the writer counts a
+    grant towards its lease quorum only when ``observed`` does not exceed the
+    pair it caches, so a grant issued *after* a competing write touched the
+    server can never vouch for a stale timestamp cache.
+    """
+
+    lease_id: int = 0
+    duration: float = 0.0
+    observed: TimestampValue = TimestampValue(0)
+
+
+@dataclass(frozen=True, slots=True)
+class WriterLeaseRevoke(Message):
+    """``WLEASE_REVOKE <lease>`` — server tells a holder its writer lease is void.
+
+    Sent when a competing writer's ``TS_QUERY`` (or direct write round)
+    reaches a server with an active writer lease; the server keeps the
+    competitor's query parked until the holder answers with a
+    :class:`WriterLeaseRevokeAck` (or the lease expires), so no competing
+    write can pick a timestamp while the holder still writes from its cache.
+    """
+
+    lease_id: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class WriterLeaseRevokeAck(Message):
+    """``WLEASE_REVOKE_ACK <lease>`` — holder confirms it dropped its cache."""
+
+    lease_id: int = 0
+
+
+# --------------------------------------------------------------------------- #
 # Transport-level envelope
 # --------------------------------------------------------------------------- #
 
@@ -315,6 +375,10 @@ ALL_MESSAGE_TYPES = (
     LeaseGrant,
     LeaseRevoke,
     LeaseRevokeAck,
+    WriterLeaseRenew,
+    WriterLeaseGrant,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
     Batch,
     BaselineQuery,
     BaselineQueryReply,
@@ -335,6 +399,8 @@ CLIENT_BOUND_MESSAGES = (
     ReadAck,
     LeaseGrant,
     LeaseRevoke,
+    WriterLeaseGrant,
+    WriterLeaseRevoke,
     BaselineQueryReply,
     BaselineStoreAck,
 )
@@ -346,6 +412,8 @@ SERVER_BOUND_MESSAGES = (
     TimestampQuery,
     LeaseRenew,
     LeaseRevokeAck,
+    WriterLeaseRenew,
+    WriterLeaseRevokeAck,
     BaselineQuery,
     BaselineStore,
 )

@@ -24,7 +24,7 @@ sharded store's per-key deferral enforces for plain clients.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from .automaton import ClientAutomaton, Effects
 from .config import SystemConfig
@@ -39,9 +39,11 @@ from .messages import (
     ReadAck,
     TimestampQueryAck,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRevoke,
 )
-from .reader import AtomicReader
-from .writer import AtomicWriter
+from .reader import AtomicReader, LeasedReader
+from .writer import AtomicWriter, LeasedWriter
 
 
 class MultiWriterClient(ClientAutomaton):
@@ -65,21 +67,43 @@ class MultiWriterClient(ClientAutomaton):
         config: SystemConfig,
         timer_delay: float = 10.0,
         count_unresponsive: bool = False,
+        writer_lease_duration: Optional[float] = None,
+        read_lease_duration: Optional[float] = None,
     ) -> None:
         # Build the two roles before the base constructor runs: it assigns
-        # ``timer_delay`` through the propagating property below.
-        self.writer = AtomicWriter(
-            config,
-            timer_delay=timer_delay,
-            writer_id=process_id,
-            mwmr=True,
-        )
-        self.reader = AtomicReader(
-            process_id,
-            config,
-            timer_delay=timer_delay,
-            count_unresponsive=count_unresponsive,
-        )
+        # ``timer_delay`` through the propagating property below.  A lease
+        # duration upgrades the corresponding role to its leased variant.
+        self.writer: AtomicWriter
+        if writer_lease_duration is not None:
+            self.writer = LeasedWriter(
+                config,
+                lease_duration=writer_lease_duration,
+                timer_delay=timer_delay,
+                writer_id=process_id,
+            )
+        else:
+            self.writer = AtomicWriter(
+                config,
+                timer_delay=timer_delay,
+                writer_id=process_id,
+                mwmr=True,
+            )
+        self.reader: AtomicReader
+        if read_lease_duration is not None:
+            self.reader = LeasedReader(
+                process_id,
+                config,
+                lease_duration=read_lease_duration,
+                timer_delay=timer_delay,
+                count_unresponsive=count_unresponsive,
+            )
+        else:
+            self.reader = AtomicReader(
+                process_id,
+                config,
+                timer_delay=timer_delay,
+                count_unresponsive=count_unresponsive,
+            )
         super().__init__(process_id, timer_delay=timer_delay)
         self.config = config
 
@@ -100,6 +124,16 @@ class MultiWriterClient(ClientAutomaton):
         """Whether a read or a write is outstanding on this register."""
         return self.writer.busy or self.reader.busy
 
+    @property
+    def lease_reads(self) -> int:
+        """Reads the reader role served from an active read lease."""
+        return int(getattr(self.reader, "lease_reads", 0))
+
+    @property
+    def lease_writes(self) -> int:
+        """Writes the writer role started without a query round (leased)."""
+        return int(getattr(self.writer, "lease_writes", 0))
+
     # -------------------------------------------------------------- invocation
     def write(self, value: Any) -> Effects:
         """Invoke ``WRITE(value)`` (query round, then the PW/W machinery)."""
@@ -119,11 +153,39 @@ class MultiWriterClient(ClientAutomaton):
             )
         return self.reader.read()
 
+    def compare_and_swap(self, expected: Any, new: Any) -> Effects:
+        """Invoke ``CAS(expected, new)`` — see
+        :meth:`repro.core.writer.AtomicWriter.compare_and_swap`."""
+        if self.busy:
+            raise RuntimeError(
+                f"client {self.process_id} invoked an operation while another "
+                "is still outstanding (violates per-register well-formedness)"
+            )
+        return self.writer.compare_and_swap(expected, new)
+
+    def read_modify_write(self, fn: Callable[[Any], Any]) -> Effects:
+        """Invoke ``RMW(fn)`` — see
+        :meth:`repro.core.writer.AtomicWriter.read_modify_write`."""
+        if self.busy:
+            raise RuntimeError(
+                f"client {self.process_id} invoked an operation while another "
+                "is still outstanding (violates per-register well-formedness)"
+            )
+        return self.writer.read_modify_write(fn)
+
     # ------------------------------------------------------------------- input
     def handle_message(self, message: Message) -> Effects:
         if isinstance(message, (TimestampQueryAck, PreWriteAck)):
             return self.writer.handle_message(message)
+        if isinstance(message, (WriterLeaseGrant, WriterLeaseRevoke)):
+            # Writer-lease traffic: consumed by a LeasedWriter role, ignored
+            # (empty effects) by a plain MWMR writer.
+            return self.writer.handle_message(message)
         if isinstance(message, ReadAck):
+            return self.reader.handle_message(message)
+        if isinstance(message, (LeaseGrant, LeaseRevoke)):
+            # Read-lease traffic: consumed by a LeasedReader role, ignored
+            # (empty effects) by a plain reader.
             return self.reader.handle_message(message)
         if isinstance(message, WriteAck):
             if message.from_writer:

@@ -66,6 +66,23 @@ class ProtocolSuite:
             f"protocol {self.name!r} does not support read leases"
         )
 
+    def create_leased_mwmr_client(
+        self,
+        client_id: str,
+        writer_lease_duration: float,
+        read_lease_duration: float | None = None,
+    ) -> ClientAutomaton:
+        """An MWMR client whose writer role holds per-register writer leases.
+
+        While the lease is active the client writes in one round (no
+        timestamp-query phase) and decides CAS/RMW operations locally; the
+        sharded store calls this for every client of a register declared
+        ``writer_leases`` (see :mod:`repro.lease`).
+        """
+        raise NotImplementedError(
+            f"protocol {self.name!r} does not support writer leases"
+        )
+
     # -- convenience ----------------------------------------------------------
     def create_all(self) -> Dict[str, Automaton]:
         """Instantiate every process of the deployment keyed by process id."""
@@ -144,4 +161,21 @@ class LuckyAtomicProtocol(ProtocolSuite):
             lease_duration=lease_duration,
             timer_delay=self.timer_delay,
             count_unresponsive=self.count_unresponsive,
+        )
+
+    def create_leased_mwmr_client(
+        self,
+        client_id: str,
+        writer_lease_duration: float,
+        read_lease_duration: float | None = None,
+    ) -> "MultiWriterClient":
+        from .mwmr import MultiWriterClient
+
+        return MultiWriterClient(
+            client_id,
+            self.config,
+            timer_delay=self.timer_delay,
+            count_unresponsive=self.count_unresponsive,
+            writer_lease_duration=writer_lease_duration,
+            read_lease_duration=read_lease_duration,
         )

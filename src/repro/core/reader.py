@@ -41,6 +41,8 @@ from .messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRevoke,
 )
 from .predicates import ViewTable
 from .types import INITIAL_READ_TIMESTAMP, TimestampValue, is_bottom
@@ -79,6 +81,8 @@ class AtomicReader(ClientAutomaton):
         TimestampQueryAck,
         LeaseGrant,
         LeaseRevoke,
+        WriterLeaseGrant,
+        WriterLeaseRevoke,
         BaselineQueryReply,
         BaselineStoreAck,
     )

@@ -36,6 +36,8 @@ from .messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseRenew,
+    WriterLeaseRevokeAck,
 )
 from .types import (
     INITIAL_FROZEN,
@@ -56,6 +58,8 @@ class StorageServer(Automaton):
     DISPATCH_IGNORES = CLIENT_BOUND_MESSAGES + (
         LeaseRenew,
         LeaseRevokeAck,
+        WriterLeaseRenew,
+        WriterLeaseRevokeAck,
         BaselineQuery,
         BaselineStore,
     )

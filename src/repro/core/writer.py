@@ -19,7 +19,7 @@ WRITE's PW message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .automaton import ClientAutomaton, Effects, OperationComplete
 from .config import SystemConfig
@@ -37,6 +37,10 @@ from .messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRenew,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
 )
 from .types import (
     INITIAL_PAIR,
@@ -44,6 +48,7 @@ from .types import (
     FreezeDirective,
     TimestampValue,
     freshest,
+    is_bottom,
 )
 
 
@@ -60,6 +65,13 @@ class _WriteAttempt:
     w_acks: Dict[int, Set[str]] = field(default_factory=dict)
     rounds_used: int = 0
     query_acks: Dict[str, TimestampQueryAck] = field(default_factory=dict)
+    # Conditional operations (CAS / read-modify-write): the expectation, the
+    # transform, and the pair the decision was made against.
+    cas: bool = False
+    cas_expected: Any = None
+    rmw_fn: Optional[Callable[[Any], Any]] = None
+    observed: Optional[TimestampValue] = None
+    from_lease: bool = False
 
 
 class AtomicWriter(ClientAutomaton):
@@ -69,12 +81,15 @@ class AtomicWriter(ClientAutomaton):
     #: Appendix C and D variants stop after round 2).
     FINAL_W_ROUND = 3
 
-    # The writer consumes its own phase acks; read acks, lease traffic and
-    # baseline replies address readers/leased wrappers, never the writer.
+    # The writer consumes its own phase acks; read acks, read-lease traffic
+    # and baseline replies address readers/leased wrappers, never the writer.
+    # Writer-lease grants/revokes are consumed by the LeasedWriter subclass.
     DISPATCH_IGNORES = SERVER_BOUND_MESSAGES + (
         ReadAck,
         LeaseGrant,
         LeaseRevoke,
+        WriterLeaseGrant,
+        WriterLeaseRevoke,
         BaselineQueryReply,
         BaselineStoreAck,
     )
@@ -142,19 +157,70 @@ class AtomicWriter(ClientAutomaton):
         if self.mwmr:
             # MWMR read phase: learn the highest pair before picking a
             # timestamp.  The PW phase starts once S - t replies are in.
-            self._attempt = _WriteAttempt(
-                op_id=op_id, value=value, ts=0, phase="query"
+            return self._begin_query(
+                _WriteAttempt(op_id=op_id, value=value, ts=0, phase="query")
             )
-            effects = Effects()
-            effects.broadcast(
-                self.config.server_ids(),
-                TimestampQuery(sender=self.process_id, op_id=op_id),
-            )
-            self._attempt.rounds_used = 1
-            return effects
         self.ts += 1
         self._attempt = _WriteAttempt(op_id=op_id, value=value, ts=self.ts)
         return self._start_pw_phase()
+
+    def compare_and_swap(self, expected: Any, new: Any) -> Effects:
+        """Invoke ``CAS(expected, new)``: write ``new`` iff the register holds
+        ``expected``.
+
+        The query round doubles as the read: the freshest pair across
+        ``S - t`` replies is the observation.  On a match the attempt proceeds
+        exactly like a WRITE (and its completion records which pair it
+        replaced); on a mismatch the operation completes immediately as a
+        *failed CAS* — a read that linearizes at the observed pair.  Pass
+        ``expected=None`` to match the unwritten register (⊥).
+
+        Without a writer lease this is optimistic: a write that lands between
+        the query and the PW phase is exactly the lost update
+        :class:`~repro.verify.atomicity.ConditionalOpChecker` flags.  Under an
+        active :class:`LeasedWriter` lease the decision is made against the
+        cached pair and the race disappears.
+        """
+        if not self.mwmr:
+            raise RuntimeError("compare_and_swap requires an MWMR writer")
+        self._operation_started()
+        return self._begin_query(
+            _WriteAttempt(
+                op_id=self._next_op_id(),
+                value=new,
+                ts=0,
+                phase="query",
+                cas=True,
+                cas_expected=expected,
+            )
+        )
+
+    def read_modify_write(self, fn: Callable[[Any], Any]) -> Effects:
+        """Invoke ``RMW(fn)``: atomically replace the current value ``v`` with
+        ``fn(v)`` (``fn(None)`` when the register is unwritten).
+
+        Same machinery as :meth:`compare_and_swap`, but the transform always
+        applies — the completion records the observed pair so the checker can
+        verify no write slipped between observation and replacement.
+        """
+        if not self.mwmr:
+            raise RuntimeError("read_modify_write requires an MWMR writer")
+        self._operation_started()
+        return self._begin_query(
+            _WriteAttempt(
+                op_id=self._next_op_id(), value=None, ts=0, phase="query", rmw_fn=fn
+            )
+        )
+
+    def _begin_query(self, attempt: _WriteAttempt) -> Effects:
+        self._attempt = attempt
+        effects = Effects()
+        effects.broadcast(
+            self.config.server_ids(),
+            TimestampQuery(sender=self.process_id, op_id=attempt.op_id),
+        )
+        attempt.rounds_used = 1
+        return effects
 
     def _start_pw_phase(self) -> Effects:
         attempt = self._attempt
@@ -204,9 +270,55 @@ class AtomicWriter(ClientAutomaton):
             *(ack.pw for ack in attempt.query_acks.values()),
             *(ack.w for ack in attempt.query_acks.values()),
         )
+        if attempt.cas or attempt.rmw_fn is not None:
+            # The observation excludes the writer's own synthetic (ts, None)
+            # floor pair — a conditional op compares against what the servers
+            # actually store.
+            observed = freshest(
+                *(ack.pw for ack in attempt.query_acks.values()),
+                *(ack.w for ack in attempt.query_acks.values()),
+            )
+            attempt.observed = observed
+            current = None if is_bottom(observed.val) else observed.val
+            if attempt.rmw_fn is not None:
+                attempt.value = attempt.rmw_fn(current)
+            elif current != attempt.cas_expected:
+                return self._complete_conditional_failure(observed)
         attempt.ts = highest.ts + 1
         self.ts = attempt.ts
         return self._start_pw_phase()
+
+    def _complete_conditional_failure(self, observed: TimestampValue) -> Effects:
+        """Complete a mismatched CAS: it linearizes as a read of ``observed``."""
+        attempt = self._attempt
+        assert attempt is not None
+        attempt.phase = "done"
+        self._attempt = None
+        self._operation_finished()
+        effects = Effects()
+        effects.complete(
+            OperationComplete(
+                op_id=attempt.op_id,
+                kind="read",
+                value=observed.val,
+                rounds=attempt.rounds_used,
+                fast=attempt.rounds_used <= 1,
+                metadata={
+                    "ts": observed.ts,
+                    "cas": True,
+                    "cas_failed": True,
+                    "cas_expected": attempt.cas_expected,
+                    "is_bottom": is_bottom(observed.val),
+                    "mwmr": True,
+                    **(
+                        {"writer_id": observed.writer_id}
+                        if observed.writer_id
+                        else {}
+                    ),
+                },
+            )
+        )
+        return effects
 
     def on_timer(self, timer_id: str) -> Effects:
         attempt = self._attempt
@@ -334,10 +446,26 @@ class AtomicWriter(ClientAutomaton):
                         if self.mwmr
                         else {}
                     ),
+                    **({"lease": True} if attempt.from_lease else {}),
+                    **self._conditional_metadata(attempt),
                 },
             )
         )
         return effects
+
+    def _conditional_metadata(self, attempt: _WriteAttempt) -> Dict[str, Any]:
+        """Completion metadata of a *successful* conditional write: which pair
+        the decision observed, so the checker can detect lost updates."""
+        if not attempt.cas and attempt.rmw_fn is None:
+            return {}
+        observed = attempt.observed
+        assert observed is not None
+        return {
+            ("cas" if attempt.cas else "rmw"): True,
+            "observed_ts": observed.ts,
+            "observed_writer": observed.writer_id,
+            "observed_bottom": is_bottom(observed.val),
+        }
 
     # ------------------------------------------------------------ inspection
     def describe(self) -> Dict[str, Any]:
@@ -351,3 +479,390 @@ class AtomicWriter(ClientAutomaton):
             "busy": self.busy,
             "mwmr": self.mwmr,
         }
+
+
+@dataclass
+class _WriterLeaseState:
+    """One (attempted or active) writer lease."""
+
+    lease_id: int
+    duration: float
+    #: The freshest pair this writer knows is stored — leased writes pick
+    #: ``cached.ts + 1`` without querying.  Seeded by the completion of the
+    #: operation the acquisition rode on.
+    cached: Optional[TimestampValue] = None
+    #: Per-server ``(observed pair, epoch)`` of received grants.
+    grants: Dict[str, Tuple[TimestampValue, int]] = field(default_factory=dict)
+    active: bool = False
+
+
+class LeasedWriter(AtomicWriter):
+    """An MWMR writer that skips the timestamp-query round under a lease.
+
+    The MWMR write costs two phases: a :class:`TimestampQuery` round to learn
+    the highest stored pair, then the PW phase.  A writer lease caches the
+    outcome of the first: while ``S - t`` servers have granted this writer a
+    lease *clean* with respect to its cached pair (their observed pair at
+    grant time did not exceed the cache), every granting server parks
+    competing writers' queries and withholds their phase acks — so no other
+    write can complete, the cache stays the register's freshest pair, and this
+    writer may write ``(cached.ts + 1, value)`` straight away: **one round**,
+    the SWMR fast-path cost.
+
+    Conditional operations decide locally under an active lease:
+    :meth:`compare_and_swap` compares against the cached value (a mismatch
+    completes in **zero rounds**) and :meth:`read_modify_write` transforms it.
+    Without a lease both fall back to the optimistic query-phase protocol of
+    :class:`AtomicWriter` with an acquisition riding along.
+
+    Safety mirrors :class:`~repro.core.reader.LeasedReader`: grants are
+    epoch-fenced (a server restart invalidates its grant), a revocation drops
+    the cache immediately, and expiry is timer-driven on both sides.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        lease_duration: float = 60.0,
+        renew_fraction: float = 0.5,
+        timer_delay: float = 10.0,
+        writer_id: Optional[str] = None,
+        enable_fast_path: bool = True,
+        wait_for_timer: bool = True,
+    ) -> None:
+        super().__init__(
+            config,
+            timer_delay=timer_delay,
+            writer_id=writer_id,
+            enable_fast_path=enable_fast_path,
+            wait_for_timer=wait_for_timer,
+            mwmr=True,
+        )
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        if not 0 < renew_fraction < 1:
+            raise ValueError("renew_fraction must be in (0, 1)")
+        self.lease_duration = lease_duration
+        self.renew_fraction = renew_fraction
+        self._lease: Optional[_WriterLeaseState] = None
+        self._acquiring: Optional[_WriterLeaseState] = None
+        self._lease_counter = 0
+        self._renew_due = False
+        self._server_epochs: Dict[str, int] = {}
+        #: WRITE/CAS/RMW operations whose PW phase skipped the query round.
+        self.lease_writes = 0
+        #: Conditional operations decided against the cached pair.
+        self.lease_conditionals = 0
+
+    # ------------------------------------------------------------ invocation
+    def write(self, value: Any) -> Effects:
+        lease = self._active_lease()
+        if lease is None:
+            effects = super().write(value)
+            effects.merge(self._maybe_start_acquisition())
+            return effects
+        return self._leased_write(value, lease)
+
+    def compare_and_swap(self, expected: Any, new: Any) -> Effects:
+        lease = self._active_lease()
+        if lease is None:
+            effects = super().compare_and_swap(expected, new)
+            effects.merge(self._maybe_start_acquisition())
+            return effects
+        cached = lease.cached
+        assert cached is not None
+        self.lease_conditionals += 1
+        current = None if is_bottom(cached.val) else cached.val
+        if current != expected:
+            return self._local_conditional_failure(cached, expected)
+        return self._leased_write(
+            new, lease, cas=True, cas_expected=expected, observed=cached
+        )
+
+    def read_modify_write(self, fn: Callable[[Any], Any]) -> Effects:
+        lease = self._active_lease()
+        if lease is None:
+            effects = super().read_modify_write(fn)
+            effects.merge(self._maybe_start_acquisition())
+            return effects
+        cached = lease.cached
+        assert cached is not None
+        self.lease_conditionals += 1
+        current = None if is_bottom(cached.val) else cached.val
+        return self._leased_write(fn(current), lease, rmw_fn=fn, observed=cached)
+
+    @property
+    def lease_held(self) -> bool:
+        """Whether a writer lease is currently active."""
+        return self._active_lease() is not None
+
+    def _active_lease(self) -> Optional[_WriterLeaseState]:
+        lease = self._lease
+        if lease is not None and lease.active:
+            return lease
+        return None
+
+    def _leased_write(
+        self,
+        value: Any,
+        lease: _WriterLeaseState,
+        cas: bool = False,
+        cas_expected: Any = None,
+        rmw_fn: Optional[Callable[[Any], Any]] = None,
+        observed: Optional[TimestampValue] = None,
+    ) -> Effects:
+        """Start a 1-round write at ``cached.ts + 1`` — no query round."""
+        self._operation_started()
+        cached = lease.cached
+        assert cached is not None
+        self._attempt = _WriteAttempt(
+            op_id=self._next_op_id(),
+            value=value,
+            ts=cached.ts + 1,
+            cas=cas,
+            cas_expected=cas_expected,
+            rmw_fn=rmw_fn,
+            observed=observed,
+            from_lease=True,
+        )
+        self.ts = cached.ts + 1
+        self.lease_writes += 1
+        effects = self._start_pw_phase()
+        if self._renew_due and self._acquiring is None:
+            self._renew_due = False
+            effects.merge(self._start_acquisition(cached=lease.cached))
+        return effects
+
+    def _local_conditional_failure(
+        self, cached: TimestampValue, expected: Any
+    ) -> Effects:
+        """A CAS mismatch decided from the cache: zero rounds, reads ``cached``."""
+        self._operation_started()
+        op_id = self._next_op_id()
+        self._operation_finished()
+        effects = Effects()
+        effects.complete(
+            OperationComplete(
+                op_id=op_id,
+                kind="read",
+                value=cached.val,
+                rounds=0,
+                fast=True,
+                metadata={
+                    "ts": cached.ts,
+                    "cas": True,
+                    "cas_failed": True,
+                    "cas_expected": expected,
+                    "lease": True,
+                    "is_bottom": is_bottom(cached.val),
+                    "mwmr": True,
+                    **(
+                        {"writer_id": cached.writer_id} if cached.writer_id else {}
+                    ),
+                },
+            )
+        )
+        if self._renew_due and self._acquiring is None:
+            self._renew_due = False
+            lease = self._lease
+            if lease is not None:
+                effects.merge(self._start_acquisition(cached=lease.cached))
+        return effects
+
+    # ----------------------------------------------------------- acquisition
+    def _maybe_start_acquisition(self) -> Effects:
+        if self._acquiring is not None:
+            return Effects()
+        return self._start_acquisition()
+
+    def _start_acquisition(
+        self, cached: Optional[TimestampValue] = None
+    ) -> Effects:
+        self._lease_counter += 1
+        state = _WriterLeaseState(
+            lease_id=self._lease_counter,
+            duration=self.lease_duration,
+            cached=cached,
+        )
+        self._acquiring = state
+        effects = Effects()
+        effects.broadcast(
+            self.config.server_ids(),
+            WriterLeaseRenew(
+                sender=self.process_id,
+                lease_id=state.lease_id,
+                duration=state.duration,
+            ),
+        )
+        effects.start_timer(
+            self._lease_timer_id(state.lease_id, "expire"), state.duration
+        )
+        effects.start_timer(
+            self._lease_timer_id(state.lease_id, "renew"),
+            state.duration * self.renew_fraction,
+        )
+        return effects
+
+    def _lease_timer_id(self, lease_id: int, label: str) -> str:
+        return f"{self.process_id}/wlease{lease_id}/{label}"
+
+    def _clean_grant_count(self, state: _WriterLeaseState) -> int:
+        """Grants whose observed pair does not exceed the cached pair.
+
+        A clean grant proves the server had seen nothing fresher than the
+        cache when it started parking competing traffic — ``S - t`` of them
+        prove no competing write can have completed past the cache.
+        """
+        cached = state.cached
+        if cached is None:
+            return 0
+        return sum(
+            1
+            for observed, _ in state.grants.values()
+            if observed.order_key <= cached.order_key
+        )
+
+    def _maybe_activate(self, state: _WriterLeaseState) -> Effects:
+        effects = Effects()
+        if state.active or state is not self._acquiring:
+            return effects
+        if self._clean_grant_count(state) < self.config.round_quorum:
+            return effects
+        previous = self._lease
+        if previous is not None and previous.lease_id != state.lease_id:
+            effects.cancel_timer(self._lease_timer_id(previous.lease_id, "expire"))
+            effects.cancel_timer(self._lease_timer_id(previous.lease_id, "renew"))
+        state.active = True
+        self._lease = state
+        self._acquiring = None
+        self._renew_due = False
+        return effects
+
+    # ----------------------------------------------------------------- input
+    def handle_message(self, message: Message) -> Effects:
+        self._observe_epoch(message)
+        if isinstance(message, WriterLeaseGrant):
+            return self._on_lease_grant(message)
+        if isinstance(message, WriterLeaseRevoke):
+            return self._on_lease_revoke(message)
+        return super().handle_message(message)
+
+    def _observe_epoch(self, message: Message) -> None:
+        """Epoch fencing: a restarted server forgot its grant — drop it."""
+        epoch = message.epoch
+        if epoch <= self._server_epochs.get(message.sender, 0):
+            return
+        self._server_epochs[message.sender] = epoch
+        for state in (self._lease, self._acquiring):
+            if state is None:
+                continue
+            grant = state.grants.get(message.sender)
+            if grant is not None and grant[1] < epoch:
+                del state.grants[message.sender]
+        lease = self._lease
+        if (
+            lease is not None
+            and self._clean_grant_count(lease) < self.config.round_quorum
+        ):
+            self._lease = None
+
+    def _on_lease_grant(self, message: WriterLeaseGrant) -> Effects:
+        state = self._acquiring
+        if state is None or state.lease_id != message.lease_id:
+            return Effects()
+        epoch = max(message.epoch, self._server_epochs.get(message.sender, 0))
+        state.grants[message.sender] = (message.observed, epoch)
+        if state.cached is None:
+            return Effects()  # activation waits for the riding op to complete
+        return self._maybe_activate(state)
+
+    def _on_lease_revoke(self, message: WriterLeaseRevoke) -> Effects:
+        effects = Effects()
+        lease = self._lease
+        if lease is not None and lease.lease_id == message.lease_id:
+            self._lease = None
+            effects.cancel_timer(self._lease_timer_id(lease.lease_id, "expire"))
+            effects.cancel_timer(self._lease_timer_id(lease.lease_id, "renew"))
+        acquiring = self._acquiring
+        if acquiring is not None and acquiring.lease_id == message.lease_id:
+            self._acquiring = None
+            effects.cancel_timer(
+                self._lease_timer_id(acquiring.lease_id, "expire")
+            )
+            effects.cancel_timer(self._lease_timer_id(acquiring.lease_id, "renew"))
+        effects.send(
+            message.sender,
+            WriterLeaseRevokeAck(
+                sender=self.process_id, lease_id=message.lease_id
+            ),
+        )
+        return effects
+
+    # ---------------------------------------------------------------- timers
+    def on_timer(self, timer_id: str) -> Effects:
+        if timer_id.startswith(f"{self.process_id}/wlease"):
+            return self._on_lease_timer(timer_id)
+        return super().on_timer(timer_id)
+
+    def _on_lease_timer(self, timer_id: str) -> Effects:
+        head, _, label = timer_id.rpartition("/")
+        _, _, slot = head.rpartition("/")
+        lease_id = int(slot[len("wlease") :])
+        if label == "expire":
+            lease = self._lease
+            if lease is not None and lease.lease_id == lease_id:
+                self._lease = None
+            acquiring = self._acquiring
+            if acquiring is not None and acquiring.lease_id == lease_id:
+                self._acquiring = None
+        elif label == "renew":
+            lease = self._lease
+            if lease is not None and lease.lease_id == lease_id:
+                # Lazy renewal: piggyback on the next operation instead of
+                # waking up — an idle writer lets the lease expire.
+                self._renew_due = True
+        return Effects()
+
+    # ------------------------------------------------------------ completion
+    def _complete(self, fast: bool) -> Effects:
+        attempt = self._attempt
+        assert attempt is not None
+        pair = TimestampValue(attempt.ts, attempt.value, self._pair_writer_id())
+        effects = super()._complete(fast=fast)
+        lease = self._lease
+        if lease is not None and lease.active:
+            lease.cached = pair
+        effects.merge(self._seed_acquisition_cache(pair))
+        return effects
+
+    def _complete_conditional_failure(self, observed: TimestampValue) -> Effects:
+        effects = super()._complete_conditional_failure(observed)
+        effects.merge(self._seed_acquisition_cache(observed))
+        return effects
+
+    def _seed_acquisition_cache(self, pair: TimestampValue) -> Effects:
+        """Adopt a quorum-proven pair as the acquisition's cache seed.
+
+        Any grant observed at or below this pair stays clean: the pair
+        dominates every write completed before the riding operation returned.
+        """
+        acquiring = self._acquiring
+        if acquiring is None:
+            return Effects()
+        if acquiring.cached is None or pair.order_key > acquiring.cached.order_key:
+            acquiring.cached = pair
+        return self._maybe_activate(acquiring)
+
+    # ------------------------------------------------------------ inspection
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        lease = self._lease
+        info.update(
+            {
+                "lease_active": lease is not None and lease.active,
+                "lease_id": lease.lease_id if lease is not None else None,
+                "lease_writes": self.lease_writes,
+                "lease_conditionals": self.lease_conditionals,
+            }
+        )
+        return info

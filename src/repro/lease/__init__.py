@@ -30,7 +30,14 @@ use to fence its pre-crash grants out.
 """
 
 from ..core.reader import LeasedReader
+from ..core.writer import LeasedWriter
 from .protocol import LeasedLuckyProtocol
-from .server import LeaseServer
+from .server import LeaseServer, WriterLeaseServer
 
-__all__ = ["LeaseServer", "LeasedLuckyProtocol", "LeasedReader"]
+__all__ = [
+    "LeaseServer",
+    "LeasedLuckyProtocol",
+    "LeasedReader",
+    "LeasedWriter",
+    "WriterLeaseServer",
+]

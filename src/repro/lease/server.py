@@ -35,6 +35,13 @@ from ..core.messages import (
     LeaseRevoke,
     LeaseRevokeAck,
     Message,
+    PreWrite,
+    TimestampQuery,
+    Write,
+    WriterLeaseGrant,
+    WriterLeaseRenew,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
 )
 from ..core.types import INITIAL_PAIR, TimestampValue, freshest
 
@@ -43,6 +50,12 @@ GRACE_TIMER_ID = "lease/grace"
 
 #: Prefix of per-lease expiry timers: ``lease/expire/<reader>/<lease_id>``.
 EXPIRE_TIMER_PREFIX = "lease/expire/"
+
+#: Timer id of the writer-lease layer's post-recovery grace window.
+WRITER_GRACE_TIMER_ID = "wlease/grace"
+
+#: Prefix of writer-lease expiry timers: ``wlease/expire/<writer>/<lease_id>``.
+WRITER_EXPIRE_TIMER_PREFIX = "wlease/expire/"
 
 #: Fields of the wrapped server whose advance triggers revocation.
 _OBSERVED_FIELDS = ("pw", "w", "vw")
@@ -256,6 +269,269 @@ class LeaseServer(Automaton):
             "holders": sorted(self._leases),
             "revoking": self._revoking,
             "withheld": len(self._withheld),
+            "grace": self._grace,
+            "revocations": self.revocations,
+        }
+        return info
+
+
+class WriterLeaseServer(Automaton):
+    """A storage automaton wrapper granting and enforcing **writer** leases.
+
+    The read-side :class:`LeaseServer` withholds acknowledgements so leased
+    readers can serve locally; this wrapper does the dual for writers.  While
+    one writer holds the lease on a register, the server **parks** competing
+    writers' traffic:
+
+    * a :class:`~repro.core.messages.TimestampQuery` from another writer is
+      parked *as a message* — replying now would hand out a ``max_ts`` the
+      holder is still advancing past, so the query is re-handled (and a fresh
+      reply produced) only once the lease died;
+    * a competing :class:`~repro.core.messages.PreWrite` or writer-round
+      :class:`~repro.core.messages.Write` is processed (pair adoption is
+      monotone and mandatory) but its acknowledgement is withheld — the
+      competing WRITE cannot complete while the holder relies on its cache.
+
+    Either event also triggers revocation of the current holder, so competing
+    writers are delayed by at most one revocation round-trip, not a full lease
+    term.  Reader traffic (READ rounds, read write-backs, read leases) passes
+    through untouched: by the clean-grant rule a write-back can only carry a
+    pair the holder's cache already dominates.
+
+    Quorum argument: an active lease means ``S - t`` servers park competing
+    traffic, so a competing writer reaches at most ``t < S - t``
+    acknowledgements — no competing WRITE completes and the holder's cached
+    pair stays the register's freshest, which is exactly what makes the
+    holder's 1-round writes (and locally-decided CAS) safe.
+
+    Crash recovery mirrors :class:`LeaseServer`: the lease table is volatile,
+    so after :meth:`notify_recovered` the wrapper parks *all* writer traffic
+    for one full lease duration — the longest a forgotten pre-crash grant
+    could still be honoured by its holder — while epoch fencing invalidates
+    the stale grant from the holder's side.
+
+    Wrap order is ``StorageServer → WriterLeaseServer → LeaseServer``: the
+    holder's 1-round PW passes through this wrapper into the read-lease layer,
+    which still withholds its acknowledgement until conflicting read leases
+    are revoked — writer leases never bypass the read-side discipline.
+    """
+
+    def __init__(self, inner: Automaton, lease_duration: float = 60.0) -> None:
+        super().__init__(inner.process_id)
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        self.inner = inner
+        self.lease_duration = lease_duration
+        self._leases: Dict[str, _GrantedLease] = {}
+        #: Competing TimestampQuery messages, re-handled at release time.
+        self._parked: List[Message] = []
+        #: Withheld acknowledgements of processed competing PW/W rounds.
+        self._withheld: List[Send] = []
+        self._revoking = False
+        self._revoke_waiting: Set[str] = set()
+        self._grace = False
+        self._grace_timer_started = False
+        #: Diagnostics: completed withhold-then-release cycles.
+        self.revocations = 0
+        #: Diagnostics: competing queries parked at least once.
+        self.parked_queries = 0
+
+    # ------------------------------------------------- strategy/driver proxies
+    @property
+    def pw(self) -> TimestampValue:
+        return self.inner.pw  # type: ignore[attr-defined]
+
+    @property
+    def w(self) -> TimestampValue:
+        return self.inner.w  # type: ignore[attr-defined]
+
+    @property
+    def vw(self) -> TimestampValue:
+        return self.inner.vw  # type: ignore[attr-defined]
+
+    @property
+    def frozen(self):
+        return self.inner.frozen  # type: ignore[attr-defined]
+
+    @property
+    def read_ts(self):
+        return self.inner.read_ts  # type: ignore[attr-defined]
+
+    # ---------------------------------------------------------------- recovery
+    def notify_recovered(self) -> None:
+        """Enter the post-recovery grace period (the lease table is gone)."""
+        self._leases.clear()
+        self._revoke_waiting.clear()
+        self._grace = True
+        self._grace_timer_started = False
+
+    @property
+    def in_grace(self) -> bool:
+        """Whether the post-recovery grace period is still pending or active."""
+        return self._grace
+
+    # -------------------------------------------------------------- dispatch
+    def handle_message(self, message: Message) -> Effects:
+        effects = self._arm_grace_timer()
+        if isinstance(message, WriterLeaseRenew):
+            return effects.merge(self._on_lease_renew(message))
+        if isinstance(message, WriterLeaseRevokeAck):
+            return effects.merge(self._on_revoke_ack(message))
+        if self._blocks(message):
+            return effects.merge(self._absorb(message))
+        inner_effects = self.inner.handle_message(message)
+        return effects.merge(inner_effects)
+
+    def _blocks(self, message: Message) -> bool:
+        """Whether *message* is competing-writer traffic that must wait."""
+        competing = isinstance(message, (TimestampQuery, PreWrite)) or (
+            isinstance(message, Write) and message.from_writer
+        )
+        if not competing:
+            return False
+        if self._grace:
+            return True
+        if message.sender in self._leases:
+            return False
+        return bool(self._leases) or self._revoking
+
+    def _absorb(self, message: Message) -> Effects:
+        """Park competing traffic and make sure the holder gets evicted."""
+        out = self._start_revocation()
+        if isinstance(message, TimestampQuery):
+            # Park the query itself, not its reply: the holder may still be
+            # writing, and a reply computed now would hand out a stale max_ts.
+            self._parked.append(message)
+            self.parked_queries += 1
+            return out
+        inner_effects = self.inner.handle_message(message)
+        self._withheld.extend(inner_effects.sends)
+        out.timers.extend(inner_effects.timers)
+        out.completions.extend(inner_effects.completions)
+        out.cancels.extend(inner_effects.cancels)
+        return out
+
+    def _arm_grace_timer(self) -> Effects:
+        effects = Effects()
+        if self._grace and not self._grace_timer_started:
+            self._grace_timer_started = True
+            effects.start_timer(WRITER_GRACE_TIMER_ID, self.lease_duration)
+        return effects
+
+    def _observed_state(self) -> tuple:
+        return tuple(
+            getattr(self.inner, field, None) for field in _OBSERVED_FIELDS
+        )
+
+    def highest_pair(self) -> TimestampValue:
+        """The freshest pair the wrapped server stores (grant ``observed``)."""
+        pairs = [
+            pair
+            for pair in self._observed_state()
+            if isinstance(pair, TimestampValue)
+        ]
+        return freshest(*pairs) if pairs else INITIAL_PAIR
+
+    # ----------------------------------------------------------------- leases
+    def _on_lease_renew(self, message: WriterLeaseRenew) -> Effects:
+        if self._revoking or self._grace:
+            return Effects()
+        if self._leases and message.sender not in self._leases:
+            # A competing writer wants the register: evict the holder first.
+            # The competitor's lazy retry finds the table free.
+            return self._start_revocation()
+        if not 0 < message.duration <= self.lease_duration:
+            return Effects()  # same bounds argument as LeaseServer
+        lease = _GrantedLease(lease_id=message.lease_id, duration=message.duration)
+        self._leases[message.sender] = lease
+        effects = Effects()
+        effects.send(
+            message.sender,
+            WriterLeaseGrant(
+                sender=self.process_id,
+                lease_id=lease.lease_id,
+                duration=lease.duration,
+                observed=self.highest_pair(),
+            ),
+        )
+        effects.start_timer(
+            self._expire_timer_id(message.sender, lease.lease_id), lease.duration
+        )
+        return effects
+
+    def _start_revocation(self) -> Effects:
+        out = Effects()
+        if self._revoking:
+            return out
+        self._revoking = True
+        self._revoke_waiting = set(self._leases)
+        for writer_id in sorted(self._leases):
+            out.send(
+                writer_id,
+                WriterLeaseRevoke(
+                    sender=self.process_id,
+                    lease_id=self._leases[writer_id].lease_id,
+                ),
+            )
+        return out
+
+    def _on_revoke_ack(self, message: WriterLeaseRevokeAck) -> Effects:
+        lease = self._leases.get(message.sender)
+        if lease is None or lease.lease_id != message.lease_id:
+            return Effects()  # stale ack for a superseded lease
+        del self._leases[message.sender]
+        self._revoke_waiting.discard(message.sender)
+        return self._maybe_release()
+
+    def _maybe_release(self) -> Effects:
+        if not self._revoking or self._revoke_waiting or self._grace:
+            return Effects()
+        self._revoking = False
+        self.revocations += 1
+        effects = Effects()
+        effects.sends.extend(self._withheld)
+        self._withheld = []
+        parked, self._parked = self._parked, []
+        for query in parked:
+            # Re-handled now, the reply reflects every write the departed
+            # holder completed under the lease.
+            effects.merge(self.inner.handle_message(query))
+        return effects
+
+    # ----------------------------------------------------------------- timers
+    def _expire_timer_id(self, writer_id: str, lease_id: int) -> str:
+        return f"{WRITER_EXPIRE_TIMER_PREFIX}{writer_id}/{lease_id}"
+
+    def on_timer(self, timer_id: str) -> Effects:
+        if timer_id == WRITER_GRACE_TIMER_ID:
+            self._grace = False
+            return self._maybe_release()
+        if timer_id.startswith(WRITER_EXPIRE_TIMER_PREFIX):
+            return self._on_expire_timer(timer_id)
+        return self.inner.on_timer(timer_id)
+
+    def _on_expire_timer(self, timer_id: str) -> Effects:
+        remainder = timer_id[len(WRITER_EXPIRE_TIMER_PREFIX) :]
+        writer_id, _, id_text = remainder.rpartition("/")
+        try:
+            lease_id = int(id_text)
+        except ValueError:
+            return Effects()
+        lease = self._leases.get(writer_id)
+        if lease is None or lease.lease_id != lease_id:
+            return Effects()  # the lease was renewed or already revoked
+        del self._leases[writer_id]
+        self._revoke_waiting.discard(writer_id)
+        return self._maybe_release()
+
+    # ------------------------------------------------------------ inspection
+    def describe(self) -> dict:
+        info = self.inner.describe()
+        info["writer_leases"] = {
+            "holders": sorted(self._leases),
+            "revoking": self._revoking,
+            "withheld": len(self._withheld),
+            "parked": len(self._parked),
             "grace": self._grace,
             "revocations": self.revocations,
         }

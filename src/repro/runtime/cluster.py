@@ -266,6 +266,13 @@ class ShardedAsyncCluster(AsyncCluster):
                 store.write("k2", "b"),
             )
             read = await store.read("k1")
+
+    Per-key capabilities mirror :class:`~repro.store.sharding.ShardedProtocol`:
+    ``mwmr`` keys accept writes from every client node, ``leases`` keys serve
+    zero-round leased reads, and ``writer_leases`` keys (a subset of ``mwmr``)
+    give the writing client a per-key writer lease — one-round writes plus
+    :meth:`compare_and_swap` / :meth:`read_modify_write` decided locally from
+    the leased timestamp cache while the lease holds.
     """
 
     CLIENT_NODE_CLASS = ShardedClientNode
@@ -278,6 +285,7 @@ class ShardedAsyncCluster(AsyncCluster):
         batching: bool = True,
         mwmr: Any = (),
         leases: Any = (),
+        writer_leases: Any = (),
         lease_duration: float = 60.0,
         **kwargs: Any,
     ) -> None:
@@ -288,6 +296,7 @@ class ShardedAsyncCluster(AsyncCluster):
             batching=batching,
             mwmr=mwmr,
             leases=leases,
+            writer_leases=writer_leases,
             lease_duration=lease_duration,
         )
         super().__init__(suite, **kwargs)
@@ -305,6 +314,11 @@ class ShardedAsyncCluster(AsyncCluster):
     def leased_keys(self) -> List[str]:
         """The keys with read leases (zero-round contention-free reads)."""
         return sorted(self.suite.leased_registers)
+
+    @property
+    def writer_lease_keys(self) -> List[str]:
+        """The keys with writer leases (one-round writes, local CAS)."""
+        return sorted(self.suite.writer_leased_registers)
 
     # ---------------------------------------------------------------- operations
     async def write(  # type: ignore[override]
@@ -324,6 +338,33 @@ class ShardedAsyncCluster(AsyncCluster):
     ) -> OperationComplete:
         reader_id = reader_id or self.config.reader_ids()[0]
         return await self.client_nodes[reader_id].read(key)
+
+    async def compare_and_swap(
+        self, key: str, expected: Any, new: Any, client_id: Optional[str] = None
+    ) -> OperationComplete:
+        """CAS on *key*: write *new* iff the register currently holds *expected*.
+
+        *key* must be a multi-writer register.  A successful swap completes as
+        a write, a failed one as a read of the observed value; inspect the
+        completion's ``kind`` (or its ``cas_failed`` metadata) to tell them
+        apart.
+        """
+        node = self.client_nodes[client_id or self.config.writer_id]
+        return await node.compare_and_swap(key, expected, new)
+
+    async def read_modify_write(
+        self,
+        key: str,
+        fn: Callable[[Any], Any],
+        client_id: Optional[str] = None,
+    ) -> OperationComplete:
+        """Atomically replace *key*'s value with ``fn(current)``.
+
+        ``fn`` receives ``None`` while the register still holds its initial
+        bottom value.  *key* must be a multi-writer register.
+        """
+        node = self.client_nodes[client_id or self.config.writer_id]
+        return await node.read_modify_write(key, fn)
 
     # ------------------------------------------------------------------ history
     def history(self, key: Optional[str] = None) -> History:  # type: ignore[override]

@@ -13,7 +13,7 @@ import asyncio
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects, OperationComplete
 from ..core.messages import Message, iter_unbatched, make_envelope
@@ -406,6 +406,23 @@ class ShardedClientNode(AutomatonNode):
         """Invoke READ() on register *key* and await its completion."""
         return await self._invoke(key, "read", None)
 
+    async def compare_and_swap(
+        self, key: str, expected: Any, new: Any
+    ) -> OperationComplete:
+        """Invoke CAS(expected, new) on register *key* and await its completion.
+
+        The completion's ``kind`` distinguishes the outcomes: a successful
+        swap completes as a write of *new*, a failed one as a read of the
+        observed value.
+        """
+        return await self._invoke(key, "cas", (expected, new))
+
+    async def read_modify_write(
+        self, key: str, fn: "Callable[[Any], Any]"
+    ) -> OperationComplete:
+        """Invoke RMW(fn) on register *key* and await its completion."""
+        return await self._invoke(key, "rmw", fn)
+
     async def _invoke(self, key: str, kind: str, value: Any) -> OperationComplete:
         if key in self._pending:
             raise RuntimeError(
@@ -417,6 +434,16 @@ class ShardedClientNode(AutomatonNode):
         # later operation on that key fail with a misleading "already pending".
         if kind == "write":
             effects = self.automaton.write(key, value)  # type: ignore[attr-defined]
+        elif kind == "cas":
+            expected, new = value
+            value = new
+            effects = self.automaton.compare_and_swap(  # type: ignore[attr-defined]
+                key, expected, new
+            )
+        elif kind == "rmw":
+            effects = self.automaton.read_modify_write(  # type: ignore[attr-defined]
+                key, value
+            )
         else:
             effects = self.automaton.read(key)  # type: ignore[attr-defined]
         loop = asyncio.get_running_loop()
@@ -435,5 +462,8 @@ class ShardedClientNode(AutomatonNode):
         pending = self._pending.pop(key, None)
         if pending is None or pending.future.done():
             return
-        _record_completion(self, completion, pending.started, pending.value)
+        # An RMW's written value is only known at completion (fn ran against
+        # the observed state inside the automaton), so take it from there.
+        value = completion.value if pending.kind == "rmw" else pending.value
+        _record_completion(self, completion, pending.started, value)
         pending.future.set_result(completion)

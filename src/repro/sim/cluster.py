@@ -130,10 +130,21 @@ class OperationHandle:
                 completed_at=None,
                 metadata=self._metadata_extras(),
             )
+        if self.kind in ("cas", "rmw"):
+            # A conditional op resolves its record kind at completion: a
+            # successful CAS/RMW is a write of the new value, a failed CAS is
+            # a read of the observed value.
+            kind = self.result.kind
+            value = self.result.value
+        else:
+            kind = self.kind
+            value = (
+                self.result.value if self.kind == "read" else self.requested_value
+            )
         return OperationRecord(
             client_id=self.client_id,
-            kind=self.kind,
-            value=self.result.value if self.kind == "read" else self.requested_value,
+            kind=kind,
+            value=value,
             invoked_at=self.invoked_at,
             completed_at=self.completed_at,
             rounds=self.result.rounds,
@@ -490,11 +501,81 @@ class SimCluster:
         self._apply_effects(reader_id, effects)
         return handle
 
+    def start_store_cas(
+        self,
+        register_id: str,
+        expected: Any,
+        new: Any,
+        client_id: Optional[str] = None,
+    ) -> OperationHandle:
+        """Invoke ``CAS(expected, new)`` on the register *register_id* now.
+
+        The handle's record resolves at completion time: a successful CAS is a
+        write of *new*, a failed CAS is a read of the observed value (the
+        completion metadata carries ``cas_failed``).
+        """
+        client = self._sharded_client(client_id or self.config.writer_id)
+        effects = client.compare_and_swap(register_id, expected, new)
+        handle = OperationHandle(
+            client_id=client.process_id,
+            kind="cas",
+            requested_value=new,
+            invoked_at=self.now,
+            register_id=register_id,
+        )
+        self.operations.append(handle)
+        self._pending[(client.process_id, register_id)] = handle
+        self._apply_effects(client.process_id, effects)
+        return handle
+
+    def start_store_rmw(
+        self,
+        register_id: str,
+        fn: Callable[[Any], Any],
+        client_id: Optional[str] = None,
+    ) -> OperationHandle:
+        """Invoke ``RMW(fn)`` on the register *register_id* now."""
+        client = self._sharded_client(client_id or self.config.writer_id)
+        effects = client.read_modify_write(register_id, fn)
+        handle = OperationHandle(
+            client_id=client.process_id,
+            kind="rmw",
+            invoked_at=self.now,
+            register_id=register_id,
+        )
+        self.operations.append(handle)
+        self._pending[(client.process_id, register_id)] = handle
+        self._apply_effects(client.process_id, effects)
+        return handle
+
     def store_write(
         self, register_id: str, value: Any, client_id: Optional[str] = None
     ) -> OperationHandle:
         """Invoke a sharded WRITE and run the loop until it completes."""
         handle = self.start_store_write(register_id, value, client_id=client_id)
+        self.run(until=lambda: handle.done)
+        return handle
+
+    def store_cas(
+        self,
+        register_id: str,
+        expected: Any,
+        new: Any,
+        client_id: Optional[str] = None,
+    ) -> OperationHandle:
+        """Invoke a sharded CAS and run the loop until it completes."""
+        handle = self.start_store_cas(register_id, expected, new, client_id=client_id)
+        self.run(until=lambda: handle.done)
+        return handle
+
+    def store_rmw(
+        self,
+        register_id: str,
+        fn: Callable[[Any], Any],
+        client_id: Optional[str] = None,
+    ) -> OperationHandle:
+        """Invoke a sharded RMW and run the loop until it completes."""
+        handle = self.start_store_rmw(register_id, fn, client_id=client_id)
         self.run(until=lambda: handle.done)
         return handle
 

@@ -34,6 +34,14 @@ Two entry points, shared by ``benchmarks/bench_sharded_store.py`` and the
   throughput and latency side by side; every per-key history (including the
   lease-served reads) passes the atomicity checker before a number is
   reported.
+* :func:`writer_lease_sweep` — the S7 writer-lease scenario: a write-heavy
+  Zipf workload where each key has a dominant owner writer (plus occasional
+  competing "steal" writes and owner read-modify-writes).  Writer-leases off
+  vs on against the same arrivals, plus an SWMR single-writer baseline on the
+  same arrival times — the leased MWMR hot-key write should come within a
+  small factor of the paper's 1-round SWMR fast path.  Every per-key history
+  (conditional operations included) passes the conditional-op checker before
+  a number is reported.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from ..workload.generator import (
     Workload,
     contended_writers_workload,
     keyspace_workload,
+    owned_writers_workload,
     run_store_workload,
     value_sequence,
 )
@@ -835,6 +844,262 @@ def lease_sweep(
         f"{lease_reads_served} reads were served from leases across all "
         "keys; every per-key history (lease-served reads included) passed "
         "the atomicity checker in both runs"
+    )
+    return table
+
+
+def run_writer_lease_throughput(
+    num_keys: int = 4,
+    num_operations: int = 160,
+    t: int = 1,
+    b: int = 0,
+    num_writers: int = 3,
+    write_fraction: float = 0.55,
+    rmw_fraction: float = 0.15,
+    steal_fraction: float = 0.05,
+    skew: float = 1.1,
+    mean_gap: float = 0.2,
+    seed: int = 0,
+    writer_leases: bool = True,
+    lease_duration: float = 400.0,
+    batching: bool = True,
+    codec: CodecArg = None,
+) -> ShardedSimStore:
+    """Run the owned-writers Zipf workload, with or without writer leases.
+
+    Every key is multi-writer with a dominant owner; with ``writer_leases``
+    the owner's lease turns its writes into one round (no timestamp-query
+    phase) and its read-modify-writes into locally decided one-round writes,
+    re-stabilising after each competing "steal" write forces a revocation.
+    The store is returned with every per-key history verified — conditional
+    operations run through the conditional-op checker.
+    """
+    num_readers = max(3, num_writers - 1)
+    config = SystemConfig.balanced(t, b, num_readers=num_readers)
+    keys = [f"k{i}" for i in range(1, num_keys + 1)]
+    store = ShardedSimStore(
+        LuckyAtomicProtocol(config),
+        keys,
+        batching=batching,
+        mwmr=True,
+        writer_leases=True if writer_leases else (),
+        lease_duration=lease_duration,
+        delay_model=FixedDelay(1.0),
+        codec=codec,
+    )
+    writers = config.client_ids()[:num_writers]
+    workload = owned_writers_workload(
+        num_operations,
+        keys,
+        writers,
+        config.reader_ids(),
+        write_fraction=write_fraction,
+        rmw_fraction=rmw_fraction,
+        steal_fraction=steal_fraction,
+        skew=skew,
+        mean_gap=mean_gap,
+        seed=seed,
+    )
+    run_store_workload(store, workload)
+    store.verify_atomic()
+    return store
+
+
+def _swmr_baseline_workload(workload: Workload, keys: Sequence[str]) -> Workload:
+    """The SWMR shadow of an owned-writers workload: same arrival times.
+
+    Every write and RMW becomes a plain write by the configured writer ``w``
+    (an SWMR register accepts no other writer and no conditional operations),
+    with fresh per-key unique values; reads are unchanged.  Identical arrival
+    times make the throughput comparison between the leased MWMR store and
+    the paper's 1-round SWMR fast path apples-to-apples.
+    """
+    values = {key: value_sequence(prefix=f"{key}:swmr:v") for key in keys}
+    operations = []
+    for op in workload.sorted():
+        if op.kind in ("write", "rmw"):
+            operations.append(
+                ScheduledOperation(
+                    at=op.at,
+                    kind="write",
+                    client_id="w",
+                    value=next(values[op.key]),
+                    key=op.key,
+                )
+            )
+        else:
+            operations.append(op)
+    return Workload(operations, description=f"swmr shadow of: {workload.description}")
+
+
+def _hot_key_write_metrics(store: ShardedSimStore, hot_key: str) -> Dict[str, float]:
+    """Throughput/latency/rounds/lease metrics of the writes landed on *hot_key*.
+
+    Failed CAS attempts complete as reads and are excluded; successful RMWs
+    complete as writes and are included.
+    """
+    writes = [
+        handle
+        for handle in store.completed_operations()
+        if handle.register_id == hot_key
+        and handle.kind in ("write", "rmw", "cas")
+        and handle.result.kind == "write"
+    ]
+    if not writes:
+        return {
+            "writes": 0,
+            "throughput": 0.0,
+            "mean_latency": 0.0,
+            "mean_rounds": 0.0,
+            "lease_fraction": 0.0,
+        }
+    span = max(h.completed_at for h in writes) - min(h.invoked_at for h in writes)
+    leased = sum(1 for h in writes if h.result.metadata.get("lease"))
+    return {
+        "writes": len(writes),
+        "throughput": len(writes) / span if span > 0 else float("inf"),
+        "mean_latency": sum(h.latency for h in writes) / len(writes),
+        "mean_rounds": sum(h.rounds for h in writes) / len(writes),
+        "lease_fraction": leased / len(writes),
+    }
+
+
+def writer_lease_sweep(
+    num_keys: int = 4,
+    num_operations: int = 160,
+    t: int = 1,
+    b: int = 0,
+    num_writers: int = 3,
+    write_fraction: float = 0.55,
+    rmw_fraction: float = 0.15,
+    steal_fraction: float = 0.05,
+    skew: float = 1.1,
+    lease_duration: float = 400.0,
+    seed: int = 0,
+    batching: bool = True,
+    codec: CodecArg = None,
+) -> ExperimentTable:
+    """S7: hot-key writes — SWMR baseline vs MWMR with writer leases off/on.
+
+    Three runs against the same arrival times:
+
+    1. *swmr-1-round* — the single-writer store, every lucky write one round
+       (the paper's fast path; the bar writer leases are measured against);
+    2. *no-wlease* — the multi-writer store, every write paying the
+       timestamp-query round on top of the propagation round;
+    3. *wlease* — the same MWMR store with per-key writer leases: the owner
+       writes in one round from its leased timestamp cache and decides RMWs
+       locally, re-acquiring after each competing steal write's revocation.
+
+    Every per-key history passes the fitting checker (conditional-op checker
+    for the MWMR runs) before a number is reported.
+    """
+    table = ExperimentTable(
+        experiment_id="S7",
+        title=(
+            f"writer leases: hot-key writes, SWMR baseline vs MWMR off/on "
+            f"({num_keys} keys, {num_writers} writers, zipf s={skew}, "
+            f"steals={steal_fraction:.0%})"
+        ),
+        columns=[
+            "scenario",
+            "operations",
+            "hot_writes",
+            "hot_write_throughput",
+            "hot_write_latency",
+            "mean_rounds",
+            "lease_fraction",
+            "vs_swmr",
+            "bytes_on_wire",
+        ],
+    )
+    hot_key = "k1"  # rank 1 of the Zipf popularity order
+
+    # SWMR baseline: the shadow workload on a single-writer store.
+    num_readers = max(3, num_writers - 1)
+    config = SystemConfig.balanced(t, b, num_readers=num_readers)
+    keys = [f"k{i}" for i in range(1, num_keys + 1)]
+    swmr_store = ShardedSimStore(
+        LuckyAtomicProtocol(config),
+        keys,
+        batching=batching,
+        delay_model=FixedDelay(1.0),
+        codec=codec,
+    )
+    writers = config.client_ids()[:num_writers]
+    mwmr_workload = owned_writers_workload(
+        num_operations,
+        keys,
+        writers,
+        config.reader_ids(),
+        write_fraction=write_fraction,
+        rmw_fraction=rmw_fraction,
+        steal_fraction=steal_fraction,
+        skew=skew,
+        seed=seed,
+    )
+    run_store_workload(swmr_store, _swmr_baseline_workload(mwmr_workload, keys))
+    swmr_store.verify_atomic()
+    swmr_metrics = _hot_key_write_metrics(swmr_store, hot_key)
+    baseline = swmr_metrics["throughput"]
+    table.add_row(
+        scenario="swmr-1-round",
+        operations=len(swmr_store.completed_operations()),
+        hot_writes=swmr_metrics["writes"],
+        hot_write_throughput=swmr_metrics["throughput"],
+        hot_write_latency=swmr_metrics["mean_latency"],
+        mean_rounds=swmr_metrics["mean_rounds"],
+        lease_fraction=0.0,
+        vs_swmr=1.0,
+        bytes_on_wire=swmr_store.bytes_sent,
+    )
+
+    lease_writes_served = 0
+    conditional_writes = 0
+    for writer_leases in (False, True):
+        store = run_writer_lease_throughput(
+            num_keys=num_keys,
+            num_operations=num_operations,
+            t=t,
+            b=b,
+            num_writers=num_writers,
+            write_fraction=write_fraction,
+            rmw_fraction=rmw_fraction,
+            steal_fraction=steal_fraction,
+            skew=skew,
+            seed=seed,
+            writer_leases=writer_leases,
+            lease_duration=lease_duration,
+            batching=batching,
+            codec=codec,
+        )
+        metrics = _hot_key_write_metrics(store, hot_key)
+        if writer_leases:
+            lease_writes_served = store.lease_writes()
+            conditional_writes = sum(
+                result.cas_writes for result in store.check_atomicity().values()
+            )
+        table.add_row(
+            scenario="wlease" if writer_leases else "no-wlease",
+            operations=len(store.completed_operations()),
+            hot_writes=metrics["writes"],
+            hot_write_throughput=metrics["throughput"],
+            hot_write_latency=metrics["mean_latency"],
+            mean_rounds=metrics["mean_rounds"],
+            lease_fraction=metrics["lease_fraction"],
+            vs_swmr=metrics["throughput"] / baseline if baseline else 0.0,
+            bytes_on_wire=store.bytes_sent,
+        )
+    table.add_note(
+        "identical arrival times; the SWMR run is the paper's 1-round lucky "
+        "fast path, the MWMR runs add the timestamp-query round which the "
+        "owner's writer lease then elides again"
+    )
+    table.add_note(
+        f"{lease_writes_served} writes were served in one round from writer "
+        f"leases and {conditional_writes} conditional (RMW) writes were "
+        "verified for conditional isolation; every per-key history passed "
+        "the conditional-op checker in both MWMR runs"
     )
     return table
 

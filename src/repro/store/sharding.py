@@ -28,7 +28,7 @@ from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..core.automaton import Automaton, ClientAutomaton, Effects
 from ..core.protocol import ProtocolSuite
-from ..lease.server import LeaseServer
+from ..lease.server import LeaseServer, WriterLeaseServer
 from ..sim.byzantine import ByzantineStrategy, MaliciousServer
 
 #: Separator between the register id and the inner timer id in namespaced
@@ -202,6 +202,30 @@ class ShardedClient(_RegisterRouter, ClientAutomaton):
             )
         return tag_effects(register_id, read())
 
+    def compare_and_swap(self, register_id: str, expected, new) -> Effects:
+        """Invoke ``CAS(expected, new)`` on *register_id*; returns tagged effects."""
+        inner = self._register(register_id)
+        cas = getattr(inner, "compare_and_swap", None)
+        if cas is None:
+            raise TypeError(
+                f"client {self.process_id} cannot CAS register {register_id!r}: "
+                "conditional operations need a multi-writer client (declare "
+                "the register mwmr)"
+            )
+        return tag_effects(register_id, cas(expected, new))
+
+    def read_modify_write(self, register_id: str, fn) -> Effects:
+        """Invoke ``RMW(fn)`` on *register_id*; returns tagged effects."""
+        inner = self._register(register_id)
+        rmw = getattr(inner, "read_modify_write", None)
+        if rmw is None:
+            raise TypeError(
+                f"client {self.process_id} cannot RMW register {register_id!r}: "
+                "conditional operations need a multi-writer client (declare "
+                "the register mwmr)"
+            )
+        return tag_effects(register_id, rmw(fn))
+
 
 #: A factory producing a fresh strategy instance; strategies are stateful, so
 #: each register of a malicious server gets its own.
@@ -241,9 +265,19 @@ class ShardedProtocol(ProtocolSuite):
     contention-free reads locally in zero rounds (``lease_duration`` sets the
     validity window in protocol time units).  A write to a leased register
     revokes outstanding leases before its acknowledgements complete, so
-    atomicity is untouched; sibling registers pay nothing.  Leases and
-    ``mwmr`` are mutually exclusive per key — hot multi-writer keys want
-    *writer* leases (a different follow-on), not read leases.
+    atomicity is untouched; sibling registers pay nothing.  Read leases and
+    ``mwmr`` are mutually exclusive per key *unless* the key also has writer
+    leases — hot multi-writer keys want *writer* leases, and once those are on
+    the two lease layers compose (the server stack withholds a leased write's
+    acknowledgement until conflicting read leases are revoked).
+
+    ``writer_leases`` enables **writer leases** key by key (``True`` for all
+    MWMR keys, or a collection of register ids — each must also be ``mwmr``):
+    the named registers' server automata gain a
+    :class:`~repro.lease.server.WriterLeaseServer` and every client becomes a
+    :class:`~repro.core.mwmr.MultiWriterClient` with a
+    :class:`~repro.core.writer.LeasedWriter` role, writing in one round (and
+    deciding CAS/RMW locally) while its lease holds.
     """
 
     def __init__(
@@ -255,6 +289,7 @@ class ShardedProtocol(ProtocolSuite):
         mwmr: Union[bool, Sequence[str]] = (),
         leases: Union[bool, Sequence[str]] = (),
         lease_duration: float = 60.0,
+        writer_leases: Union[bool, Sequence[str]] = (),
     ) -> None:
         super().__init__(base.config, timer_delay=base.timer_delay)
         if not register_ids:
@@ -309,11 +344,34 @@ class ShardedProtocol(ProtocolSuite):
                 raise ValueError(
                     f"lease ids are not registers: {sorted(unknown_leases)}"
                 )
-        conflicted = self.leased_registers & self.mwmr_registers
+        if isinstance(writer_leases, str):
+            writer_leases = [writer_leases]
+        if writer_leases is True:
+            self.writer_leased_registers = self.mwmr_registers
+        elif writer_leases is False:
+            self.writer_leased_registers = frozenset()
+        else:
+            self.writer_leased_registers = frozenset(writer_leases)
+            unknown_wl = self.writer_leased_registers - set(self.register_ids)
+            if unknown_wl:
+                raise ValueError(
+                    f"writer-lease ids are not registers: {sorted(unknown_wl)}"
+                )
+        non_mwmr = self.writer_leased_registers - self.mwmr_registers
+        if non_mwmr:
+            raise ValueError(
+                "writer leases only make sense on multi-writer keys (a SWMR "
+                "writer already owns its timestamps); declare these mwmr too: "
+                f"{sorted(non_mwmr)}"
+            )
+        conflicted = self.leased_registers & (
+            self.mwmr_registers - self.writer_leased_registers
+        )
         if conflicted:
             raise ValueError(
-                "read leases and mwmr are mutually exclusive per key; both "
-                f"requested for: {sorted(conflicted)}"
+                "read leases and mwmr are mutually exclusive per key unless "
+                "the key also has writer leases; both requested for: "
+                f"{sorted(conflicted)}"
             )
         if lease_duration <= 0:
             raise ValueError("lease_duration must be positive")
@@ -337,6 +395,13 @@ class ShardedProtocol(ProtocolSuite):
         registers: Dict[str, Automaton] = {}
         for register_id in self.register_ids:
             server = self.base.create_server(server_id)
+            if register_id in self.writer_leased_registers:
+                # Innermost lease wrapper: the holder's 1-round PW passes
+                # through here into the read-lease layer, whose withholding
+                # discipline therefore still applies to leased writes.
+                server = WriterLeaseServer(
+                    server, lease_duration=self.lease_duration
+                )
             if register_id in self.leased_registers:
                 server = LeaseServer(server, lease_duration=self.lease_duration)
             if strategy_factory is not None:
@@ -355,7 +420,7 @@ class ShardedProtocol(ProtocolSuite):
             writer_id,
             {
                 register_id: (
-                    self.base.create_mwmr_client(writer_id)
+                    self._create_mwmr_client_for(register_id, writer_id)
                     if register_id in self.mwmr_registers
                     else self.base.create_writer()
                 )
@@ -364,6 +429,21 @@ class ShardedProtocol(ProtocolSuite):
         )
         client.batching = self.batching
         return client
+
+    def _create_mwmr_client_for(
+        self, register_id: str, client_id: str
+    ) -> ClientAutomaton:
+        if register_id in self.writer_leased_registers:
+            return self.base.create_leased_mwmr_client(
+                client_id,
+                writer_lease_duration=self.lease_duration,
+                read_lease_duration=(
+                    self.lease_duration
+                    if register_id in self.leased_registers
+                    else None
+                ),
+            )
+        return self.base.create_mwmr_client(client_id)
 
     def create_reader(self, reader_id: str) -> ShardedClient:
         client = ShardedClient(
@@ -378,7 +458,7 @@ class ShardedProtocol(ProtocolSuite):
 
     def _create_reader_for(self, register_id: str, reader_id: str) -> ClientAutomaton:
         if register_id in self.mwmr_registers:
-            return self.base.create_mwmr_client(reader_id)
+            return self._create_mwmr_client_for(register_id, reader_id)
         if register_id in self.leased_registers:
             return self.base.create_leased_reader(
                 reader_id, lease_duration=self.lease_duration
@@ -392,4 +472,5 @@ class ShardedProtocol(ProtocolSuite):
         info["batching"] = self.batching
         info["mwmr_registers"] = sorted(self.mwmr_registers)
         info["leased_registers"] = sorted(self.leased_registers)
+        info["writer_leased_registers"] = sorted(self.writer_leased_registers)
         return info

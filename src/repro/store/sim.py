@@ -16,7 +16,7 @@ driven by :func:`repro.workload.generator.run_store_workload`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.protocol import ProtocolSuite
 from ..sim.cluster import OperationHandle, SimCluster
@@ -26,7 +26,35 @@ from .sharding import ShardedProtocol, StrategyFactory
 
 
 class ShardedSimStore:
-    """A sharded multi-register store on the discrete-event simulator."""
+    """A sharded multi-register store on the discrete-event simulator.
+
+    The store accepts the per-key capability declarations of
+    :class:`~repro.store.sharding.ShardedProtocol` (``mwmr``, ``leases``,
+    ``writer_leases``) and adds blocking conveniences over the cluster's
+    run loop.  Conditional operations target multi-writer keys; a failed
+    compare-and-swap completes as a read of the observed value:
+
+    >>> from repro.core.config import SystemConfig
+    >>> from repro.core.protocol import LuckyAtomicProtocol
+    >>> store = ShardedSimStore(
+    ...     LuckyAtomicProtocol(SystemConfig.balanced(t=1, b=0)),
+    ...     keys=["k1", "k2"],
+    ...     mwmr=["k2"],
+    ...     writer_leases=["k2"],
+    ... )
+    >>> store.write("k1", "a").value
+    'a'
+    >>> store.read("k1").value
+    'a'
+    >>> store.compare_and_swap("k2", None, "b").result.kind
+    'write'
+    >>> store.compare_and_swap("k2", "stale", "c").result.kind
+    'read'
+    >>> store.read_modify_write("k2", lambda v: v + "!").value
+    'b!'
+    >>> store.verify_atomic()
+    True
+    """
 
     def __init__(
         self,
@@ -36,6 +64,7 @@ class ShardedSimStore:
         batching: bool = True,
         mwmr: Any = (),
         leases: Any = (),
+        writer_leases: Any = (),
         lease_duration: float = 60.0,
         **cluster_kwargs: Any,
     ) -> None:
@@ -46,6 +75,7 @@ class ShardedSimStore:
             batching=batching,
             mwmr=mwmr,
             leases=leases,
+            writer_leases=writer_leases,
             lease_duration=lease_duration,
         )
         self.cluster = SimCluster(self.suite, **cluster_kwargs)
@@ -64,6 +94,27 @@ class ShardedSimStore:
     def leased_keys(self) -> List[str]:
         """The keys with read leases (zero-round contention-free reads)."""
         return sorted(self.suite.leased_registers)
+
+    @property
+    def writer_lease_keys(self) -> List[str]:
+        """The keys with writer leases (one-round writes, local CAS)."""
+        return sorted(self.suite.writer_leased_registers)
+
+    def lease_writes(self, client_id: Optional[str] = None) -> int:
+        """Writes completed in one round under a writer lease.
+
+        Counts every writer-leased register of the named client (default: all
+        clients of the deployment).
+        """
+        client_ids = (
+            [client_id] if client_id is not None else self.config.client_ids()
+        )
+        total = 0
+        for cid in client_ids:
+            client = self.cluster.processes.get(cid)
+            for register in getattr(client, "registers", {}).values():
+                total += getattr(register, "lease_writes", 0)
+        return total
 
     def lease_reads(self, reader_id: Optional[str] = None) -> int:
         """Reads served locally from a lease, summed over readers (or one).
@@ -109,6 +160,37 @@ class ShardedSimStore:
 
     def read(self, key: str, reader_id: Optional[str] = None) -> OperationHandle:
         return self.cluster.store_read(key, reader_id)
+
+    def start_compare_and_swap(
+        self, key: str, expected: Any, new: Any, client_id: Optional[str] = None
+    ) -> OperationHandle:
+        return self.cluster.start_store_cas(key, expected, new, client_id=client_id)
+
+    def start_read_modify_write(
+        self, key: str, fn: Callable[[Any], Any], client_id: Optional[str] = None
+    ) -> OperationHandle:
+        return self.cluster.start_store_rmw(key, fn, client_id=client_id)
+
+    def compare_and_swap(
+        self, key: str, expected: Any, new: Any, client_id: Optional[str] = None
+    ) -> OperationHandle:
+        """Write *new* iff the register currently holds *expected*.
+
+        A successful swap completes as a write; a failed one completes as a
+        read of the observed value (``handle.result.kind`` tells them apart).
+        *key* must be a multi-writer register.
+        """
+        return self.cluster.store_cas(key, expected, new, client_id=client_id)
+
+    def read_modify_write(
+        self, key: str, fn: Callable[[Any], Any], client_id: Optional[str] = None
+    ) -> OperationHandle:
+        """Atomically replace the register's value with ``fn(current)``.
+
+        ``fn`` receives ``None`` while the register still holds its initial
+        bottom value.  *key* must be a multi-writer register.
+        """
+        return self.cluster.store_rmw(key, fn, client_id=client_id)
 
     # --------------------------------------------------------------- failures
     def crash(self, server_id: str, at: Optional[float] = None) -> None:

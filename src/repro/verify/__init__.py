@@ -3,6 +3,7 @@
 from .atomicity import (
     AtomicityChecker,
     CheckResult,
+    ConditionalOpChecker,
     MultiWriterAtomicityChecker,
     Violation,
     check_atomicity,
@@ -18,6 +19,7 @@ from .regularity import RegularityChecker, check_regularity
 
 __all__ = [
     "AtomicityChecker",
+    "ConditionalOpChecker",
     "MultiWriterAtomicityChecker",
     "CheckResult",
     "Violation",

@@ -65,6 +65,13 @@ class CheckResult:
     checked_reads: int = 0
     checked_writes: int = 0
     lease_reads: int = 0
+    #: Completed conditional writes (successful CAS / RMW) checked for
+    #: conditional isolation, and failed CAS attempts that linearised as
+    #: reads.  Like ``lease_reads`` they make vacuous passes visible: a "CAS
+    #: workload" whose histories contain no conditional metadata verified
+    #: nothing about conditionals.
+    cas_writes: int = 0
+    cas_failures: int = 0
 
     @property
     def ok(self) -> bool:
@@ -78,10 +85,16 @@ class CheckResult:
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
         leased = f", {self.lease_reads} lease-served" if self.lease_reads else ""
+        conditional = (
+            f", {self.cas_writes} conditional write(s), "
+            f"{self.cas_failures} failed CAS"
+            if self.cas_writes or self.cas_failures
+            else ""
+        )
         return (
             f"{self.consistency}: {status} "
             f"({self.checked_reads} reads{leased}, "
-            f"{self.checked_writes} writes checked)"
+            f"{self.checked_writes} writes checked{conditional})"
         )
 
 
@@ -310,6 +323,8 @@ class MultiWriterAtomicityChecker:
             result.checked_reads += sub_result.checked_reads
             result.checked_writes += sub_result.checked_writes
             result.lease_reads += sub_result.lease_reads
+            result.cas_writes += sub_result.cas_writes
+            result.cas_failures += sub_result.cas_failures
         return result
 
     def _check_register(self, history: History) -> CheckResult:
@@ -581,15 +596,137 @@ class MultiWriterAtomicityChecker:
                     )
 
 
+class ConditionalOpChecker(MultiWriterAtomicityChecker):
+    """MWMR atomicity plus *conditional isolation* for CAS and RMW writes.
+
+    A successful compare-and-swap (or read-modify-write) claims more than a
+    plain write: the value it replaced is the one it *observed*.  The MWMR
+    protocol stamps that observation into the completion metadata
+    (``observed_ts`` / ``observed_writer`` / ``observed_bottom``), and this
+    checker verifies it against the rest of the history:
+
+    - **conditional-isolation** — no WRITE whose pair lies strictly between
+      the observed pair and the conditional's own pair *completed before the
+      conditional was invoked*.  Such a write was unmissable in real time, so
+      the conditional decided against a stale value.  Writes *concurrent*
+      with the conditional are exempt: under lexicographic timestamp ties a
+      competitor's parked write may legally land between the two pairs, which
+      is the standard real-time caveat of timestamp-ordered linearisation
+      (see ``docs/protocol.md``).
+
+    Failed CAS attempts complete as reads (``cas_failed`` metadata) and
+    participate in the inherited read properties — a failed CAS must
+    linearise exactly like a read of the value it lost to.
+
+    >>> from repro.verify.history import History, OperationRecord
+    >>> write = OperationRecord(
+    ...     client_id="w1", kind="write", value="a", invoked_at=0.0,
+    ...     completed_at=1.0, metadata={"ts": 1, "writer_id": "w1", "mwmr": True},
+    ... )
+    >>> cas = OperationRecord(
+    ...     client_id="w2", kind="write", value="b", invoked_at=2.0,
+    ...     completed_at=3.0,
+    ...     metadata={"ts": 2, "writer_id": "w2", "mwmr": True, "cas": True,
+    ...               "observed_ts": 1, "observed_writer": "w1",
+    ...               "observed_bottom": False},
+    ... )
+    >>> result = ConditionalOpChecker().check(History([write, cas]))
+    >>> result.ok, result.cas_writes
+    (True, 1)
+    """
+
+    consistency = "mwmr-atomicity+conditional"
+
+    def _check_register(self, history: History) -> CheckResult:
+        result = super()._check_register(history)
+        writes = history.writes()
+        reads = history.reads(only_complete=True)
+        result.cas_failures = sum(
+            1 for read in reads if read.metadata.get("cas_failed")
+        )
+        conditionals = [
+            write
+            for write in writes
+            if write.complete
+            and (write.metadata.get("cas") or write.metadata.get("rmw"))
+        ]
+        result.cas_writes = len(conditionals)
+        write_keys = {id(write): self._key_of(write) for write in writes}
+        for write in conditionals:
+            self._check_conditional_isolation(write, writes, write_keys, result)
+        return result
+
+    @staticmethod
+    def _observed_key(write: OperationRecord) -> Optional[_PairKey]:
+        """The pair a conditional write decided against, or ``None``."""
+        metadata = write.metadata
+        if "observed_ts" not in metadata:
+            return None
+        if metadata.get("observed_bottom"):
+            return _BOTTOM_KEY
+        return (metadata["observed_ts"], metadata.get("observed_writer") or "")
+
+    def _check_conditional_isolation(
+        self,
+        write: OperationRecord,
+        writes: List[OperationRecord],
+        write_keys: Dict[int, Optional[_PairKey]],
+        result: CheckResult,
+    ) -> None:
+        observed = self._observed_key(write)
+        own = write_keys[id(write)]
+        if observed is None or own is None:
+            return
+        for other in writes:
+            if other is write:
+                continue
+            other_key = write_keys[id(other)]
+            if other_key is None:
+                continue
+            if observed < other_key < own and other.precedes(write):
+                result.violations.append(
+                    Violation(
+                        property_name="conditional-isolation",
+                        description=(
+                            f"conditional WRITE with pair {own} observed pair "
+                            f"{observed}, but the WRITE with pair {other_key} "
+                            f"({other.value!r}) completed before the "
+                            "conditional was invoked"
+                        ),
+                        operations=(other, write),
+                    )
+                )
+
+
 def check_atomicity(history: History, mwmr: Optional[bool] = None) -> CheckResult:
     """Run the checker that fits *history*.
 
-    ``mwmr=True`` forces the multi-writer checker, ``mwmr=False`` the SWMR
-    one; the default ``None`` auto-detects from the history (MWMR writers
-    stamp ``mwmr: True`` into their completion metadata).
+    ``mwmr=True`` forces a multi-writer checker, ``mwmr=False`` the SWMR one;
+    the default ``None`` auto-detects from the history (MWMR writers stamp
+    ``mwmr: True`` into their completion metadata).  A multi-writer history
+    containing conditional operations (CAS / RMW metadata) gets the
+    :class:`ConditionalOpChecker`, which adds conditional isolation on top of
+    the MWMR properties.
+
+    >>> from repro.verify.history import History, OperationRecord
+    >>> write = OperationRecord(
+    ...     client_id="w", kind="write", value="a",
+    ...     invoked_at=0.0, completed_at=1.0,
+    ... )
+    >>> read = OperationRecord(
+    ...     client_id="r1", kind="read", value="a",
+    ...     invoked_at=2.0, completed_at=3.0,
+    ... )
+    >>> check_atomicity(History([write, read])).ok
+    True
     """
     if mwmr is None:
         mwmr = history.is_mwmr()
     if mwmr:
+        if any(
+            record.metadata.get("cas") or record.metadata.get("rmw")
+            for record in history.records
+        ):
+            return ConditionalOpChecker().check(history)
         return MultiWriterAtomicityChecker().check(history)
     return AtomicityChecker().check(history)

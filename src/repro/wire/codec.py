@@ -61,6 +61,10 @@ from ..core.messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRenew,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
 )
 from .values import (
     WireDecodeError,
@@ -124,6 +128,10 @@ MESSAGE_TAGS: Dict[Type[Message], int] = {
     BaselineQueryReply: 15,
     BaselineStore: 16,
     BaselineStoreAck: 17,
+    WriterLeaseRenew: 18,
+    WriterLeaseGrant: 19,
+    WriterLeaseRevoke: 20,
+    WriterLeaseRevokeAck: 21,
 }
 
 #: Tag of the transport envelope (source + destination + message).
@@ -397,9 +405,24 @@ CODECS: Dict[str, Codec] = {"binary": _BINARY}
 def get_codec(codec: Union[str, Codec, None]) -> Codec:
     """Resolve a codec selection: a name, an instance, or ``None`` (binary).
 
+    Every layer that accepts a ``codec=`` argument funnels it through here,
+    so ``None``, ``"binary"`` and a :class:`Codec` instance are
+    interchangeable everywhere::
+
+        >>> from repro.wire import get_codec
+        >>> get_codec(None).name
+        'binary'
+        >>> get_codec("binary") is get_codec(None)
+        True
+        >>> get_codec("morse")
+        Traceback (most recent call last):
+            ...
+        ValueError: unknown codec 'morse'; choose one of ['binary'] or pass a Codec instance
+
     The ``"pickle"`` escape hatch was removed after its one-release
     migration window: pickle frames can still be *read* by the WAL/snapshot
-    legacy sniffers, but nothing writes them anymore.
+    legacy sniffers, but nothing writes them anymore — asking for it raises
+    with that guidance.
     """
     if codec is None:
         return _BINARY

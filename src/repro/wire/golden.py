@@ -38,6 +38,10 @@ from ..core.messages import (
     TimestampQueryAck,
     Write,
     WriteAck,
+    WriterLeaseGrant,
+    WriterLeaseRenew,
+    WriterLeaseRevoke,
+    WriterLeaseRevokeAck,
 )
 from ..core.types import BOTTOM, FreezeDirective, FrozenEntry, NewReadReport, TimestampValue
 from ..persist.wal import WalRecord, encode_frame
@@ -89,6 +93,12 @@ def message_zoo() -> List[Message]:
         LeaseGrant(sender="s1", register_id="k1", lease_id=9, duration=60.0, observed=w),
         LeaseRevoke(sender="s1", register_id="k1", lease_id=9),
         LeaseRevokeAck(sender="r1", register_id="k1", lease_id=9),
+        WriterLeaseRenew(sender="w1", register_id="k1", lease_id=5, duration=45.0),
+        WriterLeaseGrant(
+            sender="s2", register_id="k1", epoch=1, lease_id=5, duration=45.0, observed=pw
+        ),
+        WriterLeaseRevoke(sender="s2", register_id="k1", lease_id=5),
+        WriterLeaseRevokeAck(sender="w1", register_id="k1", lease_id=5),
         Batch(
             sender="w",
             messages=(

@@ -8,6 +8,7 @@ from .generator import (
     contended_writers_workload,
     keyspace_workload,
     lucky_workload,
+    owned_writers_workload,
     poisson_workload,
     run_store_workload,
     run_workload,
@@ -25,6 +26,7 @@ __all__ = [
     "contended_writers_workload",
     "keyspace_workload",
     "lucky_workload",
+    "owned_writers_workload",
     "poisson_workload",
     "run_store_workload",
     "run_workload",

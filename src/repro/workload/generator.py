@@ -35,7 +35,7 @@ class ScheduledOperation:
     """
 
     at: float
-    kind: str  # "write" | "read"
+    kind: str  # "write" | "read" | "rmw" (store workloads only)
     client_id: str
     value: Optional[str] = None
     key: Optional[str] = None
@@ -334,6 +334,105 @@ def contended_writers_workload(
     )
 
 
+def owned_writers_workload(
+    num_operations: int,
+    keys: Sequence[str],
+    writers: Sequence[str],
+    readers: Sequence[str],
+    write_fraction: float = 0.6,
+    rmw_fraction: float = 0.15,
+    steal_fraction: float = 0.05,
+    skew: float = 1.1,
+    mean_gap: float = 0.2,
+    seed: int = 0,
+    start: float = 0.0,
+) -> Workload:
+    """A multi-writer Zipf workload where each key has a *dominant owner*.
+
+    The writer-lease scenario: key rank ``i`` is owned by
+    ``writers[i % len(writers)]``, who issues its plain writes and all of its
+    read-modify-writes; a *steal_fraction* of the plain writes comes from a
+    random non-owner instead — genuine contention that forces the owner's
+    writer lease through a revocation round before it re-stabilises.
+    Fractions: *write_fraction* of the operations are plain writes,
+    *rmw_fraction* are RMWs (both counted over all operations), the rest are
+    reads by a random reader.  Written values embed the key, the writer and a
+    per-(key, writer) counter; RMW values use a separate ``m``-prefixed
+    counter, so every per-key history keeps the unique-value property the
+    checkers rely on.
+    """
+    if not writers:
+        raise ValueError("at least one writer client is required")
+    if not 0.0 <= write_fraction + rmw_fraction <= 1.0:
+        raise ValueError("write_fraction + rmw_fraction must be within [0, 1]")
+    if not 0.0 <= steal_fraction <= 1.0:
+        raise ValueError("steal_fraction must be within [0, 1]")
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    if not readers and write_fraction + rmw_fraction < 1.0:
+        raise ValueError("at least one reader client is required")
+    rng = random.Random(seed)
+    key_list = list(keys)
+    writer_list = list(writers)
+    reader_list = list(readers)
+    owners = {
+        key: writer_list[rank % len(writer_list)]
+        for rank, key in enumerate(key_list)
+    }
+    cum_weights = list(itertools.accumulate(zipf_weights(len(key_list), skew)))
+    values = {
+        (key, writer, prefix): value_sequence(prefix=f"{key}:{writer}:{prefix}")
+        for key in key_list
+        for writer in writer_list
+        for prefix in ("v", "m")
+    }
+    operations: List[ScheduledOperation] = []
+    now = start
+    for _ in range(num_operations):
+        now += rng.expovariate(1.0 / mean_gap)
+        (key,) = rng.choices(key_list, cum_weights=cum_weights)
+        owner = owners[key]
+        draw = rng.random()
+        if draw < write_fraction:
+            writer = owner
+            if len(writer_list) > 1 and rng.random() < steal_fraction:
+                writer = rng.choice([w for w in writer_list if w != owner])
+            operations.append(
+                ScheduledOperation(
+                    at=now,
+                    kind="write",
+                    client_id=writer,
+                    value=next(values[(key, writer, "v")]),
+                    key=key,
+                )
+            )
+        elif draw < write_fraction + rmw_fraction:
+            operations.append(
+                ScheduledOperation(
+                    at=now,
+                    kind="rmw",
+                    client_id=owner,
+                    value=next(values[(key, owner, "m")]),
+                    key=key,
+                )
+            )
+        else:
+            operations.append(
+                ScheduledOperation(
+                    at=now, kind="read", client_id=rng.choice(reader_list), key=key
+                )
+            )
+    return Workload(
+        operations,
+        description=(
+            f"owned-writers x{num_operations} over {len(keys)} keys, "
+            f"{len(writers)} writers (zipf s={skew}, "
+            f"writes={write_fraction:.0%}, rmw={rmw_fraction:.0%}, "
+            f"steals={steal_fraction:.0%})"
+        ),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Execution
 # --------------------------------------------------------------------------- #
@@ -423,6 +522,13 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
             )
         if op.kind == "write":
             handle = store.start_write(op.key, op.value, client_id=client_id)
+        elif op.kind == "rmw":
+            # The scheduled value is the (unique) value the RMW installs; the
+            # transform still observes the current value atomically, which is
+            # what stamps the conditional metadata the checker verifies.
+            handle = store.start_read_modify_write(
+                op.key, lambda _current, val=op.value: val, client_id=client_id
+            )
         else:
             handle = store.start_read(op.key, op.client_id)
         handle.scheduled_at = op.at

@@ -1,0 +1,111 @@
+"""The documentation gates.
+
+Three kinds of drift this suite pins down:
+
+* **Dead relative links** — every markdown link in ``README.md`` and
+  ``docs/`` must resolve to a real file (and, for ``#fragment`` links, a
+  real heading), so a rename can't silently orphan the docs tree.
+* **Generated pages** — ``docs/analysis.md`` is generated from the rule
+  registry by ``lucky-storage analyze --doc``; the committed file must
+  match a fresh render byte-for-byte.
+* **CLI help text** — every ``--flag`` token a subcommand's help text
+  mentions must actually be registered on that subcommand (catching
+  ``--recovery-t`` vs ``--recovery_t`` style drift), and every
+  ``store-bench`` flag must be documented in ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.analysis.reporters import render_rules_doc
+from repro.cli import _build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_PAGES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug (enough of it for our own docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(page: Path) -> set:
+    in_fence = False
+    anchors = set()
+    for line in page.read_text(encoding="utf-8").splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+        elif not in_fence and line.startswith("#"):
+            anchors.add(_github_slug(line.lstrip("#")))
+    return anchors
+
+
+@pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
+def test_relative_links_resolve(page: Path) -> None:
+    dead = []
+    for match in _LINK.finditer(page.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = page if not path_part else (page.parent / path_part)
+        if not resolved.exists():
+            dead.append(target)
+        elif fragment and fragment not in _anchors(resolved):
+            dead.append(f"{target} (missing anchor)")
+    assert not dead, f"dead relative links in {page.name}: {dead}"
+
+
+def test_analysis_doc_matches_generator() -> None:
+    committed = (REPO_ROOT / "docs" / "analysis.md").read_text(encoding="utf-8")
+    assert committed == render_rules_doc(all_rules()), (
+        "docs/analysis.md is out of sync with the rule registry; regenerate "
+        "with: lucky-storage analyze --doc > docs/analysis.md"
+    )
+
+
+def _subparsers():
+    parser = _build_parser()
+    actions = [
+        action
+        for action in parser._actions  # noqa: SLF001 - argparse has no public API for this
+        if hasattr(action, "choices") and isinstance(action.choices, dict)
+    ]
+    return actions[0].choices
+
+
+def test_help_text_references_registered_flags() -> None:
+    """Every ``--flag`` a subcommand's help mentions must exist there."""
+    drifted = []
+    for name, sub in _subparsers().items():
+        registered = {opt for action in sub._actions for opt in action.option_strings}
+        texts = [sub.description or "", sub.epilog or ""]
+        texts.extend(action.help or "" for action in sub._actions)
+        for text in texts:
+            for flag in _FLAG.findall(text):
+                if flag not in registered:
+                    drifted.append(f"{name}: help mentions unregistered {flag}")
+    assert not drifted, drifted
+
+
+def test_every_store_bench_flag_documented() -> None:
+    benchmarks_doc = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
+    sub = _subparsers()["store-bench"]
+    missing = [
+        opt
+        for action in sub._actions
+        for opt in action.option_strings
+        if opt.startswith("--") and opt != "--help" and f"`{opt}" not in benchmarks_doc
+    ]
+    assert not missing, f"store-bench flags absent from docs/benchmarks.md: {missing}"
