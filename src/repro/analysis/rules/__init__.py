@@ -1,5 +1,21 @@
 """The repo-specific rule set.  Importing this package registers every rule."""
 
-from . import dispatch, durability, performance, purity, timers, wire  # noqa: F401
+from . import (  # noqa: F401
+    dispatch,
+    durability,
+    performance,
+    purity,
+    timers,
+    topology,
+    wire,
+)
 
-__all__ = ["dispatch", "durability", "performance", "purity", "timers", "wire"]
+__all__ = [
+    "dispatch",
+    "durability",
+    "performance",
+    "purity",
+    "timers",
+    "topology",
+    "wire",
+]

@@ -1,0 +1,57 @@
+"""RP08 — delays flow through the topology, never straight from a model.
+
+The topology layer (:mod:`repro.sim.topology`) is the single authority on
+message delays: it decides partitions (no delivery at all), gray links
+(inflated round trips) and zone placement *before* ever consulting a
+:class:`~repro.sim.latency.DelayModel`.  A direct ``DelayModel.sample``
+call anywhere else bypasses every one of those decisions — messages cross
+severed partitions at healthy speed and the experiment silently stops
+running the scenario it claims to.  Obtain delays via ``Topology.delay``
+(or wrap a model in ``DelayModelTopology``); only the delay models
+themselves and the topology layer may sample directly.
+
+The rule keys on the model signature — ``sample(source, destination, now,
+rng)`` takes exactly four positional arguments — so the two-argument
+``random.Random.sample(population, k)`` never trips it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..protocol import DELAY_SAMPLE_ALLOWED_SUFFIXES
+from ..registry import Rule, SourceFile, register
+
+#: Positional arity of ``DelayModel.sample(source, destination, now, rng)``.
+_DELAY_SAMPLE_ARITY = 4
+
+
+@register
+class TopologyMediatedDelays(Rule):
+    rule_id = "RP08"
+    title = "topology-mediated-delays"
+    rationale = (
+        "a direct DelayModel.sample call skips the topology's partition, "
+        "gray-link and zone decisions, so faults stop reaching the wire; "
+        "route every delay through Topology.delay / DelayModelTopology."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        if file.path_endswith(*DELAY_SAMPLE_ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(file.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sample"
+                and len(node.args) == _DELAY_SAMPLE_ARITY
+            ):
+                yield self.finding(
+                    file,
+                    node,
+                    "direct DelayModel.sample call outside the topology "
+                    "layer; use Topology.delay (partitions and gray links "
+                    "are decided there, not in the model)",
+                )

@@ -177,6 +177,41 @@ def _build_parser() -> argparse.ArgumentParser:
             "and bytes per representative frame"
         ),
     )
+    from .sim.topology import PROFILE_NAMES
+
+    store_parser.add_argument(
+        "--topology",
+        action="append",
+        choices=list(PROFILE_NAMES),
+        default=None,
+        metavar="PROFILE",
+        help=(
+            "also run the S8 topology sweep on this profile (repeatable): "
+            "healthy/partition/gray/skew scenarios with the fast-path "
+            "survival rate per cell"
+        ),
+    )
+    store_parser.add_argument(
+        "--churn",
+        action="store_true",
+        help=(
+            "append dynamic-keyspace churn rows to the S8 sweep: registers "
+            "created, written, read back through eviction, and dropped on "
+            "both runtimes under a bounded resident table"
+        ),
+    )
+    store_parser.add_argument(
+        "--churn-registers",
+        type=int,
+        default=10_000,
+        help="registers the --churn rows create over their lifetime",
+    )
+    store_parser.add_argument(
+        "--churn-resident",
+        type=int,
+        default=1_000,
+        help="resident register bound (LRU eviction above it) for --churn",
+    )
     store_parser.add_argument(
         "--json-out",
         metavar="PATH",
@@ -248,7 +283,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_parser = subparsers.add_parser(
         "analyze",
         help=(
-            "run the protocol-aware static analysis rules (RP01..RP07) over "
+            "run the protocol-aware static analysis rules (RP01..RP08) over "
             "the given paths; non-zero exit on any finding"
         ),
     )
@@ -447,6 +482,25 @@ def _run_store_bench(args: argparse.Namespace) -> int:
         tables.append(micro)
         print()
         print(micro.to_markdown() if args.markdown else micro.format())
+    if args.topology:
+        # S8: the same protocol over explicit links and zones — healthy,
+        # partitioned, gray and skewed — plus optional dynamic-keyspace
+        # churn rows through the bounded register table.
+        from .store.bench import topology_sweep
+
+        sweep = topology_sweep(
+            profiles=tuple(args.topology),
+            t=args.t,
+            b=args.b,
+            churn=args.churn,
+            churn_registers=args.churn_registers,
+            churn_resident=args.churn_resident,
+            batching=args.batch,
+            codec=args.codec,
+        )
+        tables.append(sweep)
+        print()
+        print(sweep.to_markdown() if args.markdown else sweep.format())
     if args.json_out:
         import json
 
@@ -472,6 +526,10 @@ def _run_store_bench(args: argparse.Namespace) -> int:
                         "recovery_t": args.recovery_t,
                         "codec": args.codec,
                         "codec_bench": args.codec_bench,
+                        "topology": args.topology,
+                        "churn": args.churn,
+                        "churn_registers": args.churn_registers,
+                        "churn_resident": args.churn_resident,
                     },
                     "experiments": [table.to_dict() for table in tables],
                 },

@@ -34,7 +34,7 @@ rounds for a concurrent slow READ — never a stale return value.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.automaton import Automaton, Effects
 from ..core.messages import Message
@@ -65,6 +65,19 @@ def _unwrap(automaton: Automaton) -> Automaton:
     while hasattr(automaton, "inner"):
         automaton = automaton.inner
     return automaton
+
+
+def _ensure_hook(server: Automaton) -> Optional[Callable[[str], Optional[Automaton]]]:
+    """The dynamic-keyspace admission hook of *server*'s router, if any.
+
+    A :class:`~repro.store.sharding.ShardedServer` with a register factory
+    exposes ``ensure_register``: recovery paths use it to *fault in* registers
+    that exist in the WAL or a snapshot but are not resident (they were
+    created dynamically, or evicted before the crash), instead of silently
+    dropping their acknowledged state.
+    """
+    hook = getattr(_unwrap(server), "ensure_register", None)
+    return hook if callable(hook) else None
 
 
 def notify_recovered(server: Automaton) -> None:
@@ -100,11 +113,33 @@ def export_server_state(server: Automaton) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _live_storage(server: Automaton, register_id: str) -> Optional[Automaton]:
+    """The storage automaton for *register_id*, consulted against the router's
+    *live* table (an admission elsewhere may have evicted what a cached
+    mapping still references), faulting the register in when the server has a
+    dynamic-keyspace hook."""
+    router = _unwrap(server)
+    table = getattr(router, "registers", None)
+    if table is None:
+        return router if register_id == "" else None
+    inner = table.get(register_id)
+    if inner is None:
+        ensure = _ensure_hook(server)
+        if ensure is not None:
+            inner = ensure(register_id)
+    return _unwrap(inner) if inner is not None else None
+
+
 def restore_server_state(server: Automaton, state: Dict[str, Dict[str, Any]]) -> None:
-    """Adopt a snapshot produced by :func:`export_server_state`."""
-    registers = storage_registers(server)
+    """Adopt a snapshot produced by :func:`export_server_state`.
+
+    Registers the snapshot knows but the (freshly built) server does not are
+    admitted through the dynamic-keyspace hook when the server has one; an
+    admission may rehydrate spilled state first, which is safe because
+    ``restore_state`` merges monotonically.
+    """
     for register_id, register_state in state.items():
-        storage = registers.get(register_id)
+        storage = _live_storage(server, register_id)
         if storage is not None and hasattr(storage, "restore_state"):
             storage.restore_state(register_state)
 
@@ -118,10 +153,14 @@ def _apply_to_storage(storage: Automaton, record: WalRecord) -> None:
 
 
 def replay_records(server: Automaton, records: Sequence[WalRecord]) -> None:
-    """Replay *records* in order; monotone updates make this idempotent."""
-    registers = storage_registers(server)
+    """Replay *records* in order; monotone updates make this idempotent.
+
+    Like :func:`restore_server_state`, records for non-resident registers are
+    applied through the dynamic-keyspace admission hook when the server has
+    one — rehydration first, then the (newer) logged pairs on top.
+    """
     for record in records:
-        storage = registers.get(record.register_id)
+        storage = _live_storage(server, record.register_id)
         if storage is not None:
             _apply_to_storage(storage, record)
 
@@ -142,6 +181,14 @@ class DurableServer(Automaton):
         self.incarnation = incarnation
         self.snapshots = snapshots
         self._registers = storage_registers(inner)
+        # Dynamic keyspace: the router bumps ``registers_generation`` on every
+        # admission/eviction, invalidating the cached mapping above; static
+        # routers have no generation and the cache lives forever.
+        self._router = _unwrap(inner)
+        self._ensure = _ensure_hook(inner)
+        self._generation: Optional[int] = getattr(
+            self._router, "registers_generation", None
+        )
         # When set (inside an append_batch() scope), records accumulate here
         # and reach the WAL in one append — one fsync per message batch.
         self._buffered: Optional[List[WalRecord]] = None
@@ -152,10 +199,22 @@ class DurableServer(Automaton):
         """Whether the wrapped server participates in message batching."""
         return bool(getattr(self.inner, "batching", False))
 
+    def _storage_for(self, register_id: str) -> Optional[Automaton]:
+        generation = getattr(self._router, "registers_generation", None)
+        if generation != self._generation:
+            self._registers = storage_registers(self.inner)
+            self._generation = generation
+        return self._registers.get(register_id)
+
     # -------------------------------------------------------------- durable IO
     def handle_message(self, message: Message) -> Effects:
         register_id = getattr(message, "register_id", "")
-        storage = self._registers.get(register_id)
+        if self._ensure is not None and register_id:
+            # Fault the register in *before* capturing its pre-state, so the
+            # admission (and any rehydration) is not mistaken for a change
+            # this message made — only genuine updates reach the WAL.
+            self._ensure(register_id)
+        storage = self._storage_for(register_id)
         before = self._capture(storage)
         effects = self.inner.handle_message(message)
         records = self._diff(register_id, storage, before)

@@ -38,6 +38,13 @@ from .node import AutomatonNode, ClientNode, ShardedClientNode
 from .transport import InMemoryTransport, TcpTransport, Transport, constant_delay
 
 
+def _find_node_router(automaton: Any) -> Any:
+    """The register router inside a node's wrapper stack (or ``None``)."""
+    while not hasattr(automaton, "discard_register") and hasattr(automaton, "inner"):
+        automaton = automaton.inner
+    return automaton if hasattr(automaton, "discard_register") else None
+
+
 def uvloop_available() -> bool:
     """Whether the optional ``uvloop`` event-loop accelerator is importable.
 
@@ -287,6 +294,7 @@ class ShardedAsyncCluster(AsyncCluster):
         leases: Any = (),
         writer_leases: Any = (),
         lease_duration: float = 60.0,
+        max_resident: Optional[int] = None,
         **kwargs: Any,
     ) -> None:
         suite = ShardedProtocol(
@@ -298,8 +306,12 @@ class ShardedAsyncCluster(AsyncCluster):
             leases=leases,
             writer_leases=writer_leases,
             lease_duration=lease_duration,
+            max_resident=max_resident,
         )
         super().__init__(suite, **kwargs)
+        #: How many times each key has been dropped — dead incarnations'
+        #: records are archived under ``key#N`` (see :meth:`drop_register`).
+        self._drop_counts: Dict[str, int] = {}
 
     @property
     def keys(self) -> List[str]:
@@ -319,6 +331,61 @@ class ShardedAsyncCluster(AsyncCluster):
     def writer_lease_keys(self) -> List[str]:
         """The keys with writer leases (one-round writes, local CAS)."""
         return sorted(self.suite.writer_leased_registers)
+
+    # -------------------------------------------------------------- dynamic keys
+    def create_register(
+        self,
+        key: str,
+        mwmr: bool = False,
+        leases: bool = False,
+        writer_leases: bool = False,
+    ) -> None:
+        """Add *key* to the live keyspace without restarting any node.
+
+        Node automata materialize lazily — clients at first invocation,
+        servers when the first message for the key arrives — so creation is
+        a pure membership change on the shared suite.
+        """
+        self.suite.create_register(
+            key, mwmr=mwmr, leases=leases, writer_leases=writer_leases
+        )
+
+    def drop_register(self, key: str) -> None:
+        """Remove *key* from the keyspace and discard every live automaton.
+
+        In-flight messages for the key then drop like any unknown-register
+        message; spilled eviction state is deleted with the membership.  The
+        key's recorded operations are archived under ``key#N`` (N = drop
+        count) so they stay checkable as their own history while a later
+        ``create_register`` of the same name starts a fresh register.
+        """
+        self.suite.drop_register(key)
+        for node in list(self.server_nodes.values()) + list(self.client_nodes.values()):
+            router = _find_node_router(node.automaton)
+            if router is not None:
+                router.discard_register(key)
+        incarnation = self._drop_counts.get(key, 0) + 1
+        self._drop_counts[key] = incarnation
+        for client in self.client_nodes.values():
+            for record in client.records:
+                if record.metadata.get("register_id") == key:
+                    record.metadata["register_id"] = f"{key}#{incarnation}"
+
+    @property
+    def evictions(self) -> int:
+        """Registers spilled to eviction stores across every node."""
+        return sum(
+            getattr(_find_node_router(n.automaton), "evictions", 0)
+            for n in self.server_nodes.values()
+        )
+
+    @property
+    def rehydrations(self) -> int:
+        """Registers faulted back in from eviction stores across every node."""
+        return sum(
+            getattr(_find_node_router(n.automaton), "rehydrations", 0)
+            for n in self.server_nodes.values()
+        )
 
     # ---------------------------------------------------------------- operations
     async def write(  # type: ignore[override]
@@ -376,8 +443,18 @@ class ShardedAsyncCluster(AsyncCluster):
         return History(records)
 
     def histories(self) -> Dict[str, History]:
-        """Per-key histories suitable for the single-register checkers."""
-        return {key: self.history(key) for key in self.keys}
+        """Per-key histories suitable for the single-register checkers.
+
+        Keys are taken from the records themselves (union the live keyspace),
+        so operations on registers dropped since remain checkable.
+        """
+        observed = {
+            r.metadata.get("register_id")
+            for node in self.client_nodes.values()
+            for r in node.records
+        }
+        keys = sorted(set(self.keys) | {k for k in observed if isinstance(k, str)})
+        return {key: self.history(key) for key in keys}
 
 
 def sharded_tcp_cluster(

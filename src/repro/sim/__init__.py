@@ -1,4 +1,4 @@
-"""Discrete-event simulation substrate (virtual time, failures, Byzantine servers)."""
+"""Discrete-event simulation substrate (virtual time, topology, failures, Byzantine servers)."""
 
 from .byzantine import (
     ByzantineStrategy,
@@ -14,7 +14,13 @@ from .byzantine import (
 )
 from .cluster import DROP, OperationHandle, SimCluster, SimulationError
 from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
-from .failures import CrashRecoverySchedule, FailureSchedule
+from .failures import (
+    CrashRecoverySchedule,
+    FailureSchedule,
+    GrayWindow,
+    NetworkSchedule,
+    PartitionWindow,
+)
 from .latency import (
     AsynchronousWindows,
     DelayModel,
@@ -24,6 +30,7 @@ from .latency import (
     SlowProcessDelay,
     UniformDelay,
 )
+from .topology import PROFILE_NAMES, DelayModelTopology, LinkMetrics, Topology
 from .trace import MessageTrace, TraceEntry
 
 __all__ = [
@@ -47,6 +54,9 @@ __all__ = [
     "TimerEvent",
     "CrashRecoverySchedule",
     "FailureSchedule",
+    "GrayWindow",
+    "NetworkSchedule",
+    "PartitionWindow",
     "AsynchronousWindows",
     "DelayModel",
     "FixedDelay",
@@ -54,6 +64,10 @@ __all__ = [
     "PerLinkDelay",
     "SlowProcessDelay",
     "UniformDelay",
+    "PROFILE_NAMES",
+    "DelayModelTopology",
+    "LinkMetrics",
+    "Topology",
     "MessageTrace",
     "TraceEntry",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -41,6 +42,7 @@ from .byzantine import ByzantineStrategy, MaliciousServer
 from .events import DeliveryEvent, EventQueue, InvocationEvent, TimerEvent
 from .failures import FailureSchedule
 from .latency import DelayModel, FixedDelay
+from .topology import Topology
 from .trace import MessageTrace
 
 #: Sentinel a message filter can return to drop a message entirely.
@@ -172,10 +174,22 @@ class SimCluster:
         codec: Union[str, Codec, None] = None,
         durable: bool = False,
         compact_every: Optional[int] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
+        if topology is not None and delay_model is not None:
+            raise ValueError(
+                "pass either a topology or a delay_model, not both: a "
+                "topology owns all delay routing (wrap the model with "
+                "Topology.from_delay_model to compose them)"
+            )
         self.suite = suite
         self.config = suite.config
         self.delay_model = delay_model or FixedDelay(1.0)
+        #: Every delay lookup routes through the topology's link layer —
+        #: a flat ``delay_model`` is wrapped as the degenerate single-zone
+        #: case, so partitions / gray failures / clock skew compose on top
+        #: of any model.
+        self.topology = topology or Topology.from_delay_model(self.delay_model)
         self.failures = failures or FailureSchedule.none()
         self.byzantine = dict(byzantine or {})
         self.rng = random.Random(seed)
@@ -235,10 +249,21 @@ class SimCluster:
         self.processes: Dict[str, Automaton] = {}
         self._build_processes()
 
+        self._warned_timer_fallback = False
         if auto_timer:
-            timer = self.delay_model.suggested_timer(timer_margin)
-            for process in self.processes.values():
+            # Round-1 timers are per-process: each client's timer covers one
+            # round trip over *its own* links (plus margin), so a client in a
+            # far zone arms a longer timer than a quorum-local one.  The
+            # degenerate delay-model topology reports one global timer, which
+            # reproduces the pre-topology behaviour exactly.
+            servers = self.config.server_ids()
+            for process_id, process in self.processes.items():
                 if isinstance(process, ClientAutomaton):
+                    timer, used_fallback = self.topology.suggested_timer_for(
+                        process_id, servers, timer_margin
+                    )
+                    if used_fallback:
+                        self._warn_timer_fallback(timer)
                     process.timer_delay = timer
 
         unknown_byzantine = set(self.byzantine) - set(self.config.server_ids())
@@ -755,6 +780,20 @@ class SimCluster:
         effects = process.on_timer(event.timer_id)
         self._apply_effects(event.process_id, effects)
 
+    def _warn_timer_fallback(self, timer: float) -> None:
+        """Warn once per cluster when unbounded links force the fallback timer."""
+        if self._warned_timer_fallback:
+            return
+        self._warned_timer_fallback = True
+        warnings.warn(
+            f"network has no synchronous bound: client round-1 timers fall "
+            f"back to {timer:g} (configure DelayModel.unbounded_fallback or "
+            f"Topology(unbounded_fallback=...) to choose this value); the "
+            f"timer only affects fast-path eligibility, never safety",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def _apply_effects(self, source: str, effects: Effects) -> None:
         if self.failures.is_crashed(source, self.now):
             return
@@ -764,8 +803,14 @@ class SimCluster:
                 self._buffer_send(source, send.destination, send.message)
             else:
                 self._send(source, send.destination, send.message)
-        for timer in effects.timers:
-            self.queue.push_timer(self.now + timer.delay, source, timer.timer_id)
+        if effects.timers:
+            # Clock skew scales the *duration* a process arms, not virtual
+            # time itself: a fast local clock (scale < 1) fires round-1
+            # timers before the synchrony bound is up, a slow one (> 1)
+            # holds leases past their nominal expiry at the granters.
+            scale = self.topology.timer_scale(source)
+            for timer in effects.timers:
+                self.queue.push_timer(self.now + timer.delay * scale, source, timer.timer_id)
         for timer_id in effects.cancels:
             # Cancellation is an O(1) armed-table removal; the dead heap
             # tuple is tombstone-counted when it surfaces, never dispatched,
@@ -877,7 +922,15 @@ class SimCluster:
         self.frames_sent += 1
         self.messages_sent += len(message) if isinstance(message, Batch) else 1
         self.bytes_sent += size
-        delay = self.delay_model.sample(source, destination, departure, self.rng)
+        delay = self.topology.delay(source, destination, departure, self.rng, size)
+        if delay is None:
+            # An active partition severs the link: the frame left the sender
+            # (it is counted as sent) but dies in the network.  The sender's
+            # timer-driven termination path covers the missing replies, just
+            # as it covers a crashed responder.
+            for inner in iter_unbatched(message):
+                self.trace.record_drop(source, destination, inner, self.now, "partitioned")
+            return
         self.queue.push(
             departure + float(delay),
             DeliveryEvent(

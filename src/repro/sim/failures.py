@@ -11,6 +11,12 @@ the model in Section 2.1.
 recover* (on a durable cluster, by replaying their write-ahead log — see
 :mod:`repro.persist`), so the model bound ``t`` applies to servers down
 *simultaneously* rather than to the total number of crashes over the run.
+
+:class:`NetworkSchedule` covers the *network-side* faults the topology layer
+(:mod:`repro.sim.topology`) routes through its links: time-windowed
+**partitions** between zone sets (messages crossing the cut are dropped) and
+**gray failures** (a process whose links all go slow-but-alive).  Both are
+pure functions of virtual time, so runs stay deterministic and replayable.
 """
 
 from __future__ import annotations
@@ -276,3 +282,122 @@ class CrashRecoverySchedule(FailureSchedule):
                 f"failure schedule has {peak} servers down simultaneously "
                 f"but the model tolerates at most t = {t}"
             )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One network partition: zones in *side_a* cannot reach zones in *side_b*.
+
+    The cut is symmetric and lasts over ``[start, end)`` (``math.inf`` means
+    the partition never heals).  Zones absent from both sides can still reach
+    everyone — the cut severs exactly the pairs crossing it.
+    """
+
+    start: float
+    side_a: frozenset
+    side_b: frozenset
+    end: float = math.inf
+
+    def severs(self, zone_a: str, zone_b: str, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        return (zone_a in self.side_a and zone_b in self.side_b) or (
+            zone_a in self.side_b and zone_b in self.side_a
+        )
+
+
+@dataclass(frozen=True)
+class GrayWindow:
+    """One gray failure: every link of *process_id* slows by *extra_delay*.
+
+    The process stays correct — it takes steps, its messages are delivered —
+    but over ``[start, end)`` everything it sends or receives arrives
+    *extra_delay* later, typically past the peers' round-1 timers.  This is
+    the slow-but-alive server the paper's unlucky executions come from.
+    """
+
+    process_id: str
+    extra_delay: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass
+class NetworkSchedule:
+    """Time-windowed network faults consulted by the topology on every send."""
+
+    partitions: Tuple[PartitionWindow, ...] = ()
+    gray: Tuple[GrayWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        for window in self.partitions:
+            if window.end <= window.start:
+                raise ValueError(f"partition window {window} must end after it starts")
+            if window.side_a & window.side_b:
+                raise ValueError(f"partition window {window} puts a zone on both sides")
+        for window in self.gray:
+            if window.end <= window.start:
+                raise ValueError(f"gray window {window} must end after it starts")
+            if window.extra_delay < 0:
+                raise ValueError("gray extra_delay must be non-negative")
+
+    # ------------------------------------------------------------- builders
+    def partition(
+        self,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> "NetworkSchedule":
+        """Add a partition window between the two zone sets (returns ``self``)."""
+        window = PartitionWindow(
+            start=start, end=end, side_a=frozenset(side_a), side_b=frozenset(side_b)
+        )
+        self.partitions = (*self.partitions, window)
+        self.__post_init__()
+        return self
+
+    def gray_failure(
+        self,
+        process_id: str,
+        extra_delay: float,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> "NetworkSchedule":
+        """Add a gray-failure window for *process_id* (returns ``self``)."""
+        window = GrayWindow(
+            process_id=process_id, extra_delay=extra_delay, start=start, end=end
+        )
+        self.gray = (*self.gray, window)
+        self.__post_init__()
+        return self
+
+    # -------------------------------------------------------------- queries
+    def severed(self, zone_a: str, zone_b: str, now: float) -> bool:
+        """Whether any partition window cuts *zone_a* from *zone_b* at *now*."""
+        return any(w.severs(zone_a, zone_b, now) for w in self.partitions)
+
+    def gray_extra(self, process_id: str, now: float) -> float:
+        """Total gray-failure delay on *process_id*'s links at *now*."""
+        return sum(
+            w.extra_delay for w in self.gray if w.process_id == process_id and w.covers(now)
+        )
+
+    def disturbance_windows(self) -> List[Tuple[float, float, str]]:
+        """Every scheduled window as ``(start, end, label)`` for verification."""
+        out: List[Tuple[float, float, str]] = []
+        for window in self.partitions:
+            sides = f"{sorted(window.side_a)}|{sorted(window.side_b)}"
+            out.append((window.start, window.end, f"partition {sides}"))
+        for gray_window in self.gray:
+            out.append(
+                (
+                    gray_window.start,
+                    gray_window.end,
+                    f"gray {gray_window.process_id} +{gray_window.extra_delay:g}",
+                )
+            )
+        return sorted(out)

@@ -2,45 +2,99 @@
 
 The paper's notion of a *synchronous* operation (Section 2.3) is that every
 message exchanged during the operation between the client and any server is
-delivered within a bound known to the client.  Delay models therefore expose a
-``synchronous_bound``: when it is not ``None``, clients can set their round-1
-timers to a value that guarantees they hear from every correct server before
-the timer fires, which is exactly what makes lucky operations fast.
+delivered within a bound known to the client.  Delay models therefore expose
+bounds at two granularities:
 
-Models with ``synchronous_bound = None`` (or with slow links / asynchronous
-windows) produce the paper's worst-case conditions: operations still terminate
-(wait-freedom only needs ``S - t`` replies) but are not guaranteed to be fast.
+* :meth:`DelayModel.bound` — the per-link truth: an upper bound on the delay
+  of messages from one named process to another, or ``None`` when that link
+  is unbounded.  This is what :class:`repro.sim.topology.Topology` routes
+  through, so clients in different zones can arm different round-1 timers.
+* :attr:`DelayModel.synchronous_bound` — the legacy global summary (the max
+  over every link).  For models where links genuinely differ
+  (:class:`PerLinkDelay`, :class:`SlowProcessDelay`) the global property is
+  deprecated: it either over-reports (forcing every client onto the slowest
+  link's timer) or under-reports (pretending slow links do not exist).
+
+Models with no bound at all (heavy-tailed tails, slow links, asynchronous
+windows) produce the paper's worst-case conditions: operations still
+terminate (wait-freedom only needs ``S - t`` replies) but are not guaranteed
+to be fast.  Their suggested timer falls back to ``unbounded_fallback``
+(configurable per model instance); the hosting cluster warns once when the
+fallback is actually used so runs stop silently inheriting an arbitrary
+timer.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
+#: Default client timer for models without a synchronous bound.  Generous on
+#: purpose: with an unbounded model the timer only affects performance
+#: (fast-path eligibility), never safety.
+DEFAULT_UNBOUNDED_TIMER = 50.0
+
 
 class DelayModel:
-    """Base class: per-message delay sampling."""
+    """Base class: per-message delay sampling.
+
+    .. note::
+       Outside this module and :mod:`repro.sim.topology`, never call
+       :meth:`sample` directly — route delay lookups through the cluster's
+       :class:`~repro.sim.topology.Topology` so partitions, gray failures and
+       zone link metrics apply (enforced by analyzer rule RP08).
+    """
+
+    #: Timer used by :meth:`suggested_timer` when the model has no bound.
+    #: Plain class attribute so every subclass (dataclass or not) can override
+    #: it per instance: ``model.unbounded_fallback = 20.0``.
+    unbounded_fallback: float = DEFAULT_UNBOUNDED_TIMER
 
     def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
         """Return the network delay for a message sent now from source to destination."""
         raise NotImplementedError
 
+    def _global_bound(self) -> Optional[float]:
+        """Max delay over every link, or ``None`` if unbounded (no warning)."""
+        return None
+
     @property
     def synchronous_bound(self) -> Optional[float]:
         """An upper bound on any sampled delay, or ``None`` if unbounded."""
-        return None
+        return self._global_bound()
+
+    def bound(self, source: str, destination: str) -> Optional[float]:
+        """Upper bound on the delay from *source* to *destination*.
+
+        The per-destination replacement for :attr:`synchronous_bound`: models
+        whose links differ override this to report the true bound of each
+        link, so per-process timers and lease durations can be derived from
+        the links a client actually uses.
+        """
+        return self._global_bound()
 
     def suggested_timer(self, margin: float = 0.5) -> float:
         """A client timer covering one round-trip under this model.
 
-        Falls back to a generous constant when the model is unbounded; the
-        timer then only affects performance, never safety.
+        Falls back to :attr:`unbounded_fallback` when the model is unbounded;
+        the timer then only affects performance, never safety.
         """
-        bound = self.synchronous_bound
+        bound = self._global_bound()
         if bound is None:
-            return 50.0
+            return self.unbounded_fallback
         return 2.0 * bound + margin
+
+
+def _deprecated_global_bound(model: DelayModel) -> None:
+    warnings.warn(
+        f"{type(model).__name__}.synchronous_bound summarises links that "
+        "genuinely differ; use bound(source, destination) (or route through "
+        "repro.sim.topology.Topology links) for the true per-destination bound",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -52,8 +106,7 @@ class FixedDelay(DelayModel):
     def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
         return self.delay
 
-    @property
-    def synchronous_bound(self) -> Optional[float]:
+    def _global_bound(self) -> Optional[float]:
         return self.delay
 
 
@@ -71,8 +124,7 @@ class UniformDelay(DelayModel):
     def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
-    @property
-    def synchronous_bound(self) -> Optional[float]:
+    def _global_bound(self) -> Optional[float]:
         return self.high
 
 
@@ -82,6 +134,7 @@ class LogNormalDelay(DelayModel):
 
     median: float = 1.0
     sigma: float = 0.5
+    unbounded_fallback: float = DEFAULT_UNBOUNDED_TIMER
 
     def sample(self, source: str, destination: str, now: float, rng: random.Random) -> float:
         import math
@@ -94,8 +147,10 @@ class PerLinkDelay(DelayModel):
     """A base model with per-link overrides (e.g. one distant replica).
 
     ``overrides`` maps ``(source, destination)`` pairs to a dedicated model.
-    The bound is the maximum of all involved bounds, or ``None`` if any
-    override is unbounded.
+    :meth:`bound` reports the bound of the model actually covering a link;
+    the deprecated global property is the maximum of all involved bounds, or
+    ``None`` if any override is unbounded — which forces every client onto
+    the slowest link's timer even when their own links are fast.
     """
 
     base: DelayModel = field(default_factory=FixedDelay)
@@ -105,13 +160,21 @@ class PerLinkDelay(DelayModel):
         model = self.overrides.get((source, destination), self.base)
         return model.sample(source, destination, now, rng)
 
-    @property
-    def synchronous_bound(self) -> Optional[float]:
-        bounds = [self.base.synchronous_bound]
-        bounds.extend(model.synchronous_bound for model in self.overrides.values())
+    def _global_bound(self) -> Optional[float]:
+        bounds = [self.base._global_bound()]
+        bounds.extend(model._global_bound() for model in self.overrides.values())
         if any(bound is None for bound in bounds):
             return None
         return max(bounds)  # type: ignore[arg-type]
+
+    @property
+    def synchronous_bound(self) -> Optional[float]:
+        _deprecated_global_bound(self)
+        return self._global_bound()
+
+    def bound(self, source: str, destination: str) -> Optional[float]:
+        model = self.overrides.get((source, destination), self.base)
+        return model.bound(source, destination)
 
 
 @dataclass
@@ -120,8 +183,11 @@ class SlowProcessDelay(DelayModel):
 
     Used to make executions *unlucky without failures*: the slow processes are
     correct but their replies arrive after the client's timer, so fast-path
-    conditions may not be met.  The synchronous bound is reported as ``None``
-    because clients can no longer rely on hearing from everyone in time.
+    conditions may not be met.  The deprecated global property reports
+    ``None`` (clients can no longer rely on hearing from *everyone* in time),
+    but :meth:`bound` tells the truth per link: untouched links keep the base
+    bound, and a slow link is bounded by ``base + extra_delay`` — slow, not
+    asynchronous.
     """
 
     base: DelayModel = field(default_factory=FixedDelay)
@@ -134,9 +200,21 @@ class SlowProcessDelay(DelayModel):
             delay += self.extra_delay
         return delay
 
+    def _global_bound(self) -> Optional[float]:
+        return None
+
     @property
     def synchronous_bound(self) -> Optional[float]:
-        return None
+        _deprecated_global_bound(self)
+        return self._global_bound()
+
+    def bound(self, source: str, destination: str) -> Optional[float]:
+        base = self.base.bound(source, destination)
+        if source in self.slow_processes or destination in self.slow_processes:
+            if base is None:
+                return None
+            return base + self.extra_delay
+        return base
 
     def suggested_timer(self, margin: float = 0.5) -> float:
         # Clients keep the timer they would use on the base network: that is
@@ -164,11 +242,13 @@ class AsynchronousWindows(DelayModel):
                 delay += extra
         return delay
 
-    @property
-    def synchronous_bound(self) -> Optional[float]:
+    def _global_bound(self) -> Optional[float]:
         # Bounded overall, but the bound only matters for timers: clients use
         # the base bound and are simply unlucky inside a window.
-        return self.base.synchronous_bound
+        return self.base._global_bound()
+
+    def bound(self, source: str, destination: str) -> Optional[float]:
+        return self.base.bound(source, destination)
 
     def suggested_timer(self, margin: float = 0.5) -> float:
         return self.base.suggested_timer(margin)

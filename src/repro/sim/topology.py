@@ -1,0 +1,395 @@
+"""Topology-aware network model: zones, links and scenario mutators.
+
+The flat delay layer sampled one :class:`~repro.sim.latency.DelayModel` for
+every message, which cannot express the conditions under which the paper's
+lucky 1-round guarantee actually degrades: geo-replicated fleets where the
+synchrony bound holds *per link* rather than globally, partitions between
+datacenters, gray failures (a server whose links go slow-but-alive) and
+per-process clock skew.  A :class:`Topology` makes all of that explicit:
+
+* processes are assigned to named **zones**;
+* each zone pair has a **link** with latency / jitter / bandwidth metrics
+  (:class:`LinkMetrics`), so the synchrony bound — and therefore each
+  client's round-1 timer and safe lease duration — is a property of the
+  links that client actually uses;
+* runtime **mutators** split and heal partitions, inject gray failures and
+  skew per-process clocks, and a :class:`~repro.sim.failures.NetworkSchedule`
+  expresses the same faults as pure time windows for deterministic replay.
+
+``DelayModel`` remains the degenerate single-zone case via
+:class:`DelayModelTopology` (see :meth:`Topology.from_delay_model`): a
+cluster given only a delay model behaves exactly as before, while the same
+partition/gray/skew mutators still compose on top of it.
+
+This module is the **only** place allowed to call ``DelayModel.sample``
+directly (analyzer rule RP08, mirrored in
+:mod:`repro.analysis.protocol`): every other delay lookup must route through
+the link layer so scenario state is never bypassed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .failures import NetworkSchedule
+from .latency import DEFAULT_UNBOUNDED_TIMER, DelayModel
+
+#: Profile names accepted by :meth:`Topology.profile` (and ``--topology``).
+PROFILE_NAMES = ("lan", "datacenter", "wan-3dc", "geo-5dc")
+
+
+@dataclass(frozen=True)
+class LinkMetrics:
+    """Delivery metrics of one zone-to-zone link.
+
+    ``latency`` is the one-way base latency, ``jitter`` a uniform extra in
+    ``[0, jitter]``, and ``bandwidth`` (bytes per time unit, ``None`` =
+    infinite) adds ``size / bandwidth`` transfer time for framed payloads.
+    """
+
+    latency: float = 1.0
+    jitter: float = 0.0
+    bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("link latency and jitter must be non-negative")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive (or None for infinite)")
+
+    def delay(self, rng: random.Random, size: int = 0) -> float:
+        extra = rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        transfer = size / self.bandwidth if self.bandwidth else 0.0
+        return self.latency + extra + transfer
+
+    def bound(self) -> float:
+        """Synchrony bound of this link for control-sized messages.
+
+        Payload transfer time is *not* included (it depends on frame size);
+        the client timer margin is expected to absorb it.
+        """
+        return self.latency + self.jitter
+
+
+class Topology:
+    """Zones, links, and the scenario state every message routes through.
+
+    The cluster asks :meth:`delay` for each transmitted frame — ``None``
+    means the frame is dropped by an active partition — and
+    :meth:`suggested_timer_for` for each client's round-1 timer, which is
+    derived from the bounds of the links that client actually uses, so
+    clients in different zones arm different timers.
+    """
+
+    def __init__(
+        self,
+        zones: Optional[Dict[str, Iterable[str]]] = None,
+        intra: Optional[LinkMetrics] = None,
+        inter: Optional[LinkMetrics] = None,
+        links: Optional[Dict[Tuple[str, str], LinkMetrics]] = None,
+        schedule: Optional[NetworkSchedule] = None,
+        name: str = "custom",
+        unbounded_fallback: float = DEFAULT_UNBOUNDED_TIMER,
+    ) -> None:
+        self.name = name
+        self.intra = intra or LinkMetrics(latency=1.0)
+        self.inter = inter or self.intra
+        self.links: Dict[Tuple[str, str], LinkMetrics] = dict(links or {})
+        self.schedule = schedule or NetworkSchedule()
+        self.unbounded_fallback = unbounded_fallback
+        self._zone_of: Dict[str, str] = {}
+        self._zone_names: List[str] = []
+        for zone, processes in (zones or {}).items():
+            for process_id in processes:
+                self.assign(process_id, zone)
+            if zone not in self._zone_names:  # empty zones still exist
+                self._zone_names.append(zone)
+        # Runtime scenario state (mutators below).
+        self._manual_partitions: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+        self._manual_gray: Dict[str, float] = {}
+        self._skew: Dict[str, float] = {}
+        self.partition_drops = 0
+
+    # ------------------------------------------------------------ zone layout
+    @property
+    def zone_names(self) -> List[str]:
+        return list(self._zone_names) or ["z0"]
+
+    def assign(self, process_id: str, zone: str) -> None:
+        """Place *process_id* in *zone* (creating the zone on first use)."""
+        self._zone_of[process_id] = zone
+        if zone not in self._zone_names:
+            self._zone_names.append(zone)
+
+    def zone_of(self, process_id: str) -> str:
+        """The zone of *process_id*; unassigned processes share the first zone."""
+        return self._zone_of.get(process_id, self.zone_names[0])
+
+    def processes_in(self, zone: str) -> List[str]:
+        return [pid for pid, z in self._zone_of.items() if z == zone]
+
+    def set_link(self, zone_a: str, zone_b: str, metrics: LinkMetrics) -> None:
+        """Set the (symmetric) link metrics between two zones."""
+        self.links[(zone_a, zone_b)] = metrics
+
+    def link(self, source: str, destination: str) -> LinkMetrics:
+        """The link metrics covering messages from *source* to *destination*."""
+        zone_a = self.zone_of(source)
+        zone_b = self.zone_of(destination)
+        if zone_a == zone_b:
+            return self.links.get((zone_a, zone_a), self.intra)
+        explicit = self.links.get((zone_a, zone_b)) or self.links.get((zone_b, zone_a))
+        return explicit or self.inter
+
+    # ------------------------------------------------------ scenario mutators
+    def split(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Partition the zones in *side_a* from the zones in *side_b* now.
+
+        Unlike a :class:`~repro.sim.failures.PartitionWindow` (which is a
+        pure function of virtual time), a manual split stays in force until
+        :meth:`heal` is called.
+        """
+        pair = (frozenset(side_a), frozenset(side_b))
+        if pair[0] & pair[1]:
+            raise ValueError("a zone cannot be on both sides of a partition")
+        self._manual_partitions.append(pair)
+
+    def isolate(self, zone: str) -> None:
+        """Partition *zone* from every other zone."""
+        others = [z for z in self.zone_names if z != zone]
+        if others:
+            self.split([zone], others)
+
+    def heal(self) -> None:
+        """Remove every manual partition (scheduled windows are unaffected)."""
+        self._manual_partitions.clear()
+
+    def set_gray(self, process_id: str, extra_delay: float) -> None:
+        """Make every link of *process_id* slow-but-alive by *extra_delay*."""
+        if extra_delay < 0:
+            raise ValueError("gray extra_delay must be non-negative")
+        self._manual_gray[process_id] = extra_delay
+
+    def clear_gray(self, process_id: Optional[str] = None) -> None:
+        if process_id is None:
+            self._manual_gray.clear()
+        else:
+            self._manual_gray.pop(process_id, None)
+
+    def set_skew(self, process_id: str, rate: float) -> None:
+        """Scale *process_id*'s timer durations by *rate* (clock skew).
+
+        ``rate > 1``: a slow clock — timers fire late, so the process waits
+        longer than the nominal duration (extra slack).  ``rate < 1``: a
+        fast clock — round-1 timers fire *before* the synchrony bound is up
+        (missed fast paths) and leases expire early at the holder (safe, but
+        zero-round reads are lost sooner).
+        """
+        if rate <= 0:
+            raise ValueError("clock skew rate must be positive")
+        self._skew[process_id] = rate
+
+    def timer_scale(self, process_id: str) -> float:
+        return self._skew.get(process_id, 1.0)
+
+    # -------------------------------------------------------------- fault state
+    def is_severed(self, source: str, destination: str, now: float) -> bool:
+        """Whether an active partition drops messages from source to destination."""
+        zone_a = self.zone_of(source)
+        zone_b = self.zone_of(destination)
+        if zone_a == zone_b:
+            return False
+        for side_a, side_b in self._manual_partitions:
+            if (zone_a in side_a and zone_b in side_b) or (
+                zone_a in side_b and zone_b in side_a
+            ):
+                return True
+        return self.schedule.severed(zone_a, zone_b, now)
+
+    def gray_extra(self, process_id: str, now: float) -> float:
+        return self._manual_gray.get(process_id, 0.0) + self.schedule.gray_extra(
+            process_id, now
+        )
+
+    # ----------------------------------------------------------- delay routing
+    def _base_delay(
+        self, source: str, destination: str, now: float, rng: random.Random, size: int
+    ) -> float:
+        return self.link(source, destination).delay(rng, size)
+
+    def delay(
+        self,
+        source: str,
+        destination: str,
+        now: float,
+        rng: random.Random,
+        size: int = 0,
+    ) -> Optional[float]:
+        """Delivery delay for a frame, or ``None`` if a partition drops it."""
+        if self.is_severed(source, destination, now):
+            self.partition_drops += 1
+            return None
+        delay = self._base_delay(source, destination, now, rng, size)
+        delay += self.gray_extra(source, now) + self.gray_extra(destination, now)
+        return delay
+
+    # ------------------------------------------------------------------ bounds
+    def bound(self, source: str, destination: str) -> Optional[float]:
+        """Nominal synchrony bound of the source→destination link.
+
+        Faults (partitions, gray failures) are deliberately *not* included:
+        the bound is what a client may safely assume about the network when
+        it is well-behaved — scenario mutators exist precisely to violate
+        that assumption and make the run unlucky.
+        """
+        return self.link(source, destination).bound()
+
+    def round_trip_bound(self, process_id: str, peers: Iterable[str]) -> Optional[float]:
+        """Worst round trip from *process_id* to any of *peers* and back."""
+        worst: Optional[float] = None
+        for peer in peers:
+            out = self.bound(process_id, peer)
+            back = self.bound(peer, process_id)
+            if out is None or back is None:
+                return None
+            worst = max(worst or 0.0, out + back)
+        return worst
+
+    def suggested_timer_for(
+        self, process_id: str, peers: Iterable[str], margin: float = 0.5
+    ) -> Tuple[float, bool]:
+        """Round-1 timer for *process_id* talking to *peers*.
+
+        Returns ``(timer, used_fallback)``: the timer covers one round trip
+        over the process's own links plus *margin*; when any link is
+        unbounded the configurable fallback is used instead and the flag is
+        set so the cluster can warn once.
+        """
+        round_trip = self.round_trip_bound(process_id, peers)
+        if round_trip is None:
+            return self.unbounded_fallback, True
+        return round_trip + margin, False
+
+    def suggested_lease_duration(
+        self, process_id: str, peers: Iterable[str], factor: float = 10.0
+    ) -> float:
+        """A safe-by-construction lease duration for *process_id*.
+
+        Leases are granted over the holder's links, so the duration must
+        dominate the holder's *own* round-trip bound — a zone with 20x the
+        intra-zone latency needs a 20x longer lease to get any zero-round
+        reads out of it (see docs/protocol.md).
+        """
+        round_trip = self.round_trip_bound(process_id, peers)
+        if round_trip is None:
+            return self.unbounded_fallback * factor
+        return round_trip * factor
+
+    # --------------------------------------------------------------- reporting
+    def describe(self) -> str:
+        """One-line summary used by benches and traces."""
+        zones = ", ".join(
+            f"{zone}({len(self.processes_in(zone))})" for zone in self.zone_names
+        )
+        return f"{self.name}: zones [{zones}]"
+
+    # ---------------------------------------------------------------- builders
+    @classmethod
+    def from_delay_model(
+        cls, model: DelayModel, name: str = "delay-model"
+    ) -> "DelayModelTopology":
+        """Wrap a flat :class:`DelayModel` as a degenerate single-zone topology."""
+        return DelayModelTopology(model, name=name)
+
+    @classmethod
+    def profile(
+        cls,
+        name: str,
+        server_ids: Iterable[str] = (),
+        client_ids: Iterable[str] = (),
+        schedule: Optional[NetworkSchedule] = None,
+    ) -> "Topology":
+        """A prebuilt topology profile with processes spread across its zones.
+
+        Servers and clients are each placed round-robin over the profile's
+        zones, so every multi-zone profile gives each zone a local quorum
+        member and local clients (clients in different zones then see — and
+        arm — different round-trip bounds).
+        """
+        if name not in PROFILE_NAMES:
+            raise ValueError(f"unknown topology profile {name!r}; pick one of {PROFILE_NAMES}")
+        if name == "lan":
+            zone_names = ["lan"]
+            intra = LinkMetrics(latency=1.0)
+            inter = intra
+            links: Dict[Tuple[str, str], LinkMetrics] = {}
+        elif name == "datacenter":
+            zone_names = ["rack1", "rack2", "rack3"]
+            intra = LinkMetrics(latency=0.5, jitter=0.1)
+            inter = LinkMetrics(latency=2.0, jitter=0.3, bandwidth=1_000_000.0)
+            links = {}
+        elif name == "wan-3dc":
+            zone_names = ["dc1", "dc2", "dc3"]
+            intra = LinkMetrics(latency=1.0, jitter=0.1)
+            inter = LinkMetrics(latency=20.0, jitter=2.0, bandwidth=100_000.0)
+            links = {}
+        else:  # geo-5dc
+            zone_names = ["us-east", "us-west", "eu", "ap", "sa"]
+            intra = LinkMetrics(latency=1.0, jitter=0.1)
+            inter = LinkMetrics(latency=60.0, jitter=6.0, bandwidth=50_000.0)
+            links = {
+                ("us-east", "us-west"): LinkMetrics(35.0, 3.0, 100_000.0),
+                ("us-east", "eu"): LinkMetrics(40.0, 4.0, 100_000.0),
+                ("us-east", "sa"): LinkMetrics(55.0, 5.0, 50_000.0),
+                ("us-west", "ap"): LinkMetrics(50.0, 5.0, 50_000.0),
+                ("eu", "ap"): LinkMetrics(80.0, 8.0, 50_000.0),
+            }
+        topology = cls(
+            zones={zone: [] for zone in zone_names},
+            intra=intra,
+            inter=inter,
+            links=links,
+            schedule=schedule,
+            name=name,
+        )
+        for index, server_id in enumerate(server_ids):
+            topology.assign(server_id, zone_names[index % len(zone_names)])
+        for index, client_id in enumerate(client_ids):
+            topology.assign(client_id, zone_names[index % len(zone_names)])
+        return topology
+
+
+class DelayModelTopology(Topology):
+    """The degenerate single-zone topology wrapping a flat :class:`DelayModel`.
+
+    Sampling, bounds and suggested timers all delegate to the model, so a
+    cluster constructed with only a ``delay_model`` behaves exactly as it did
+    before the topology layer existed — while the partition / gray-failure /
+    clock-skew mutators still compose on top (assign zones first for
+    partitions to have a cut to sever).
+    """
+
+    def __init__(self, model: DelayModel, name: str = "delay-model") -> None:
+        super().__init__(name=name, unbounded_fallback=model.unbounded_fallback)
+        self.model = model
+
+    def _base_delay(
+        self, source: str, destination: str, now: float, rng: random.Random, size: int
+    ) -> float:
+        return float(self.model.sample(source, destination, now, rng))
+
+    def bound(self, source: str, destination: str) -> Optional[float]:
+        return self.model.bound(source, destination)
+
+    def suggested_timer_for(
+        self, process_id: str, peers: Iterable[str], margin: float = 0.5
+    ) -> Tuple[float, bool]:
+        # Byte-compatible with the pre-topology cluster: one global timer
+        # from the model's own suggestion (which may deliberately ignore
+        # slow links — see SlowProcessDelay.suggested_timer).
+        return self.model.suggested_timer(margin), self.model._global_bound() is None
+
+    def describe(self) -> str:
+        return f"{self.name}: flat {type(self.model).__name__}"

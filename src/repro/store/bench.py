@@ -53,11 +53,14 @@ from ..bench.harness import ExperimentTable
 from ..core.config import SystemConfig
 from ..core.protocol import LuckyAtomicProtocol
 from ..sim.byzantine import ForgeHighTimestampStrategy
-from ..sim.failures import CrashRecoverySchedule
+from ..sim.failures import CrashRecoverySchedule, NetworkSchedule
 from ..sim.latency import FixedDelay
+from ..sim.topology import Topology
+from ..verify.atomicity import check_atomicity_under_scenario
 from ..workload.generator import (
     ScheduledOperation,
     Workload,
+    churn_workload,
     contended_writers_workload,
     keyspace_workload,
     owned_writers_workload,
@@ -1142,3 +1145,355 @@ def zipf_store_scenario(
     )
     run_store_workload(store, workload)
     return store
+
+
+# --------------------------------------------------------------------------- #
+# S8: topology sweep (zones, partitions, gray failures, skew, cold-key churn)
+# --------------------------------------------------------------------------- #
+
+
+def _fast_rate(handles: Sequence[object]) -> float:
+    completed = [h for h in handles if getattr(h, "done", False)]
+    if not completed:
+        return 0.0
+    return sum(1 for h in completed if getattr(h, "fast", False)) / len(completed)
+
+
+def _scenario_topology(
+    profile: str, scenario: str, config: SystemConfig, span: float
+) -> Tuple[Topology, List[Tuple[float, float, str]]]:
+    """A profile topology with one scenario's faults installed.
+
+    Returns the topology plus the disturbance windows the scenario exposes
+    the run to (fed to :func:`check_atomicity_under_scenario`).  The
+    ``partition`` scenario severs the first server's zone for the middle
+    third of *span*; clients of that zone are first moved out — an op
+    invoked behind the cut has no retry path across it, so it would stall
+    for the whole window rather than degrade.
+    """
+    server_ids = config.server_ids()
+    client_ids = config.client_ids()
+    topology = Topology.profile(profile, server_ids=server_ids, client_ids=client_ids)
+    round_trips = [
+        topology.round_trip_bound(client_id, server_ids) for client_id in client_ids
+    ]
+    worst_rt = max((rt for rt in round_trips if rt is not None), default=10.0)
+    windows: List[Tuple[float, float, str]] = []
+    if scenario == "healthy":
+        pass
+    elif scenario == "partition":
+        victim = topology.zone_of(server_ids[0])
+        others = [zone for zone in topology.zone_names if zone != victim]
+        if not others:
+            raise ValueError(
+                f"the partition scenario needs a multi-zone profile, not {profile!r}"
+            )
+        for client_id in client_ids:
+            if topology.zone_of(client_id) == victim:
+                topology.assign(client_id, others[0])
+        start, end = 0.35 * span, 0.65 * span
+        topology.schedule = NetworkSchedule().partition(
+            [victim], others, start=start, end=end
+        )
+        windows = topology.schedule.disturbance_windows()
+    elif scenario == "gray":
+        # The last server's links go slow-but-alive by a full round trip:
+        # its replies always miss round-1 timers, but quorums still form.
+        gray_server = server_ids[-1]
+        topology.set_gray(gray_server, worst_rt)
+        windows = [(0.0, span, f"gray {gray_server}")]
+    elif scenario == "skew":
+        # The writer's clock runs fast: its round-1 timer fires at half the
+        # nominal duration, before the slowest link's acks can arrive, so
+        # the writer decides on a round quorum instead of the full fleet.
+        skewed = config.writer_id
+        topology.set_skew(skewed, 0.5)
+        windows = [(0.0, span, f"skew {skewed} x0.5")]
+    else:
+        raise ValueError(f"unknown topology scenario {scenario!r}")
+    return topology, windows
+
+
+def run_topology_scenario(
+    profile: str,
+    scenario: str = "healthy",
+    num_operations: int = 60,
+    t: int = 1,
+    b: int = 0,
+    num_readers: int = 2,
+    num_keys: int = 4,
+    batching: bool = True,
+    codec: CodecArg = None,
+) -> Dict[str, object]:
+    """One S8 cell: the dense workload on a profile topology under one fault.
+
+    The workload is deterministic and well spaced (one operation per worst
+    client round trip, keys round-robined), so in a healthy profile nearly
+    every operation is lucky; the scenario then quantifies how much of the
+    1-round fast path survives the fault.  Atomicity is checked per key with
+    the scenario-aware pass before any number is reported — a partition may
+    cost availability and the fast path, never linearizability.
+
+    The configuration runs with ``fw = fr = 0`` — the paper's "luckiest"
+    setting, where the 1-round write needs PW_ACKs from *all* ``S`` servers
+    by decision time.  That is deliberate: with ``fw >= 1`` the fast path
+    already tolerates a server loss, so a single-zone partition would not
+    register at all.  Operations still complete through the ``S - t`` round
+    quorum either way — degradation, not collapse.
+    """
+    config = SystemConfig(t=t, b=b, fw=0, fr=0, num_readers=num_readers)
+    keys = [f"k{i}" for i in range(1, num_keys + 1)]
+    probe = Topology.profile(
+        profile, server_ids=config.server_ids(), client_ids=config.client_ids()
+    )
+    round_trips = [
+        probe.round_trip_bound(client_id, config.server_ids())
+        for client_id in config.client_ids()
+    ]
+    gap = max((rt for rt in round_trips if rt is not None), default=10.0)
+    span = num_operations * gap
+    topology, windows = _scenario_topology(profile, scenario, config, span)
+    store = ShardedSimStore(
+        LuckyAtomicProtocol(config),
+        keys,
+        batching=batching,
+        topology=topology,
+        codec=codec,
+    )
+    workload = dense_store_workload(
+        num_operations, keys, config.reader_ids(), gap=gap
+    )
+    handles = run_store_workload(store, workload)
+    atomic = True
+    mwmr_keys = store.suite.mwmr_registers
+    for key, history in store.histories().items():
+        verdict = check_atomicity_under_scenario(
+            history, windows, mwmr=key in mwmr_keys
+        )
+        verdict.raise_if_violated()
+        atomic = atomic and verdict.ok
+    return {
+        "profile": profile,
+        "scenario": scenario,
+        "operations": len(handles),
+        "completed": sum(1 for h in handles if h.done),
+        "fast_rate": _fast_rate(handles),
+        "drops": topology.partition_drops,
+        "evictions": 0,
+        "rehydrations": 0,
+        "throughput": store.throughput(),
+        "atomic": "yes" if atomic else "NO",
+    }
+
+
+def run_topology_churn(
+    profile: str,
+    num_registers: int = 10_000,
+    max_resident: int = 1_000,
+    t: int = 1,
+    b: int = 0,
+    num_readers: int = 2,
+    seed: int = 0,
+    batching: bool = True,
+    codec: CodecArg = None,
+) -> Dict[str, object]:
+    """The cold-key churn cell: a dynamic keyspace under a resident bound.
+
+    Registers are created, briefly used, revisited after going cold (the
+    fault-on-access rehydration path) and mostly dropped, on the profile's
+    healthy topology.  Every surviving per-key history must check atomic.
+    """
+    config = SystemConfig.balanced(t, b, num_readers=num_readers)
+    topology = Topology.profile(
+        profile, server_ids=config.server_ids(), client_ids=config.client_ids()
+    )
+    store = ShardedSimStore(
+        LuckyAtomicProtocol(config),
+        keys=[],
+        batching=batching,
+        max_resident=max_resident,
+        topology=topology,
+        codec=codec,
+    )
+    workload = churn_workload(
+        num_registers, readers=config.reader_ids(), seed=seed
+    )
+    handles = run_store_workload(store, workload)
+    results = store.check_atomicity()
+    atomic = all(result.ok for result in results.values())
+    if not atomic:
+        store.verify_atomic()  # raises with details
+    return {
+        "profile": profile,
+        "scenario": f"churn x{num_registers} (resident<={max_resident})",
+        "operations": len(handles),
+        "completed": sum(1 for h in handles if h.done),
+        "fast_rate": _fast_rate(handles),
+        "drops": topology.partition_drops,
+        "evictions": store.evictions,
+        "rehydrations": store.rehydrations,
+        "throughput": store.throughput(),
+        "atomic": "yes" if atomic else "NO",
+    }
+
+
+def run_asyncio_churn(
+    num_registers: int = 10_000,
+    max_resident: int = 1_000,
+    t: int = 1,
+    b: int = 0,
+    wave: int = 128,
+    drop_fraction: float = 0.5,
+    message_delay_s: float = 0.0002,
+) -> Dict[str, object]:
+    """The asyncio-runtime churn cell: create / write / read / drop in waves.
+
+    Registers are processed *wave* at a time with real concurrency on the
+    asyncio cluster; every register is written and read once, a fraction is
+    dropped, and one early register is revisited per wave to exercise
+    rehydration.  Per-key histories must check atomic.
+    """
+    import asyncio
+
+    from ..runtime.cluster import ShardedAsyncCluster
+    from ..verify.atomicity import check_atomicity
+
+    base = LuckyAtomicProtocol(SystemConfig.balanced(t, b, num_readers=2))
+    counters: Dict[str, object] = {}
+
+    async def _one(store: "ShardedAsyncCluster", index: int) -> bool:
+        key = f"churn-{index:06d}"
+        store.create_register(key)
+        write = await store.write(key, f"{key}:v1")
+        read = await store.read(key)
+        ok = read.value == f"{key}:v1"
+        if (index * 2654435761) % 1_000 < drop_fraction * 1_000:
+            store.drop_register(key)
+        return ok and write.fast
+
+    async def _scenario(store: "ShardedAsyncCluster") -> None:
+        fast = 0
+        for wave_start in range(0, num_registers, wave):
+            indices = range(wave_start, min(wave_start + wave, num_registers))
+            fast += sum(await asyncio.gather(*(_one(store, i) for i in indices)))
+            if wave_start:  # revisit a cold register from the previous wave
+                revisit = f"churn-{wave_start - wave:06d}"
+                if revisit in store.suite._register_id_set:
+                    await store.read(revisit)
+        counters["fast"] = fast
+        counters["evictions"] = store.evictions
+        counters["rehydrations"] = store.rehydrations
+        atomic = True
+        for key, history in store.histories().items():
+            result = check_atomicity(history)
+            result.raise_if_violated()
+            atomic = atomic and result.ok
+        counters["atomic"] = atomic
+        counters["operations"] = sum(
+            len(node.records) for node in store.client_nodes.values()
+        )
+
+    ShardedAsyncCluster.run_scenario(
+        base,
+        _scenario,
+        keys=[],
+        max_resident=max_resident,
+        message_delay_s=message_delay_s,
+    )
+    return {
+        "profile": "asyncio",
+        "scenario": f"churn x{num_registers} (resident<={max_resident})",
+        "operations": counters["operations"],
+        "completed": counters["operations"],
+        "fast_rate": float(counters["fast"]) / max(1, num_registers),
+        "drops": 0,
+        "evictions": counters["evictions"],
+        "rehydrations": counters["rehydrations"],
+        "throughput": 0.0,
+        "atomic": "yes" if counters["atomic"] else "NO",
+    }
+
+
+def topology_sweep(
+    profiles: Sequence[str] = ("lan", "wan-3dc"),
+    scenarios: Sequence[str] = ("healthy", "partition", "gray", "skew"),
+    num_operations: int = 60,
+    t: int = 1,
+    b: int = 0,
+    churn: bool = False,
+    churn_registers: int = 10_000,
+    churn_resident: int = 1_000,
+    batching: bool = True,
+    codec: CodecArg = None,
+) -> ExperimentTable:
+    """S8: fast-path survival across topology profiles × network scenarios.
+
+    For every profile, the same well-spaced workload runs healthy and under a
+    mid-run partition, a gray failure and a fast client clock; each cell
+    reports how much of the paper's 1-round fast path survived, how many
+    frames the partition dropped, and that atomicity held regardless.  With
+    ``churn`` the sweep appends cold-key churn rows — a dynamic keyspace of
+    *churn_registers* registers under a *churn_resident* memory bound — on
+    the first profile's topology (sim) and on the asyncio runtime.
+    """
+    table = ExperimentTable(
+        experiment_id="S8",
+        title="topology sweep: fast-path survival across zones and scenarios",
+        columns=[
+            "profile",
+            "scenario",
+            "operations",
+            "completed",
+            "fast_rate",
+            "drops",
+            "evictions",
+            "rehydrations",
+            "throughput",
+            "atomic",
+        ],
+    )
+    for profile in profiles:
+        for scenario in scenarios:
+            if scenario == "partition" and profile == "lan":
+                continue  # single zone: nothing to sever
+            table.add_row(
+                **run_topology_scenario(
+                    profile,
+                    scenario,
+                    num_operations=num_operations,
+                    t=t,
+                    b=b,
+                    batching=batching,
+                    codec=codec,
+                )
+            )
+    if churn:
+        table.add_row(
+            **run_topology_churn(
+                profiles[0],
+                num_registers=churn_registers,
+                max_resident=churn_resident,
+                t=t,
+                b=b,
+                batching=batching,
+                codec=codec,
+            )
+        )
+        table.add_row(
+            **run_asyncio_churn(
+                num_registers=churn_registers, max_resident=churn_resident, t=t, b=b
+            )
+        )
+    table.add_note(
+        "fast_rate is the fraction of completed operations that finished in "
+        "one round; atomicity is checked per key with the scenario-aware "
+        "pass before any number is reported (partitions cost the fast path "
+        "and availability, never linearizability)"
+    )
+    table.add_note(
+        "partition rows sever the first server's zone for the middle third "
+        "of the run; gray rows slow one server's links by a full round "
+        "trip; skew rows run the writer's clock at double speed (its "
+        "round-1 timer fires at half the nominal duration)"
+    )
+    return table

@@ -30,6 +30,15 @@ from ..core.automaton import Automaton, ClientAutomaton, Effects
 from ..core.protocol import ProtocolSuite
 from ..lease.server import LeaseServer, WriterLeaseServer
 from ..sim.byzantine import ByzantineStrategy, MaliciousServer
+from .keyspace import (
+    RegisterEvictionStore,
+    export_register_state,
+    restore_register_state,
+)
+
+#: A factory materializing the automaton for a register on demand, or ``None``
+#: when the register does not (or no longer does) exist in the suite.
+RegisterFactory = Callable[[str], Optional[Automaton]]
 
 #: Separator between the register id and the inner timer id in namespaced
 #: timer identifiers.  Register ids therefore must not contain it.
@@ -92,12 +101,109 @@ class _RegisterRouter:
     #: ``False`` default, so plain single-register automata are never batched.
     batching = False
     registers: Dict[str, Automaton]
+    #: Dynamic keyspace: with a factory the router can *admit* registers on
+    #: demand instead of dropping their messages.  Servers admit on message
+    #: arrival (a cold key faults in); clients admit only at invocation time,
+    #: so unsolicited replies for registers they never touched stay dropped.
+    factory: Optional[RegisterFactory] = None
+    #: Memory bound: with ``max_resident`` set (servers only), admitting a
+    #: register past the bound evicts the least-recently-used evictable one
+    #: into ``eviction_store``; a later message faults it back in.
+    max_resident: Optional[int] = None
+    eviction_store: Optional[RegisterEvictionStore] = None
+    #: Predicate excluding registers from eviction (leased registers hold
+    #: volatile grant state an eviction would forget, so suites pin them).
+    evictable: Optional[Callable[[str], bool]] = None
+    #: Whether a message for a non-resident register triggers admission.
+    admit_on_message = False
+    #: Bumped on every admission / eviction / drop so wrappers caching the
+    #: register table (:class:`~repro.persist.durable.DurableServer`) know to
+    #: refresh it.
+    registers_generation = 0
+    evictions = 0
+    rehydrations = 0
 
     def handle_message(self, message) -> Effects:
         inner = self.registers.get(message.register_id)
         if inner is None:
-            return Effects()
+            if not self.admit_on_message:
+                return Effects()
+            inner = self.ensure_register(message.register_id)
+            if inner is None:
+                return Effects()
+        elif self.max_resident is not None:
+            self._touch(message.register_id)
         return tag_effects(message.register_id, inner.handle_message(message))
+
+    # ---------------------------------------------------- dynamic admission
+    def ensure_register(self, register_id: str) -> Optional[Automaton]:
+        """The automaton for *register_id*, faulting it in if necessary.
+
+        A non-resident register is materialized through the suite's factory
+        (``None`` when the suite does not know the id — e.g. it was dropped)
+        and, if it was evicted earlier, rehydrated from the eviction store
+        before use.  Admission past ``max_resident`` evicts the coldest
+        evictable resident register.
+        """
+        inner = self.registers.get(register_id)
+        if inner is not None:
+            if self.max_resident is not None:
+                self._touch(register_id)
+            return inner
+        if self.factory is None:
+            return None
+        inner = self.factory(register_id)
+        if inner is None:
+            return None
+        if self.eviction_store is not None:
+            state = self.eviction_store.load(register_id)
+            if state is not None:
+                restore_register_state(inner, state)
+                self.rehydrations += 1
+        self.registers[register_id] = inner
+        self.registers_generation += 1
+        self._evict_over_bound()
+        return inner
+
+    def _touch(self, register_id: str) -> None:
+        """Move *register_id* to the MRU end (dict insertion order is the LRU)."""
+        self.registers[register_id] = self.registers.pop(register_id)
+
+    def _evict_over_bound(self) -> None:
+        while (
+            self.max_resident is not None
+            and self.eviction_store is not None
+            and len(self.registers) > self.max_resident
+        ):
+            victim = next(
+                (
+                    register_id
+                    for register_id in self.registers
+                    if self.evictable is None or self.evictable(register_id)
+                ),
+                None,
+            )
+            if victim is None:  # everything resident is pinned
+                return
+            self.evict_register(victim)
+
+    def evict_register(self, register_id: str) -> bool:
+        """Spill *register_id*'s state to the eviction store and drop it."""
+        inner = self.registers.get(register_id)
+        if inner is None or self.eviction_store is None:
+            return False
+        self.eviction_store.save(register_id, export_register_state(inner))
+        del self.registers[register_id]
+        self.registers_generation += 1
+        self.evictions += 1
+        return True
+
+    def discard_register(self, register_id: str) -> None:
+        """Forget *register_id* entirely (dropped keyspace entry, not eviction)."""
+        if self.registers.pop(register_id, None) is not None:
+            self.registers_generation += 1
+        if self.eviction_store is not None:
+            self.eviction_store.discard(register_id)
 
     def on_timer(self, timer_id: str) -> Effects:
         split = split_timer_id(timer_id)
@@ -120,11 +226,41 @@ class _RegisterRouter:
 
 
 class ShardedServer(_RegisterRouter, Automaton):
-    """One physical server hosting per-register server automata."""
+    """One physical server hosting per-register server automata.
 
-    def __init__(self, server_id: str, registers: Dict[str, Automaton]) -> None:
+    With a *factory* the server is a **dynamic keyspace** host: messages for
+    registers it does not hold fault them in (admission), and with
+    *max_resident* + *eviction_store* set the resident table is LRU-bounded,
+    spilling cold registers as encoded snapshots and rehydrating them on
+    access.
+    """
+
+    admit_on_message = True
+
+    def __init__(
+        self,
+        server_id: str,
+        registers: Dict[str, Automaton],
+        factory: Optional[RegisterFactory] = None,
+        max_resident: Optional[int] = None,
+        eviction_store: Optional[RegisterEvictionStore] = None,
+        evictable: Optional[Callable[[str], bool]] = None,
+    ) -> None:
         super().__init__(server_id)
+        if max_resident is not None:
+            if max_resident < 1:
+                raise ValueError("max_resident must be at least 1")
+            if eviction_store is None:
+                raise ValueError(
+                    "a bounded register table needs an eviction store: "
+                    "evicting without one would lose acknowledged state"
+                )
         self.registers = dict(registers)
+        self.factory = factory
+        self.max_resident = max_resident
+        self.eviction_store = eviction_store
+        self.evictable = evictable
+        self._evict_over_bound()
 
 
 class ShardedClient(_RegisterRouter, ClientAutomaton):
@@ -133,9 +269,20 @@ class ShardedClient(_RegisterRouter, ClientAutomaton):
     The client may have one outstanding operation *per register* concurrently;
     each inner automaton still enforces the paper's per-register
     well-formedness (at most one outstanding operation on its register).
+
+    With a *factory* the client participates in the dynamic keyspace: an
+    invocation on a register it has no automaton for materializes one on
+    demand (inheriting the client's timer delay).  Client tables are never
+    evicted — a client automaton holds in-flight operation state and is tiny
+    compared to a server's per-register storage.
     """
 
-    def __init__(self, process_id: str, registers: Dict[str, ClientAutomaton]) -> None:
+    def __init__(
+        self,
+        process_id: str,
+        registers: Dict[str, ClientAutomaton],
+        factory: Optional[RegisterFactory] = None,
+    ) -> None:
         # The base constructor assigns ``timer_delay`` through our property
         # setter, which broadcasts to every inner register.  Keep ``registers``
         # empty until it has run: broadcasting a representative delay here
@@ -145,6 +292,7 @@ class ShardedClient(_RegisterRouter, ClientAutomaton):
         inner_delays = [automaton.timer_delay for automaton in inner.values()]
         super().__init__(process_id, timer_delay=inner_delays[0] if inner_delays else 10.0)
         self.registers = inner
+        self.factory = factory
 
     # -------------------------------------------------------------- timer delay
     @property
@@ -160,17 +308,28 @@ class ShardedClient(_RegisterRouter, ClientAutomaton):
 
     # ------------------------------------------------------------------- state
     def _register(self, register_id: str) -> ClientAutomaton:
-        try:
-            return self.registers[register_id]
-        except KeyError:
+        inner = self.registers.get(register_id)
+        if inner is None and self.factory is not None:
+            created = self.factory(register_id)
+            if isinstance(created, ClientAutomaton):
+                created.timer_delay = self._timer_delay
+                self.registers[register_id] = created
+                inner = created
+        if inner is None:
             raise KeyError(
                 f"client {self.process_id} has no register {register_id!r}; "
                 f"known registers: {sorted(self.registers)}"
-            ) from None
+            )
+        return inner
 
     def busy_on(self, register_id: str) -> bool:
-        """Whether an operation is outstanding on *register_id*."""
-        return self._register(register_id).busy
+        """Whether an operation is outstanding on *register_id*.
+
+        Deliberately non-materializing: a register this client never touched
+        (or one that was dropped) is simply not busy.
+        """
+        inner = self.registers.get(register_id)
+        return inner.busy if inner is not None else False
 
     @property
     def busy(self) -> bool:
@@ -290,32 +449,29 @@ class ShardedProtocol(ProtocolSuite):
         leases: Union[bool, Sequence[str]] = (),
         lease_duration: float = 60.0,
         writer_leases: Union[bool, Sequence[str]] = (),
+        max_resident: Optional[int] = None,
     ) -> None:
         super().__init__(base.config, timer_delay=base.timer_delay)
-        if not register_ids:
-            raise ValueError("a sharded store needs at least one register id")
+        # An empty initial keyspace is fine: the dynamic keyspace grows it at
+        # runtime through create_register.
         if len(set(register_ids)) != len(register_ids):
             raise ValueError(f"duplicate register ids: {list(register_ids)}")
         for register_id in register_ids:
-            # Validate up front: a malformed id would otherwise surface only
-            # when a timer fires, as a silently misrouted (dropped) timer —
-            # ``split_timer_id`` cuts at the first separator, so an id
-            # containing it (or an empty id, whose namespaced timers alias a
-            # separator-prefixed inner id) can never round-trip.
-            if not isinstance(register_id, str):
-                raise ValueError(
-                    f"register id {register_id!r} must be a string, "
-                    f"not {type(register_id).__name__}"
-                )
-            if not register_id:
-                raise ValueError("register ids must be non-empty strings")
-            if TIMER_SEPARATOR in register_id:
-                raise ValueError(
-                    f"register id {register_id!r} must not contain "
-                    f"{TIMER_SEPARATOR!r}"
-                )
+            self._validate_register_id(register_id)
         self.base = base
         self.register_ids = list(register_ids)
+        # The membership set the admission factories consult; kept in sync by
+        # create_register/drop_register so lazy admission is O(1) even with a
+        # six-figure keyspace.
+        self._register_id_set = set(register_ids)
+        #: Memory bound on each server's resident register table (``None`` =
+        #: unbounded, the pre-dynamic-keyspace behaviour).  Each server gets a
+        #: persistent :class:`RegisterEvictionStore` (surviving crash/recovery
+        #: rebuilds of the automaton) to spill cold registers into.
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be at least 1")
+        self.max_resident = max_resident
+        self.eviction_stores: Dict[str, RegisterEvictionStore] = {}
         if isinstance(mwmr, str):
             # A bare string is one register id, not a sequence of
             # single-character ids (an easy typo for mwmr=["hot"]).
@@ -389,28 +545,163 @@ class ShardedProtocol(ProtocolSuite):
                 f"bound b={self.config.b}"
             )
 
+    # ---------------------------------------------------------- id validation
+    @staticmethod
+    def _validate_register_id(register_id: str) -> None:
+        """Reject ids that cannot round-trip through the routing layer.
+
+        A malformed id would otherwise surface only when a timer fires, as a
+        silently misrouted (dropped) timer — ``split_timer_id`` cuts at the
+        first separator, so an id containing it (or an empty id, whose
+        namespaced timers alias a separator-prefixed inner id) can never
+        round-trip.
+        """
+        if not isinstance(register_id, str):
+            raise ValueError(
+                f"register id {register_id!r} must be a string, "
+                f"not {type(register_id).__name__}"
+            )
+        if not register_id:
+            raise ValueError("register ids must be non-empty strings")
+        if TIMER_SEPARATOR in register_id:
+            raise ValueError(
+                f"register id {register_id!r} must not contain {TIMER_SEPARATOR!r}"
+            )
+
+    # ----------------------------------------------------------- dynamic keys
+    def create_register(
+        self,
+        register_id: str,
+        mwmr: bool = False,
+        leases: bool = False,
+        writer_leases: bool = False,
+    ) -> None:
+        """Add *register_id* to the keyspace at runtime.
+
+        Purely a membership change: no process materializes an automaton until
+        the register is actually touched — clients build theirs at first
+        invocation, servers fault theirs in when the first message arrives
+        (the lazy ``StorageServer._ensure_reader`` admission pattern, lifted
+        to whole registers).  Capability combinations obey the same rules as
+        at construction time.
+        """
+        self._validate_register_id(register_id)
+        if register_id in self._register_id_set:
+            raise ValueError(f"register {register_id!r} already exists")
+        if writer_leases and not mwmr:
+            raise ValueError(
+                "writer leases only make sense on multi-writer keys; declare "
+                f"{register_id!r} mwmr too"
+            )
+        if leases and mwmr and not writer_leases:
+            raise ValueError(
+                "read leases and mwmr are mutually exclusive per key unless "
+                f"the key also has writer leases; both requested for {register_id!r}"
+            )
+        self.register_ids.append(register_id)
+        self._register_id_set.add(register_id)
+        if mwmr:
+            self.mwmr_registers |= {register_id}
+        if leases:
+            self.leased_registers |= {register_id}
+        if writer_leases:
+            self.writer_leased_registers |= {register_id}
+
+    def drop_register(self, register_id: str) -> None:
+        """Remove *register_id* from the keyspace.
+
+        After the drop the admission factories return ``None`` for the id, so
+        messages still in flight for it are dropped exactly like any
+        unknown-register message.  The hosting store additionally discards
+        resident automata from live processes; this suite-level method only
+        owns membership and the spilled eviction state.
+        """
+        if register_id not in self._register_id_set:
+            raise KeyError(f"register {register_id!r} does not exist")
+        self._register_id_set.discard(register_id)
+        self.register_ids.remove(register_id)
+        self.mwmr_registers -= {register_id}
+        self.leased_registers -= {register_id}
+        self.writer_leased_registers -= {register_id}
+        for store in self.eviction_stores.values():
+            store.discard(register_id)
+
+    def _evictable(self, register_id: str) -> bool:
+        """Leased registers are pinned: their grant/withhold state is volatile
+        and an eviction would silently forget outstanding leases."""
+        return (
+            register_id not in self.leased_registers
+            and register_id not in self.writer_leased_registers
+        )
+
     # -------------------------------------------------------------- factories
+    def _create_register_server(
+        self, server_id: str, register_id: str, strategy_factory: Optional[StrategyFactory]
+    ) -> Automaton:
+        server = self.base.create_server(server_id)
+        if register_id in self.writer_leased_registers:
+            # Innermost lease wrapper: the holder's 1-round PW passes
+            # through here into the read-lease layer, whose withholding
+            # discipline therefore still applies to leased writes.
+            server = WriterLeaseServer(server, lease_duration=self.lease_duration)
+        if register_id in self.leased_registers:
+            server = LeaseServer(server, lease_duration=self.lease_duration)
+        if strategy_factory is not None:
+            # The malicious wrapper goes outside the lease layer: a faulty
+            # machine does not honour the withholding contract, which is
+            # exactly what the b-bounded quorum arithmetic tolerates.
+            server = MaliciousServer(server, strategy_factory())  # type: ignore[arg-type]
+        return server
+
+    def _admit_server_register(self, server_id: str, register_id: str) -> Optional[Automaton]:
+        """Admission factory for servers: fresh automaton, or ``None`` if the
+        id is not (or no longer) part of the keyspace."""
+        if register_id not in self._register_id_set:
+            return None
+        return self._create_register_server(
+            server_id, register_id, self.byzantine.get(server_id)
+        )
+
+    def _admit_client_register(
+        self, client_id: str, register_id: str
+    ) -> Optional[ClientAutomaton]:
+        if register_id not in self._register_id_set:
+            return None
+        return self._create_client_register(register_id, client_id)
+
+    def _create_client_register(self, register_id: str, client_id: str) -> ClientAutomaton:
+        if client_id == self.config.writer_id:
+            if register_id in self.mwmr_registers:
+                return self._create_mwmr_client_for(register_id, client_id)
+            return self.base.create_writer()
+        return self._create_reader_for(register_id, client_id)
+
     def create_server(self, server_id: str) -> ShardedServer:
         strategy_factory = self.byzantine.get(server_id)
-        registers: Dict[str, Automaton] = {}
-        for register_id in self.register_ids:
-            server = self.base.create_server(server_id)
-            if register_id in self.writer_leased_registers:
-                # Innermost lease wrapper: the holder's 1-round PW passes
-                # through here into the read-lease layer, whose withholding
-                # discipline therefore still applies to leased writes.
-                server = WriterLeaseServer(
-                    server, lease_duration=self.lease_duration
-                )
-            if register_id in self.leased_registers:
-                server = LeaseServer(server, lease_duration=self.lease_duration)
-            if strategy_factory is not None:
-                # The malicious wrapper goes outside the lease layer: a faulty
-                # machine does not honour the withholding contract, which is
-                # exactly what the b-bounded quorum arithmetic tolerates.
-                server = MaliciousServer(server, strategy_factory())  # type: ignore[arg-type]
-            registers[register_id] = server
-        sharded = ShardedServer(server_id, registers)
+        registers: Dict[str, Automaton] = {
+            register_id: self._create_register_server(
+                server_id, register_id, strategy_factory
+            )
+            for register_id in self.register_ids
+        }
+        eviction_store = None
+        if self.max_resident is not None:
+            # One spill store per server id, *owned by the suite*: a crashed
+            # server's recovery rebuilds the automaton but keeps the store, so
+            # registers evicted before the crash rehydrate after it.
+            eviction_store = self.eviction_stores.setdefault(
+                server_id, RegisterEvictionStore()
+            )
+        sharded = ShardedServer(
+            server_id,
+            registers,
+            factory=lambda register_id, sid=server_id: self._admit_server_register(
+                sid, register_id
+            ),
+            max_resident=self.max_resident,
+            eviction_store=eviction_store,
+            evictable=self._evictable,
+        )
         sharded.batching = self.batching
         return sharded
 
@@ -419,13 +710,12 @@ class ShardedProtocol(ProtocolSuite):
         client = ShardedClient(
             writer_id,
             {
-                register_id: (
-                    self._create_mwmr_client_for(register_id, writer_id)
-                    if register_id in self.mwmr_registers
-                    else self.base.create_writer()
-                )
+                register_id: self._create_client_register(register_id, writer_id)
                 for register_id in self.register_ids
             },
+            factory=lambda register_id: self._admit_client_register(
+                writer_id, register_id
+            ),
         )
         client.batching = self.batching
         return client
@@ -452,6 +742,9 @@ class ShardedProtocol(ProtocolSuite):
                 register_id: self._create_reader_for(register_id, reader_id)
                 for register_id in self.register_ids
             },
+            factory=lambda register_id: self._admit_client_register(
+                reader_id, register_id
+            ),
         )
         client.batching = self.batching
         return client
@@ -473,4 +766,5 @@ class ShardedProtocol(ProtocolSuite):
         info["mwmr_registers"] = sorted(self.mwmr_registers)
         info["leased_registers"] = sorted(self.leased_registers)
         info["writer_leased_registers"] = sorted(self.writer_leased_registers)
+        info["max_resident"] = self.max_resident
         return info

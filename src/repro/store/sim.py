@@ -25,6 +25,18 @@ from ..verify.history import History
 from .sharding import ShardedProtocol, StrategyFactory
 
 
+def _find_router(process: Any) -> Any:
+    """The register router inside *process*'s wrapper stack (or ``None``).
+
+    Servers may be wrapped (``DurableServer`` and friends expose ``inner``);
+    clients are routers directly.  Anything without a register table — e.g.
+    a bare automaton — yields ``None``.
+    """
+    while not hasattr(process, "discard_register") and hasattr(process, "inner"):
+        process = process.inner
+    return process if hasattr(process, "discard_register") else None
+
+
 class ShardedSimStore:
     """A sharded multi-register store on the discrete-event simulator.
 
@@ -66,6 +78,7 @@ class ShardedSimStore:
         leases: Any = (),
         writer_leases: Any = (),
         lease_duration: float = 60.0,
+        max_resident: Optional[int] = None,
         **cluster_kwargs: Any,
     ) -> None:
         self.suite = ShardedProtocol(
@@ -77,8 +90,12 @@ class ShardedSimStore:
             leases=leases,
             writer_leases=writer_leases,
             lease_duration=lease_duration,
+            max_resident=max_resident,
         )
         self.cluster = SimCluster(self.suite, **cluster_kwargs)
+        #: How many times each key has been dropped — dead incarnations'
+        #: operations are archived under ``key#N`` (see :meth:`drop_register`).
+        self._drop_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------- inspection
     @property
@@ -137,12 +154,91 @@ class ShardedSimStore:
         return self.suite.config
 
     @property
+    def topology(self):
+        """The cluster's network topology (zones, links, partitions, skew)."""
+        return self.cluster.topology
+
+    @property
     def now(self) -> float:
         return self.cluster.now
 
     def client_busy(self, client_id: str, key: str) -> bool:
         """Whether *client_id* has an outstanding operation on *key*."""
         return self.cluster._sharded_client(client_id).busy_on(key)
+
+    # ---------------------------------------------------------- dynamic keys
+    def create_register(
+        self,
+        key: str,
+        mwmr: bool = False,
+        leases: bool = False,
+        writer_leases: bool = False,
+    ) -> None:
+        """Add *key* to the live keyspace.
+
+        No process allocates anything until the key is touched: clients build
+        their automaton at first invocation, servers fault theirs in when the
+        first message arrives.  Under a ``max_resident`` bound admission may
+        evict the coldest resident register to the eviction store.
+        """
+        self.suite.create_register(
+            key, mwmr=mwmr, leases=leases, writer_leases=writer_leases
+        )
+
+    def drop_register(self, key: str) -> None:
+        """Remove *key* from the live keyspace and every process.
+
+        Resident automata are discarded (not spilled) and spilled state is
+        deleted; in-flight messages for the key then drop like any
+        unknown-register message.  The key's recorded operations are archived
+        under ``key#N`` (N = how many times the key has been dropped): they
+        stay checkable as their own history, and a later ``create_register``
+        of the same name starts a genuinely fresh register whose reads of
+        bottom must not be judged against the dead incarnation's writes.
+        """
+        self.suite.drop_register(key)
+        for process in self.cluster.processes.values():
+            router = _find_router(process)
+            if router is not None:
+                router.discard_register(key)
+        incarnation = self._drop_counts.get(key, 0) + 1
+        self._drop_counts[key] = incarnation
+        for handle in self.cluster.operations:
+            if handle.register_id == key:
+                handle.register_id = f"{key}#{incarnation}"
+
+    @property
+    def max_resident(self) -> Optional[int]:
+        """The per-server resident-register bound (``None`` = unbounded)."""
+        return self.suite.max_resident
+
+    @property
+    def evictions(self) -> int:
+        """Registers spilled to eviction stores across every server."""
+        return sum(
+            getattr(_find_router(p), "evictions", 0)
+            for p in self.cluster.processes.values()
+        )
+
+    @property
+    def rehydrations(self) -> int:
+        """Registers faulted back in from eviction stores across every server."""
+        return sum(
+            getattr(_find_router(p), "rehydrations", 0)
+            for p in self.cluster.processes.values()
+        )
+
+    def resident_registers(self, process_id: str) -> List[str]:
+        """The registers with live automata on *process_id*, LRU order."""
+        router = _find_router(self.cluster.processes[process_id])
+        if router is None:
+            return []
+        return list(router.registers)
+
+    def evicted_registers(self, server_id: str) -> List[str]:
+        """The registers whose state currently lives in *server_id*'s spill."""
+        store = self.suite.eviction_stores.get(server_id)
+        return store.register_ids() if store is not None else []
 
     # ------------------------------------------------------------- operations
     def start_write(

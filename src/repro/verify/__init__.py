@@ -5,8 +5,10 @@ from .atomicity import (
     CheckResult,
     ConditionalOpChecker,
     MultiWriterAtomicityChecker,
+    ScenarioCheckResult,
     Violation,
     check_atomicity,
+    check_atomicity_under_scenario,
 )
 from .history import History, OperationRecord
 from .linearizability import (
@@ -22,8 +24,10 @@ __all__ = [
     "ConditionalOpChecker",
     "MultiWriterAtomicityChecker",
     "CheckResult",
+    "ScenarioCheckResult",
     "Violation",
     "check_atomicity",
+    "check_atomicity_under_scenario",
     "History",
     "OperationRecord",
     "HistoryTooLarge",

@@ -3,6 +3,7 @@
 from .generator import (
     ScheduledOperation,
     Workload,
+    churn_workload,
     consecutive_read_workload,
     contended_workload,
     contended_writers_workload,
@@ -21,6 +22,7 @@ from .generator import (
 __all__ = [
     "ScheduledOperation",
     "Workload",
+    "churn_workload",
     "consecutive_read_workload",
     "contended_workload",
     "contended_writers_workload",

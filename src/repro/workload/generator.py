@@ -35,7 +35,7 @@ class ScheduledOperation:
     """
 
     at: float
-    kind: str  # "write" | "read" | "rmw" (store workloads only)
+    kind: str  # "write" | "read" | "rmw" | "create" | "drop" (store workloads only)
     client_id: str
     value: Optional[str] = None
     key: Optional[str] = None
@@ -433,6 +433,81 @@ def owned_writers_workload(
     )
 
 
+def churn_workload(
+    num_registers: int,
+    readers: Sequence[str],
+    writer: str = "w",
+    mean_gap: float = 0.5,
+    op_gap: float = 2.0,
+    drop_fraction: float = 0.5,
+    revisit_fraction: float = 0.15,
+    revisit_delay: float = 200.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> Workload:
+    """A cold-key churn workload: registers are created, used briefly, dropped.
+
+    The dynamic-keyspace stress scenario.  Register ``i`` is created at a
+    Poisson arrival time, written once by *writer* and read once by a random
+    reader shortly after; a *revisit_fraction* of the registers gets one more
+    read *revisit_delay* later — by then the register has usually been
+    evicted under a ``max_resident`` bound, so the revisit exercises the
+    fault-on-access rehydration path — and a *drop_fraction* is dropped after
+    its last operation.  Register ids are ``churn-<i>``; values embed the key,
+    preserving the unique-value property the checkers rely on.
+    """
+    if num_registers < 1:
+        raise ValueError("at least one register is required")
+    if not readers:
+        raise ValueError("at least one reader client is required")
+    if mean_gap <= 0 or op_gap <= 0:
+        raise ValueError("mean_gap and op_gap must be positive")
+    if not 0.0 <= drop_fraction <= 1.0 or not 0.0 <= revisit_fraction <= 1.0:
+        raise ValueError("drop_fraction and revisit_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    reader_list = list(readers)
+    width = len(str(num_registers - 1))
+    operations: List[ScheduledOperation] = []
+    now = start
+    for index in range(num_registers):
+        now += rng.expovariate(1.0 / mean_gap)
+        key = f"churn-{index:0{width}d}"
+        operations.append(
+            ScheduledOperation(at=now, kind="create", client_id=writer, key=key)
+        )
+        operations.append(
+            ScheduledOperation(
+                at=now, kind="write", client_id=writer, value=f"{key}:v1", key=key
+            )
+        )
+        last = now + op_gap
+        operations.append(
+            ScheduledOperation(
+                at=last, kind="read", client_id=rng.choice(reader_list), key=key
+            )
+        )
+        if rng.random() < revisit_fraction:
+            last = now + revisit_delay
+            operations.append(
+                ScheduledOperation(
+                    at=last, kind="read", client_id=rng.choice(reader_list), key=key
+                )
+            )
+        if rng.random() < drop_fraction:
+            operations.append(
+                ScheduledOperation(
+                    at=last + op_gap, kind="drop", client_id=writer, key=key
+                )
+            )
+    return Workload(
+        operations,
+        description=(
+            f"churn x{num_registers} registers "
+            f"(drop={drop_fraction:.0%}, revisit={revisit_fraction:.0%})"
+        ),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Execution
 # --------------------------------------------------------------------------- #
@@ -505,8 +580,14 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
     (any client may write an MWMR key; generators targeting SWMR keys name
     the configured writer).  Handles record ``scheduled_at`` like
     :func:`run_workload`.
+
+    ``create`` operations add the key to the live keyspace; ``drop``
+    operations first wait for every handle already issued on the key to
+    complete (a drop must not race the key's own operations), then remove it.
+    Neither produces a handle.
     """
     handles: List[OperationHandle] = []
+    per_key: dict = {}
     cluster = store.cluster
     budget = workload_event_budget(cluster, workload)
     for op in workload.sorted():
@@ -514,6 +595,17 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
             raise ValueError(f"store workloads need a key on every operation: {op}")
         if op.at > cluster.now:
             cluster.run_for(op.at - cluster.now, max_events=budget)
+        if op.kind == "create":
+            store.create_register(op.key)
+            continue
+        if op.kind == "drop":
+            pending = [h for h in per_key.get(op.key, ()) if not h.done]
+            if pending:
+                cluster.run(
+                    until=lambda p=pending: all(h.done for h in p), max_events=budget
+                )
+            store.drop_register(op.key)
+            continue
         client_id = op.client_id
         if store.client_busy(client_id, op.key):
             cluster.run(
@@ -533,5 +625,6 @@ def run_store_workload(store, workload: Workload) -> List[OperationHandle]:
             handle = store.start_read(op.key, op.client_id)
         handle.scheduled_at = op.at
         handles.append(handle)
+        per_key.setdefault(op.key, []).append(handle)
     cluster.run(until=lambda: all(handle.done for handle in handles), max_events=budget)
     return handles

@@ -1,0 +1,15 @@
+"""RP08 fixture: a direct DelayModel.sample call outside the topology layer.
+
+The two-argument ``random.Random.sample`` call below is legitimate and must
+NOT be flagged — the rule keys on the four-positional-argument signature of
+``DelayModel.sample(source, destination, now, rng)``.
+"""
+
+
+def deliver(model, source, destination, now, rng):
+    delay = model.sample(source, destination, now, rng)  # RP08: bypasses topology
+    return delay
+
+
+def pick_victims(rng, servers):
+    return rng.sample(servers, 2)  # fine: random.Random.sample, two args

@@ -1,6 +1,7 @@
 """Integration tests for contention handling, write-backs and the freezing
 mechanism (Theorems 1 and 2)."""
 
+import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.protocol import LuckyAtomicProtocol
@@ -36,6 +37,7 @@ class TestContention:
         assert check_atomicity(history).ok
         assert cross_validate(history) in (True, None)
 
+    @pytest.mark.filterwarnings("ignore:network has no synchronous bound:RuntimeWarning")
     def test_degraded_network_forces_slow_reads_under_contention(self):
         config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=2)
         delay = SlowProcessDelay(
@@ -50,6 +52,7 @@ class TestContention:
         assert all(handle.result.metadata["writeback"] for handle in reads if not handle.fast)
         assert check_atomicity(cluster.history()).ok
 
+    @pytest.mark.filterwarnings("ignore:network has no synchronous bound:RuntimeWarning")
     def test_reads_during_slow_write_phases_stay_atomic(self):
         config = SystemConfig(t=2, b=1, fw=0, fr=1, num_readers=2)
         delay = SlowProcessDelay(
@@ -66,6 +69,7 @@ class TestContention:
 
 
 class TestFreezing:
+    @pytest.mark.filterwarnings("ignore:network has no synchronous bound:RuntimeWarning")
     def test_reader_terminates_under_a_stream_of_writes(self):
         """Wait-freedom case (b): unbounded writes cannot starve a READ.
 
@@ -99,6 +103,7 @@ class TestFreezing:
         assert read.done, "the READ must terminate despite unbounded concurrent writes"
         assert check_atomicity(cluster.history()).ok
 
+    @pytest.mark.filterwarnings("ignore:network has no synchronous bound:RuntimeWarning")
     def test_slow_read_announces_itself_to_servers(self):
         """A READ that needs more than one round writes its timestamp to servers.
 

@@ -54,6 +54,7 @@ class TestExperimentShapes:
         assert by_protocol["naive-fast (UNSAFE)"]["violations"] >= 1
         assert by_protocol["lucky-atomic"]["violations"] == 0
 
+    @pytest.mark.filterwarnings("ignore:network has no synchronous bound:RuntimeWarning")
     def test_e5_contention_slows_reads_but_keeps_atomicity(self):
         table = experiment_contention(t=2, b=1, num_writes=4)
         rows = {row["scenario"]: row for row in table.rows}

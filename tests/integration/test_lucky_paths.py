@@ -50,6 +50,7 @@ class TestFastWrites:
         assert handle.rounds == 3
         assert check_atomicity(cluster.history()).ok
 
+    @pytest.mark.filterwarnings("ignore:network has no synchronous bound:RuntimeWarning")
     def test_unlucky_write_on_asynchronous_network_is_slow_but_correct(self):
         config = SystemConfig(t=2, b=1, fw=1, fr=0, num_readers=1)
         delay = SlowProcessDelay(

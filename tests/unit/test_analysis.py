@@ -30,10 +30,19 @@ def rule_ids(report):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = [rule_class.rule_id for rule_class in all_rules()]
         assert ids == sorted(ids)
-        assert {"RP01", "RP02", "RP03", "RP04", "RP05", "RP06", "RP07"} <= set(ids)
+        assert {
+            "RP01",
+            "RP02",
+            "RP03",
+            "RP04",
+            "RP05",
+            "RP06",
+            "RP07",
+            "RP08",
+        } <= set(ids)
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(KeyError, match="RP99"):
@@ -120,6 +129,25 @@ class TestRuleFixtures:
         assert "BareDataclass" in messages  # bare @dataclass
         assert "SlottedMessage" not in messages
         assert "PlainClass" not in messages
+
+    def test_rp08_direct_delay_sampling_flagged(self):
+        report = run_analysis([fixture("rp08_sampling.py")], select=["RP08"])
+        assert rule_ids(report) == ["RP08"]
+        assert "Topology.delay" in report.findings[0].message
+        assert report.findings[0].line == 10
+
+    def test_rp08_random_sample_and_topology_layer_exempt(self):
+        # The two-argument random.Random.sample in the fixture is not flagged
+        # (only one finding above), and the layers that legitimately sample —
+        # the delay models and the topology adapter — analyze clean.
+        report = run_analysis(
+            [
+                os.path.join(SRC, "repro", "sim", "latency.py"),
+                os.path.join(SRC, "repro", "sim", "topology.py"),
+            ],
+            select=["RP08"],
+        )
+        assert report.ok
 
     def test_rp07_scope_is_path_based(self):
         # The same violations outside the hot modules carry no obligation:

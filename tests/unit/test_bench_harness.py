@@ -95,3 +95,47 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run-experiment", "E99"])
+
+
+class TestTopologySweep:
+    """Small S8 smoke runs — the full-size sweep is the CI benchmark job."""
+
+    def test_lan_healthy_is_all_fast(self):
+        from repro.store.bench import run_topology_scenario
+
+        row = run_topology_scenario("lan", "healthy", num_operations=12)
+        assert row["completed"] == row["operations"] == 12
+        assert float(row["fast_rate"]) >= 0.9
+        assert row["drops"] == 0
+        assert row["atomic"] == "yes"
+
+    def test_wan_partition_degrades_without_collapsing(self):
+        from repro.store.bench import run_topology_scenario
+
+        row = run_topology_scenario("wan-3dc", "partition", num_operations=16)
+        # Every operation still completes through the round quorum and the
+        # history stays atomic; the severed zone only costs the fast path.
+        assert row["completed"] == row["operations"] == 16
+        assert row["drops"] > 0
+        assert 0.0 < float(row["fast_rate"]) < 1.0
+        assert row["atomic"] == "yes"
+
+    def test_sweep_table_shape_and_churn_rows(self):
+        from repro.store.bench import topology_sweep
+
+        table = topology_sweep(
+            profiles=("lan",),
+            scenarios=("healthy", "gray"),
+            num_operations=8,
+            churn=True,
+            churn_registers=40,
+            churn_resident=8,
+        )
+        assert table.experiment_id == "S8"
+        scenarios = [row["scenario"] for row in table.rows]
+        assert scenarios[:2] == ["healthy", "gray"]
+        # --churn appends one sim row and one asyncio-runtime row.
+        assert len(scenarios) == 4
+        assert all(label.startswith("churn") for label in scenarios[2:])
+        assert all(row["atomic"] == "yes" for row in table.rows)
+        assert all(row["completed"] == row["operations"] for row in table.rows)

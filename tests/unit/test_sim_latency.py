@@ -62,11 +62,13 @@ class TestPerLinkDelay:
 
     def test_bound_is_max_of_involved_bounds(self):
         model = PerLinkDelay(base=FixedDelay(1.0), overrides={("w", "s1"): FixedDelay(9.0)})
-        assert model.synchronous_bound == 9.0
+        with pytest.deprecated_call():
+            assert model.synchronous_bound == 9.0
 
     def test_bound_is_none_if_any_override_unbounded(self):
         model = PerLinkDelay(base=FixedDelay(1.0), overrides={("w", "s1"): LogNormalDelay()})
-        assert model.synchronous_bound is None
+        with pytest.deprecated_call():
+            assert model.synchronous_bound is None
 
 
 class TestSlowProcessDelay:
@@ -78,7 +80,8 @@ class TestSlowProcessDelay:
 
     def test_clients_keep_their_base_timer(self):
         model = SlowProcessDelay(base=FixedDelay(1.0), slow_processes={"s3"}, extra_delay=50.0)
-        assert model.synchronous_bound is None
+        with pytest.deprecated_call():
+            assert model.synchronous_bound is None
         assert model.suggested_timer(margin=0.5) == 2.5
 
 

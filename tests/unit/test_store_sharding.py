@@ -95,8 +95,9 @@ class TestShardedAutomata:
 class TestShardedProtocolValidation:
     def test_rejects_empty_and_duplicate_registers(self, config):
         base = LuckyAtomicProtocol(config)
-        with pytest.raises(ValueError):
-            ShardedProtocol(base, [])
+        # An empty initial keyspace is allowed: the dynamic keyspace grows it
+        # at runtime through create_register.
+        assert ShardedProtocol(base, []).register_ids == []
         with pytest.raises(ValueError, match="duplicate"):
             ShardedProtocol(base, ["k1", "k1"])
         with pytest.raises(ValueError, match="must not contain"):
